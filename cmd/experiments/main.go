@@ -1,0 +1,70 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -mode fast                  # all experiments, small scale
+//	experiments -mode full                  # paper-scale corpus and model
+//	experiments -mode full -exp table8      # one experiment
+//	experiments -list                       # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pragformer/internal/experiments"
+)
+
+func main() {
+	var (
+		mode  = flag.String("mode", "fast", "scale: fast|full")
+		exp   = flag.String("exp", "all", "experiment name, comma-separated list, or 'all'")
+		seed  = flag.Int64("seed", 1, "pipeline seed")
+		quiet = flag.Bool("q", false, "suppress progress output")
+		list  = flag.Bool("list", false, "list experiment names and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range experiments.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed}
+	switch *mode {
+	case "fast":
+		cfg.Mode = experiments.Fast
+	case "full":
+		cfg.Mode = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if !*quiet {
+		start := time.Now()
+		cfg.Progress = func(s string) {
+			fmt.Fprintf(os.Stderr, "[%8s] %s\n", time.Since(start).Round(time.Second), s)
+		}
+	}
+
+	p := experiments.NewPipeline(cfg)
+	var err error
+	if *exp == "all" {
+		err = p.RunAll(os.Stdout)
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			if err = p.Run(strings.TrimSpace(name), os.Stdout); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,239 @@
+// Command pragformer trains, evaluates and applies the PragFormer model.
+//
+// Subcommands:
+//
+//	pragformer train -corpus open_omp.jsonl -task directive -model model.gob
+//	pragformer eval  -corpus open_omp.jsonl -task directive -model model.gob
+//	pragformer predict -model model.gob -vocab vocab.txt file.c
+//
+// Train writes both the model weights and the vocabulary (one token per
+// line) so predict can re-encode inputs identically.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pragformer/internal/core"
+	"pragformer/internal/corpus"
+	"pragformer/internal/dataset"
+	"pragformer/internal/tokenize"
+	"pragformer/internal/train"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "eval":
+		cmdEval(os.Args[2:])
+	case "predict":
+		cmdPredict(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pragformer {train|eval|predict} [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pragformer:", err)
+	os.Exit(1)
+}
+
+func taskFromName(name string) dataset.Task {
+	switch name {
+	case "directive":
+		return dataset.TaskDirective
+	case "private":
+		return dataset.TaskPrivate
+	case "reduction":
+		return dataset.TaskReduction
+	}
+	fatal(fmt.Errorf("unknown task %q (directive|private|reduction)", name))
+	return 0
+}
+
+func splitFor(c *corpus.Corpus, task dataset.Task, seed int64) dataset.Split {
+	if task == dataset.TaskDirective {
+		return dataset.Directive(c, dataset.Options{Seed: seed})
+	}
+	return dataset.Clause(c, task, dataset.Options{Seed: seed, Balance: true})
+}
+
+func encodeAll(ins []dataset.Instance, v *tokenize.Vocab, maxLen int) []train.Example {
+	out := make([]train.Example, len(ins))
+	for i, in := range ins {
+		toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
+		if err != nil {
+			fatal(err)
+		}
+		out[i] = train.Example{IDs: v.Encode(toks, maxLen), Label: in.Label}
+	}
+	return out
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	var (
+		corpusPath = fs.String("corpus", "open_omp.jsonl", "corpus JSONL path")
+		taskName   = fs.String("task", "directive", "task: directive|private|reduction")
+		modelPath  = fs.String("model", "pragformer.gob", "output model path")
+		vocabPath  = fs.String("vocab", "vocab.txt", "output vocabulary path")
+		epochs     = fs.Int("epochs", 10, "training epochs")
+		d          = fs.Int("d", 64, "model dimension")
+		heads      = fs.Int("heads", 4, "attention heads")
+		layers     = fs.Int("layers", 2, "encoder layers")
+		lr         = fs.Float64("lr", 5e-4, "learning rate")
+		seed       = fs.Int64("seed", 1, "seed")
+		maxTrain   = fs.Int("max-train", 0, "cap training examples (0 = all)")
+	)
+	_ = fs.Parse(args)
+
+	c, err := corpus.LoadFile(*corpusPath)
+	if err != nil {
+		fatal(err)
+	}
+	task := taskFromName(*taskName)
+	split := splitFor(c, task, *seed)
+
+	var seqs [][]string
+	for _, in := range split.Train {
+		toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
+		if err != nil {
+			fatal(err)
+		}
+		seqs = append(seqs, toks)
+	}
+	v := tokenize.BuildVocab(seqs, 1)
+
+	trainSet := encodeAll(split.Train, v, 110)
+	validSet := encodeAll(split.Valid, v, 110)
+	if *maxTrain > 0 && len(trainSet) > *maxTrain {
+		trainSet = trainSet[:*maxTrain]
+	}
+
+	m, err := core.New(core.Config{
+		Vocab: v.Size(), MaxLen: 110, D: *d, Heads: *heads, Layers: *layers, Dropout: 0.1,
+	}, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("training %s task: %d train / %d valid, vocab %d\n",
+		task, len(trainSet), len(validSet), v.Size())
+	hist := train.Fit(m, trainSet, validSet, train.Config{
+		Epochs: *epochs, BatchSize: 16, LR: *lr, ClipNorm: 1, Seed: *seed,
+		Progress: func(s string) { fmt.Println(" ", s) },
+	})
+	fmt.Printf("best epoch %d: valid accuracy %.3f\n",
+		hist.BestEpoch+1, hist.Best().ValidAccuracy)
+
+	if err := m.SaveFile(*modelPath); err != nil {
+		fatal(err)
+	}
+	if err := saveVocab(v, *vocabPath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s and %s\n", *modelPath, *vocabPath)
+}
+
+func cmdEval(args []string) {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	var (
+		corpusPath = fs.String("corpus", "open_omp.jsonl", "corpus JSONL path")
+		taskName   = fs.String("task", "directive", "task")
+		modelPath  = fs.String("model", "pragformer.gob", "model path")
+		vocabPath  = fs.String("vocab", "vocab.txt", "vocabulary path")
+		seed       = fs.Int64("seed", 1, "split seed (must match training)")
+	)
+	_ = fs.Parse(args)
+
+	c, err := corpus.LoadFile(*corpusPath)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.LoadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := loadVocab(*vocabPath)
+	if err != nil {
+		fatal(err)
+	}
+	split := splitFor(c, taskFromName(*taskName), *seed)
+	testSet := encodeAll(split.Test, v, m.Cfg.MaxLen)
+	loss, acc := train.Evaluate(m, testSet)
+	fmt.Printf("test: %d examples, loss %.4f, accuracy %.3f\n", len(testSet), loss, acc)
+}
+
+func cmdPredict(args []string) {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "pragformer.gob", "model path")
+		vocabPath = fs.String("vocab", "vocab.txt", "vocabulary path")
+	)
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("predict needs exactly one C file argument"))
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.LoadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := loadVocab(*vocabPath)
+	if err != nil {
+		fatal(err)
+	}
+	toks, err := tokenize.Extract(string(src), tokenize.Text)
+	if err != nil {
+		fatal(err)
+	}
+	p := m.Predict(v.Encode(toks, m.Cfg.MaxLen))
+	verdict := "no OpenMP directive needed"
+	if p > 0.5 {
+		verdict = "suggest #pragma omp parallel for"
+	}
+	fmt.Printf("p(parallelizable) = %.3f → %s\n", p, verdict)
+}
+
+func saveVocab(v *tokenize.Vocab, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i := 0; i < v.Size(); i++ {
+		fmt.Fprintln(w, v.Token(i))
+	}
+	return w.Flush()
+}
+
+func loadVocab(path string) (*tokenize.Vocab, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) <= tokenize.NumSpecials {
+		return nil, fmt.Errorf("vocab file too short")
+	}
+	// Rebuild through BuildVocab to preserve id assignment: specials are
+	// emitted first by saveVocab, so skip them here.
+	seq := lines[tokenize.NumSpecials:]
+	return tokenize.BuildVocab([][]string{seq}, 1), nil
+}

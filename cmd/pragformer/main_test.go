@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"pragformer/internal/tokenize"
+)
+
+func TestVocabSaveLoadRoundTrip(t *testing.T) {
+	v := tokenize.BuildVocab([][]string{{"for", "(", "i", "=", "0", ")"}}, 1)
+	path := t.TempDir() + "/vocab.txt"
+	if err := saveVocab(v, path); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := loadVocab(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() != v.Size() {
+		t.Fatalf("size %d want %d", v2.Size(), v.Size())
+	}
+	for _, tok := range []string{"for", "(", "i", "=", "0", ")"} {
+		if v2.ID(tok) != v.ID(tok) {
+			t.Errorf("id(%q) = %d want %d", tok, v2.ID(tok), v.ID(tok))
+		}
+	}
+}
+
+func TestLoadVocabRejectsShortFile(t *testing.T) {
+	path := t.TempDir() + "/short.txt"
+	if err := writeFile(path, "[PAD]\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadVocab(path); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTaskFromName(t *testing.T) {
+	if taskFromName("directive").String() != "directive" {
+		t.Error("directive task wrong")
+	}
+	if taskFromName("private").String() != "private" {
+		t.Error("private task wrong")
+	}
+	if taskFromName("reduction").String() != "reduction" {
+		t.Error("reduction task wrong")
+	}
+}

@@ -1,0 +1,8 @@
+package main
+
+import "os"
+
+// writeFile is a test helper.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

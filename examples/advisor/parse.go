@@ -1,0 +1,30 @@
+package main
+
+import (
+	"pragformer/internal/cast"
+	"pragformer/internal/cparse"
+)
+
+// parseLoop extracts the first for-loop and any function bodies from src.
+func parseLoop(src string) (*cast.For, map[string]*cast.FuncDef, error) {
+	f, err := cparse.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	funcs := map[string]*cast.FuncDef{}
+	var loop *cast.For
+	for _, it := range f.Items {
+		if fd, ok := it.(*cast.FuncDef); ok {
+			funcs[fd.Name] = fd
+			continue
+		}
+		cast.Walk(it, func(n cast.Node) bool {
+			if l, ok := n.(*cast.For); ok && loop == nil {
+				loop = l
+				return false
+			}
+			return true
+		})
+	}
+	return loop, funcs, nil
+}

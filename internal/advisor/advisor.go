@@ -1,0 +1,170 @@
+// Package advisor composes the paper's pieces into the full pipeline its
+// §6 sketches: generating entire OpenMP directives. The three PragFormer
+// classifiers decide *whether* a directive and which clause kinds are
+// needed; the dependence analysis supplies the *variable names* for the
+// clauses; and, following the paper's ComPar-combination proposal, an S2S
+// result can be used to corroborate the suggestion.
+package advisor
+
+import (
+	"fmt"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/core"
+	"pragformer/internal/cparse"
+	"pragformer/internal/dep"
+	"pragformer/internal/pragma"
+	"pragformer/internal/s2s"
+	"pragformer/internal/tokenize"
+)
+
+// Models bundles the three task classifiers with their shared vocabulary.
+// Private and Reduction may be nil, in which case clause decisions fall back
+// to the dependence analysis alone.
+type Models struct {
+	Directive *core.PragFormer
+	Private   *core.PragFormer
+	Reduction *core.PragFormer
+	Vocab     *tokenize.Vocab
+	MaxLen    int
+}
+
+// Confidence grades how strongly a suggestion is corroborated.
+type Confidence int
+
+const (
+	// ModelOnly means only PragFormer supports the directive.
+	ModelOnly Confidence = iota
+	// AnalysisAgrees means the dependence analysis also finds the loop
+	// parallelizable.
+	AnalysisAgrees
+	// ComParAgrees means the S2S compiler independently inserted a
+	// directive too — the paper's "verifying the correctness" case.
+	ComParAgrees
+)
+
+// String names the confidence grade.
+func (c Confidence) String() string {
+	switch c {
+	case ComParAgrees:
+		return "model+analysis+compar"
+	case AnalysisAgrees:
+		return "model+analysis"
+	default:
+		return "model-only"
+	}
+}
+
+// Suggestion is the advisor's output for one snippet.
+type Suggestion struct {
+	// Parallelize is the RQ1 verdict.
+	Parallelize bool
+	// Probability is the directive classifier's positive probability.
+	Probability float64
+	// Directive is the generated pragma (nil when Parallelize is false).
+	Directive *pragma.Directive
+	// Confidence grades corroboration.
+	Confidence Confidence
+	// Notes explains the clause decisions.
+	Notes []string
+}
+
+// Suggest runs the full pipeline over a code snippet.
+func (m *Models) Suggest(code string) (*Suggestion, error) {
+	if m.Directive == nil || m.Vocab == nil {
+		return nil, fmt.Errorf("advisor: directive model and vocabulary are required")
+	}
+	maxLen := m.MaxLen
+	if maxLen == 0 {
+		maxLen = 110
+	}
+	toks, err := tokenize.Extract(code, tokenize.Text)
+	if err != nil {
+		return nil, fmt.Errorf("advisor: %w", err)
+	}
+	ids := m.Vocab.Encode(toks, maxLen)
+
+	s := &Suggestion{Probability: m.Directive.Predict(ids)}
+	s.Parallelize = s.Probability > 0.5
+	if !s.Parallelize {
+		s.Notes = append(s.Notes, "directive classifier below threshold")
+		return s, nil
+	}
+
+	d := &pragma.Directive{ParallelFor: true}
+	analysis := analyze(code)
+
+	wantPrivate := m.Private != nil && m.Private.PredictLabel(ids)
+	wantReduction := m.Reduction != nil && m.Reduction.PredictLabel(ids)
+	if analysis != nil {
+		if m.Private == nil {
+			wantPrivate = len(analysis.Private) > 0
+		}
+		if m.Reduction == nil {
+			wantReduction = len(analysis.Reductions) > 0
+		}
+	}
+
+	// Clause variables come from the analysis; the classifiers gate them
+	// (the classifier can also rescue clauses the analysis missed when the
+	// loop text alone was insufficient — then we note the gap).
+	if wantPrivate {
+		if analysis != nil && len(analysis.Private) > 0 {
+			d.Private = append(d.Private, analysis.Private...)
+			s.Notes = append(s.Notes, fmt.Sprintf("private variables from analysis: %v", analysis.Private))
+		} else {
+			s.Notes = append(s.Notes, "private clause predicted but no candidate variables found")
+		}
+	}
+	if wantReduction {
+		if analysis != nil && len(analysis.Reductions) > 0 {
+			d.Reductions = append(d.Reductions, analysis.Reductions...)
+			s.Notes = append(s.Notes, "reduction clause from analysis")
+		} else {
+			s.Notes = append(s.Notes, "reduction clause predicted but no accumulation pattern found")
+		}
+	}
+	if analysis != nil && analysis.Unbalanced {
+		d.Schedule = pragma.ScheduleDynamic
+		s.Notes = append(s.Notes, "unbalanced body: schedule(dynamic)")
+	}
+	s.Directive = d
+
+	// Confidence grading.
+	if analysis != nil && analysis.Parallelizable {
+		s.Confidence = AnalysisAgrees
+	}
+	if res, err := s2s.NewComPar().Compile(code); err == nil && res.Directive != nil {
+		s.Confidence = ComParAgrees
+	}
+	return s, nil
+}
+
+// analyze parses the snippet and runs the dependence analysis over its
+// target loop; nil when no loop is analyzable.
+func analyze(code string) *dep.Analysis {
+	f, err := cparse.Parse(code)
+	if err != nil {
+		return nil
+	}
+	loop := s2s.FirstLoop(f)
+	if loop == nil {
+		return nil
+	}
+	funcs := map[string]*cast.FuncDef{}
+	for _, it := range f.Items {
+		if fd, ok := it.(*cast.FuncDef); ok {
+			funcs[fd.Name] = fd
+		}
+	}
+	return dep.AnalyzeLoop(loop, funcs)
+}
+
+// Annotate returns the snippet with the suggested directive prepended, or
+// the snippet unchanged when no directive is suggested.
+func (s *Suggestion) Annotate(code string) string {
+	if s.Directive == nil {
+		return code
+	}
+	return s.Directive.String() + "\n" + code
+}

@@ -1,0 +1,171 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"pragformer/internal/core"
+	"pragformer/internal/corpus"
+	"pragformer/internal/dataset"
+	"pragformer/internal/tokenize"
+	"pragformer/internal/train"
+)
+
+// trainTask fits one small classifier for a task over a shared corpus.
+func trainTask(t *testing.T, c *corpus.Corpus, task dataset.Task, v *tokenize.Vocab) *core.PragFormer {
+	t.Helper()
+	var split dataset.Split
+	if task == dataset.TaskDirective {
+		split = dataset.Directive(c, dataset.Options{Seed: 1})
+	} else {
+		split = dataset.Clause(c, task, dataset.Options{Seed: 1, Balance: true})
+	}
+	encode := func(ins []dataset.Instance) []train.Example {
+		out := make([]train.Example, len(ins))
+		for i, in := range ins {
+			toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = train.Example{IDs: v.Encode(toks, 64), Label: in.Label}
+		}
+		return out
+	}
+	m, err := core.New(core.Config{Vocab: v.Size(), MaxLen: 64, D: 32, Heads: 4, Layers: 1}, int64(10+task))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train.Fit(m, encode(split.Train), encode(split.Valid), train.Config{
+		Epochs: 4, BatchSize: 16, LR: 1.5e-3, ClipNorm: 1, Seed: int64(task),
+	})
+	return m
+}
+
+// sharedModels trains the three classifiers once for the package.
+var sharedModels *Models
+
+func models(t *testing.T) *Models {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("advisor models are slow to train")
+	}
+	if sharedModels != nil {
+		return sharedModels
+	}
+	c := corpus.Generate(corpus.Config{Seed: 6, Total: 800})
+	split := dataset.Directive(c, dataset.Options{Seed: 1})
+	var seqs [][]string
+	for _, in := range split.Train {
+		toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqs = append(seqs, toks)
+	}
+	v := tokenize.BuildVocab(seqs, 1)
+	sharedModels = &Models{
+		Directive: trainTask(t, c, dataset.TaskDirective, v),
+		Private:   trainTask(t, c, dataset.TaskPrivate, v),
+		Reduction: trainTask(t, c, dataset.TaskReduction, v),
+		Vocab:     v,
+		MaxLen:    64,
+	}
+	return sharedModels
+}
+
+func TestSuggestReduction(t *testing.T) {
+	m := models(t)
+	s, err := m.Suggest("for (i = 0; i < n; i++) sum += a[i] * b[i];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Parallelize {
+		t.Fatalf("reduction loop not parallelized (p=%.2f, notes %v)", s.Probability, s.Notes)
+	}
+	if s.Directive == nil || !s.Directive.HasReduction() {
+		t.Errorf("directive = %v, want reduction clause", s.Directive)
+	}
+	if s.Confidence < AnalysisAgrees {
+		t.Errorf("confidence = %v, analysis should agree", s.Confidence)
+	}
+}
+
+func TestSuggestPrivate(t *testing.T) {
+	m := models(t)
+	src := "for (i = 0; i < n; i++) for (j = 0; j < n; j++) x[i] = x[i] + A[i][j] * y[j];"
+	s, err := m.Suggest(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Parallelize {
+		t.Fatalf("matvec not parallelized (p=%.2f)", s.Probability)
+	}
+	if s.Directive == nil || !s.Directive.HasPrivate() {
+		t.Errorf("directive = %v, want private(j)", s.Directive)
+	}
+	annotated := s.Annotate(src)
+	if !strings.HasPrefix(annotated, "#pragma omp parallel for") {
+		t.Errorf("annotated = %q", annotated)
+	}
+}
+
+func TestSuggestSerialLoop(t *testing.T) {
+	m := models(t)
+	s, err := m.Suggest("for (i = 1; i < n; i++) a[i] = a[i-1] + 1;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Parallelize {
+		t.Fatalf("recurrence parallelized (p=%.2f)", s.Probability)
+	}
+	if s.Directive != nil {
+		t.Error("directive on serial loop")
+	}
+	if got := s.Annotate("x"); got != "x" {
+		t.Errorf("Annotate changed serial code: %q", got)
+	}
+}
+
+func TestSuggestIOLoop(t *testing.T) {
+	m := models(t)
+	s, err := m.Suggest(`for (i = 0; i < n; i++) printf("%d", a[i]);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Parallelize {
+		t.Fatalf("I/O loop parallelized (p=%.2f)", s.Probability)
+	}
+}
+
+func TestSuggestErrors(t *testing.T) {
+	var empty Models
+	if _, err := empty.Suggest("for (i = 0; i < n; i++) a[i] = 0;"); err == nil {
+		t.Fatal("expected error without models")
+	}
+	m := models(t)
+	if _, err := m.Suggest("for (i = 0; i < `n`"); err == nil {
+		t.Fatal("expected error on unlexable input")
+	}
+}
+
+func TestConfidenceString(t *testing.T) {
+	if ModelOnly.String() == "" || AnalysisAgrees.String() == "" || ComParAgrees.String() == "" {
+		t.Error("empty confidence names")
+	}
+	if ModelOnly.String() == ComParAgrees.String() {
+		t.Error("confidence names collide")
+	}
+}
+
+func TestAnalyzeHelper(t *testing.T) {
+	if analyze("not c code {{{") != nil {
+		t.Error("analyze should be nil on parse failure")
+	}
+	if analyze("x = 1;") != nil {
+		t.Error("analyze should be nil without a loop")
+	}
+	a := analyze("for (i = 0; i < n; i++) a[i] = 0;")
+	if a == nil || !a.Parallelizable {
+		t.Error("simple loop should analyze parallelizable")
+	}
+}

@@ -1,0 +1,159 @@
+// Package bow implements the paper's statistical baseline (§5.2): a
+// bag-of-words count-vector representation with a logistic-regression
+// classifier trained by gradient descent with L2 regularization. Order and
+// structure are discarded, which is exactly the capability gap PragFormer's
+// self-attention closes.
+package bow
+
+import (
+	"math"
+	"math/rand"
+
+	"pragformer/internal/tokenize"
+)
+
+// Model is a logistic regression over token counts.
+type Model struct {
+	Vocab   *tokenize.Vocab
+	Weights []float64
+	Bias    float64
+}
+
+// New builds an untrained model over a vocabulary.
+func New(v *tokenize.Vocab) *Model {
+	return &Model{Vocab: v, Weights: make([]float64, v.Size())}
+}
+
+// Featurize builds the count vector for a token sequence.
+func (m *Model) Featurize(tokens []string) map[int]float64 {
+	counts := map[int]float64{}
+	for _, tok := range tokens {
+		counts[m.Vocab.ID(tok)]++
+	}
+	return counts
+}
+
+// score computes the pre-sigmoid logit for sparse features.
+func (m *Model) score(feats map[int]float64) float64 {
+	s := m.Bias
+	for id, c := range feats {
+		s += m.Weights[id] * c
+	}
+	return s
+}
+
+// Predict returns the positive-class probability.
+func (m *Model) Predict(tokens []string) float64 {
+	return sigmoid(m.score(m.Featurize(tokens)))
+}
+
+// PredictLabel applies the 0.5 threshold.
+func (m *Model) PredictLabel(tokens []string) bool { return m.Predict(tokens) > 0.5 }
+
+// Example is one labeled token sequence.
+type Example struct {
+	Tokens []string
+	Label  bool
+}
+
+// TrainConfig controls SGD.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	L2     float64
+	Seed   int64
+}
+
+// Train fits the model with SGD, returning per-epoch training losses.
+func (m *Model) Train(examples []Example, cfg TrainConfig) []float64 {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.05
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	feats := make([]map[int]float64, len(examples))
+	for i, ex := range examples {
+		feats[i] = m.Featurize(ex.Tokens)
+	}
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	var losses []float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, idx := range order {
+			f := feats[idx]
+			y := 0.0
+			if examples[idx].Label {
+				y = 1
+			}
+			p := sigmoid(m.score(f))
+			total += bceLoss(p, y)
+			g := p - y
+			for id, c := range f {
+				m.Weights[id] -= cfg.LR * (g*c + cfg.L2*m.Weights[id])
+			}
+			m.Bias -= cfg.LR * g
+		}
+		losses = append(losses, total/float64(maxInt(1, len(examples))))
+	}
+	return losses
+}
+
+// TopWeights returns the k most positive and k most negative feature tokens
+// (diagnostics: what the linear baseline keys on).
+func (m *Model) TopWeights(k int) (positive, negative []string) {
+	type wt struct {
+		id int
+		w  float64
+	}
+	var all []wt
+	for id, w := range m.Weights {
+		if w != 0 {
+			all = append(all, wt{id, w})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].w > all[i].w {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	for i := 0; i < k && i < len(all); i++ {
+		if all[i].w > 0 {
+			positive = append(positive, m.Vocab.Token(all[i].id))
+		}
+	}
+	for i := 0; i < k && i < len(all); i++ {
+		j := len(all) - 1 - i
+		if j >= 0 && all[j].w < 0 {
+			negative = append(negative, m.Vocab.Token(all[j].id))
+		}
+	}
+	return positive, negative
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		return 1 / (1 + math.Exp(-x))
+	}
+	e := math.Exp(x)
+	return e / (1 + e)
+}
+
+func bceLoss(p, y float64) float64 {
+	p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

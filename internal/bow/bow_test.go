@@ -1,0 +1,155 @@
+package bow
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pragformer/internal/tokenize"
+)
+
+func vocabFor(seqs [][]string) *tokenize.Vocab {
+	return tokenize.BuildVocab(seqs, 1)
+}
+
+func TestLearnsKeywordSignal(t *testing.T) {
+	// Positive examples contain "sum", negatives contain "fprintf".
+	var examples []Example
+	for i := 0; i < 40; i++ {
+		examples = append(examples,
+			Example{Tokens: []string{"for", "sum", "+=", "a", "[", "i", "]"}, Label: true},
+			Example{Tokens: []string{"for", "fprintf", "(", "stderr", ")"}, Label: false})
+	}
+	var seqs [][]string
+	for _, ex := range examples {
+		seqs = append(seqs, ex.Tokens)
+	}
+	m := New(vocabFor(seqs))
+	losses := m.Train(examples, TrainConfig{Epochs: 15, LR: 0.1, Seed: 1})
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v", losses)
+	}
+	if !m.PredictLabel([]string{"sum", "+=", "x"}) {
+		t.Error("positive-pattern misclassified")
+	}
+	if m.PredictLabel([]string{"fprintf", "(", "stderr"}) {
+		t.Error("negative-pattern misclassified")
+	}
+}
+
+func TestPredictRange(t *testing.T) {
+	m := New(vocabFor([][]string{{"a", "b"}}))
+	p := m.Predict([]string{"a", "zzz_unseen"})
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		t.Fatalf("p = %g", p)
+	}
+}
+
+func TestOrderInvariance(t *testing.T) {
+	// BoW discards order by construction.
+	m := New(vocabFor([][]string{{"a", "b", "c"}}))
+	m.Weights[m.Vocab.ID("a")] = 0.7
+	m.Weights[m.Vocab.ID("c")] = -0.2
+	p1 := m.Predict([]string{"a", "b", "c"})
+	p2 := m.Predict([]string{"c", "b", "a"})
+	if p1 != p2 {
+		t.Fatalf("order changed prediction: %g vs %g", p1, p2)
+	}
+}
+
+func TestFeaturizeCounts(t *testing.T) {
+	m := New(vocabFor([][]string{{"x", "y"}}))
+	f := m.Featurize([]string{"x", "x", "y", "unk1", "unk2"})
+	if f[m.Vocab.ID("x")] != 2 || f[m.Vocab.ID("y")] != 1 {
+		t.Fatalf("f = %v", f)
+	}
+	if f[tokenize.UNK] != 2 {
+		t.Errorf("unk count = %g", f[tokenize.UNK])
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	mk := func() *Model {
+		examples := []Example{
+			{Tokens: []string{"a", "b"}, Label: true},
+			{Tokens: []string{"c", "d"}, Label: false},
+			{Tokens: []string{"a", "d"}, Label: true},
+		}
+		m := New(vocabFor([][]string{{"a", "b", "c", "d"}}))
+		m.Train(examples, TrainConfig{Epochs: 5, LR: 0.1, Seed: 7})
+		return m
+	}
+	m1, m2 := mk(), mk()
+	for i := range m1.Weights {
+		if m1.Weights[i] != m2.Weights[i] {
+			t.Fatal("training not deterministic")
+		}
+	}
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	examples := []Example{}
+	for i := 0; i < 30; i++ {
+		examples = append(examples,
+			Example{Tokens: []string{"p"}, Label: true},
+			Example{Tokens: []string{"q"}, Label: false})
+	}
+	v := vocabFor([][]string{{"p", "q"}})
+	free := New(v)
+	free.Train(examples, TrainConfig{Epochs: 30, LR: 0.2, Seed: 1})
+	reg := New(v)
+	reg.Train(examples, TrainConfig{Epochs: 30, LR: 0.2, L2: 0.1, Seed: 1})
+	if math.Abs(reg.Weights[v.ID("p")]) >= math.Abs(free.Weights[v.ID("p")]) {
+		t.Errorf("L2 did not shrink weights: %g vs %g",
+			reg.Weights[v.ID("p")], free.Weights[v.ID("p")])
+	}
+}
+
+func TestTopWeights(t *testing.T) {
+	v := vocabFor([][]string{{"good", "bad", "meh"}})
+	m := New(v)
+	m.Weights[v.ID("good")] = 2
+	m.Weights[v.ID("bad")] = -2
+	m.Weights[v.ID("meh")] = 0.1
+	pos, neg := m.TopWeights(2)
+	if len(pos) == 0 || pos[0] != "good" {
+		t.Errorf("pos = %v", pos)
+	}
+	if len(neg) == 0 || neg[0] != "bad" {
+		t.Errorf("neg = %v", neg)
+	}
+}
+
+func TestSigmoidStable(t *testing.T) {
+	for _, x := range []float64{-1000, -10, 0, 10, 1000} {
+		s := sigmoid(x)
+		if s < 0 || s > 1 || math.IsNaN(s) {
+			t.Fatalf("sigmoid(%g) = %g", x, s)
+		}
+	}
+	if sigmoid(0) != 0.5 {
+		t.Error("sigmoid(0) != 0.5")
+	}
+	if s := sigmoid(3) + sigmoid(-3); math.Abs(s-1) > 1e-12 {
+		t.Errorf("sigmoid symmetry violated: %g", s)
+	}
+}
+
+func TestTrainEmptySafe(t *testing.T) {
+	m := New(vocabFor(nil))
+	losses := m.Train(nil, TrainConfig{Epochs: 2})
+	if len(losses) != 2 {
+		t.Fatalf("losses = %v", losses)
+	}
+}
+
+func TestTopWeightsNamesReadable(t *testing.T) {
+	v := vocabFor([][]string{{"fprintf", "sum"}})
+	m := New(v)
+	m.Weights[v.ID("sum")] = 1
+	m.Weights[v.ID("fprintf")] = -1
+	pos, neg := m.TopWeights(1)
+	if strings.Join(pos, "") != "sum" || strings.Join(neg, "") != "fprintf" {
+		t.Errorf("pos=%v neg=%v", pos, neg)
+	}
+}

@@ -1,0 +1,394 @@
+// Package cast defines the abstract syntax tree for the C subset handled by
+// this project, together with a source printer, a pycparser-style DFS
+// serializer (the paper's "AST" code representation, Table 6), and an
+// identifier-canonicalization pass (the paper's "Replaced" representations).
+package cast
+
+// Node is implemented by every AST node.
+type Node interface {
+	isNode()
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	isExpr()
+}
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	isStmt()
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+// File is a translation unit: a sequence of declarations, function
+// definitions, and (for corpus snippets) loose statements.
+type File struct {
+	Items []Node
+}
+
+// FuncDef is a function definition with a body.
+type FuncDef struct {
+	ReturnType *TypeSpec
+	Name       string
+	Params     []*Decl
+	Body       *Block
+}
+
+// ---------------------------------------------------------------------------
+// Declarations and types
+// ---------------------------------------------------------------------------
+
+// TypeSpec is a (possibly qualified) type: specifier words such as
+// "unsigned long", an optional struct/union tag, and a pointer depth.
+type TypeSpec struct {
+	Quals  []string // const, volatile, register, static, extern, restrict, inline
+	Struct string   // non-empty for `struct Tag` / `union Tag`
+	Union  bool
+	Names  []string // e.g. {"unsigned","long"} or {"ssize_t"}
+	Ptr    int      // number of '*'
+}
+
+// Decl declares a single variable, possibly with array dimensions and an
+// initializer. Multi-declarator lines are split into consecutive Decls.
+type Decl struct {
+	Type      *TypeSpec
+	Name      string
+	ArrayDims []Expr // nil entries mean unsized []
+	Init      Expr
+	IsTypedef bool
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Block is a `{ ... }` compound statement.
+type Block struct {
+	Stmts []Stmt
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	X Expr
+}
+
+// DeclStmt wraps declarations appearing in statement position.
+type DeclStmt struct {
+	Decls []*Decl
+}
+
+// For is a C for-loop. Init may be a *DeclStmt or *ExprStmt or nil.
+type For struct {
+	Init Stmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// While is a while-loop.
+type While struct {
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile is a do-while loop.
+type DoWhile struct {
+	Body Stmt
+	Cond Expr
+}
+
+// If is an if/else statement.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// Return is a return statement; X may be nil.
+type Return struct {
+	X Expr
+}
+
+// Break is a break statement.
+type Break struct{}
+
+// Continue is a continue statement.
+type Continue struct{}
+
+// Empty is a lone semicolon.
+type Empty struct{}
+
+// PragmaStmt attaches a raw pragma line (without the '#') to the statement
+// that follows it, mirroring how pycparser associates OpenMP pragmas with
+// their loop in the paper's corpus extraction.
+type PragmaStmt struct {
+	Text string // e.g. "pragma omp parallel for private(j)"
+	Stmt Stmt   // the annotated statement; may be nil at end of block
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// Ident is a variable or function name.
+type Ident struct {
+	Name string
+}
+
+// IntLit is an integer constant (text preserved verbatim).
+type IntLit struct {
+	Text string
+}
+
+// FloatLit is a floating constant.
+type FloatLit struct {
+	Text string
+}
+
+// CharLit is a character constant, quotes included.
+type CharLit struct {
+	Text string
+}
+
+// StrLit is a string constant, quotes included.
+type StrLit struct {
+	Text string
+}
+
+// BinaryOp is a binary operation `L Op R` (non-assignment).
+type BinaryOp struct {
+	Op   string
+	L, R Expr
+}
+
+// Assign is an assignment `L Op R` where Op is one of = += -= *= /= %= etc.
+type Assign struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryOp is a prefix or postfix unary operation. For postfix ++/-- the
+// serializer uses pycparser's "p++"/"p--" spelling.
+type UnaryOp struct {
+	Op      string
+	X       Expr
+	Postfix bool
+}
+
+// ArrayRef is an array subscript `Arr[Index]`.
+type ArrayRef struct {
+	Arr   Expr
+	Index Expr
+}
+
+// FuncCall is a function call.
+type FuncCall struct {
+	Fun  Expr
+	Args []Expr
+}
+
+// Member is a struct member access `X.Field` or `X->Field`.
+type Member struct {
+	X     Expr
+	Field string
+	Arrow bool
+}
+
+// Ternary is the conditional operator `Cond ? Then : Else`.
+type Ternary struct {
+	Cond, Then, Else Expr
+}
+
+// Cast is a C cast `(Type) X`.
+type Cast struct {
+	Type *TypeSpec
+	X    Expr
+}
+
+// Sizeof is `sizeof(Type)` or `sizeof expr`.
+type Sizeof struct {
+	Type *TypeSpec // one of Type/X set
+	X    Expr
+}
+
+// Comma is the comma operator `L, R`.
+type Comma struct {
+	L, R Expr
+}
+
+// InitList is a brace initializer `{a, b, c}`.
+type InitList struct {
+	Elems []Expr
+}
+
+func (*File) isNode()       {}
+func (*FuncDef) isNode()    {}
+func (*TypeSpec) isNode()   {}
+func (*Decl) isNode()       {}
+func (*Block) isNode()      {}
+func (*ExprStmt) isNode()   {}
+func (*DeclStmt) isNode()   {}
+func (*For) isNode()        {}
+func (*While) isNode()      {}
+func (*DoWhile) isNode()    {}
+func (*If) isNode()         {}
+func (*Return) isNode()     {}
+func (*Break) isNode()      {}
+func (*Continue) isNode()   {}
+func (*Empty) isNode()      {}
+func (*PragmaStmt) isNode() {}
+func (*Ident) isNode()      {}
+func (*IntLit) isNode()     {}
+func (*FloatLit) isNode()   {}
+func (*CharLit) isNode()    {}
+func (*StrLit) isNode()     {}
+func (*BinaryOp) isNode()   {}
+func (*Assign) isNode()     {}
+func (*UnaryOp) isNode()    {}
+func (*ArrayRef) isNode()   {}
+func (*FuncCall) isNode()   {}
+func (*Member) isNode()     {}
+func (*Ternary) isNode()    {}
+func (*Cast) isNode()       {}
+func (*Sizeof) isNode()     {}
+func (*Comma) isNode()      {}
+func (*InitList) isNode()   {}
+
+func (*Block) isStmt()      {}
+func (*ExprStmt) isStmt()   {}
+func (*DeclStmt) isStmt()   {}
+func (*For) isStmt()        {}
+func (*While) isStmt()      {}
+func (*DoWhile) isStmt()    {}
+func (*If) isStmt()         {}
+func (*Return) isStmt()     {}
+func (*Break) isStmt()      {}
+func (*Continue) isStmt()   {}
+func (*Empty) isStmt()      {}
+func (*PragmaStmt) isStmt() {}
+
+func (*Ident) isExpr()    {}
+func (*IntLit) isExpr()   {}
+func (*FloatLit) isExpr() {}
+func (*CharLit) isExpr()  {}
+func (*StrLit) isExpr()   {}
+func (*BinaryOp) isExpr() {}
+func (*Assign) isExpr()   {}
+func (*UnaryOp) isExpr()  {}
+func (*ArrayRef) isExpr() {}
+func (*FuncCall) isExpr() {}
+func (*Member) isExpr()   {}
+func (*Ternary) isExpr()  {}
+func (*Cast) isExpr()     {}
+func (*Sizeof) isExpr()   {}
+func (*Comma) isExpr()    {}
+func (*InitList) isExpr() {}
+
+// Walk calls fn for node and every descendant in depth-first pre-order.
+// If fn returns false the children of the current node are skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch v := n.(type) {
+	case *File:
+		for _, it := range v.Items {
+			Walk(it, fn)
+		}
+	case *FuncDef:
+		for _, p := range v.Params {
+			Walk(p, fn)
+		}
+		Walk(v.Body, fn)
+	case *Decl:
+		for _, d := range v.ArrayDims {
+			if d != nil {
+				Walk(d, fn)
+			}
+		}
+		if v.Init != nil {
+			Walk(v.Init, fn)
+		}
+	case *Block:
+		for _, s := range v.Stmts {
+			Walk(s, fn)
+		}
+	case *ExprStmt:
+		Walk(v.X, fn)
+	case *DeclStmt:
+		for _, d := range v.Decls {
+			Walk(d, fn)
+		}
+	case *For:
+		if v.Init != nil {
+			Walk(v.Init, fn)
+		}
+		if v.Cond != nil {
+			Walk(v.Cond, fn)
+		}
+		if v.Post != nil {
+			Walk(v.Post, fn)
+		}
+		Walk(v.Body, fn)
+	case *While:
+		Walk(v.Cond, fn)
+		Walk(v.Body, fn)
+	case *DoWhile:
+		Walk(v.Body, fn)
+		Walk(v.Cond, fn)
+	case *If:
+		Walk(v.Cond, fn)
+		Walk(v.Then, fn)
+		if v.Else != nil {
+			Walk(v.Else, fn)
+		}
+	case *Return:
+		if v.X != nil {
+			Walk(v.X, fn)
+		}
+	case *PragmaStmt:
+		if v.Stmt != nil {
+			Walk(v.Stmt, fn)
+		}
+	case *BinaryOp:
+		Walk(v.L, fn)
+		Walk(v.R, fn)
+	case *Assign:
+		Walk(v.L, fn)
+		Walk(v.R, fn)
+	case *UnaryOp:
+		Walk(v.X, fn)
+	case *ArrayRef:
+		Walk(v.Arr, fn)
+		Walk(v.Index, fn)
+	case *FuncCall:
+		Walk(v.Fun, fn)
+		for _, a := range v.Args {
+			Walk(a, fn)
+		}
+	case *Member:
+		Walk(v.X, fn)
+	case *Ternary:
+		Walk(v.Cond, fn)
+		Walk(v.Then, fn)
+		Walk(v.Else, fn)
+	case *Cast:
+		Walk(v.X, fn)
+	case *Sizeof:
+		if v.X != nil {
+			Walk(v.X, fn)
+		}
+	case *Comma:
+		Walk(v.L, fn)
+		Walk(v.R, fn)
+	case *InitList:
+		for _, e := range v.Elems {
+			Walk(e, fn)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders the AST back to C source text. The output is parseable by
+// internal/cparse, which the corpus generator relies on: snippets are built
+// as ASTs and emitted through this printer, guaranteeing well-formed records.
+func Print(n Node) string {
+	var p printer
+	p.node(n)
+	return strings.TrimRight(p.b.String(), "\n") + "\n"
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var p printer
+	p.expr(e, precLowest)
+	return p.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(s string) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	p.b.WriteString(s)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) node(n Node) {
+	switch v := n.(type) {
+	case *File:
+		for _, it := range v.Items {
+			p.node(it)
+		}
+	case *FuncDef:
+		params := make([]string, len(v.Params))
+		for i, d := range v.Params {
+			params[i] = declString(d)
+		}
+		if len(params) == 0 {
+			params = []string{"void"}
+		}
+		p.line(fmt.Sprintf("%s %s(%s) {", typeString(v.ReturnType), v.Name, strings.Join(params, ", ")))
+		p.indent++
+		for _, s := range v.Body.Stmts {
+			p.stmt(s)
+		}
+		p.indent--
+		p.line("}")
+	case *Decl:
+		p.line(declString(v) + ";")
+	case Stmt:
+		p.stmt(v)
+	case Expr:
+		p.line(PrintExpr(v) + ";")
+	default:
+		p.line(fmt.Sprintf("/* unknown node %T */", n))
+	}
+}
+
+func typeString(t *TypeSpec) string {
+	if t == nil {
+		return "int"
+	}
+	var parts []string
+	parts = append(parts, t.Quals...)
+	if t.Struct != "" {
+		if t.Union {
+			parts = append(parts, "union "+t.Struct)
+		} else {
+			parts = append(parts, "struct "+t.Struct)
+		}
+	}
+	parts = append(parts, t.Names...)
+	s := strings.Join(parts, " ")
+	if t.Ptr > 0 {
+		s += " " + strings.Repeat("*", t.Ptr)
+	}
+	return s
+}
+
+func declString(d *Decl) string {
+	s := typeString(d.Type)
+	if d.IsTypedef {
+		s = "typedef " + s
+	}
+	if d.Name != "" {
+		if strings.HasSuffix(s, "*") {
+			s += d.Name
+		} else {
+			s += " " + d.Name
+		}
+	}
+	for _, dim := range d.ArrayDims {
+		if dim == nil {
+			s += "[]"
+		} else {
+			s += "[" + PrintExpr(dim) + "]"
+		}
+	}
+	if d.Init != nil {
+		s += " = " + PrintExpr(d.Init)
+	}
+	return s
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch v := s.(type) {
+	case *Block:
+		p.line("{")
+		p.indent++
+		for _, st := range v.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *ExprStmt:
+		p.line(PrintExpr(v.X) + ";")
+	case *DeclStmt:
+		for _, d := range v.Decls {
+			p.line(declString(d) + ";")
+		}
+	case *For:
+		init := ""
+		switch iv := v.Init.(type) {
+		case *ExprStmt:
+			init = PrintExpr(iv.X)
+		case *DeclStmt:
+			var ds []string
+			for _, d := range iv.Decls {
+				ds = append(ds, declString(d))
+			}
+			init = strings.Join(ds, ", ")
+		}
+		cond := ""
+		if v.Cond != nil {
+			cond = PrintExpr(v.Cond)
+		}
+		post := ""
+		if v.Post != nil {
+			post = PrintExpr(v.Post)
+		}
+		p.line(fmt.Sprintf("for (%s; %s; %s)", init, cond, post))
+		p.body(v.Body)
+	case *While:
+		p.line(fmt.Sprintf("while (%s)", PrintExpr(v.Cond)))
+		p.body(v.Body)
+	case *DoWhile:
+		p.line("do")
+		p.body(v.Body)
+		p.line(fmt.Sprintf("while (%s);", PrintExpr(v.Cond)))
+	case *If:
+		p.line(fmt.Sprintf("if (%s)", PrintExpr(v.Cond)))
+		p.body(v.Then)
+		if v.Else != nil {
+			p.line("else")
+			p.body(v.Else)
+		}
+	case *Return:
+		if v.X != nil {
+			p.line("return " + PrintExpr(v.X) + ";")
+		} else {
+			p.line("return;")
+		}
+	case *Break:
+		p.line("break;")
+	case *Continue:
+		p.line("continue;")
+	case *Empty:
+		p.line(";")
+	case *PragmaStmt:
+		p.line("#" + v.Text)
+		if v.Stmt != nil {
+			p.stmt(v.Stmt)
+		}
+	default:
+		p.line(fmt.Sprintf("/* unknown stmt %T */", s))
+	}
+}
+
+// body prints a statement as a loop/if body, indenting non-block statements.
+func (p *printer) body(s Stmt) {
+	if _, ok := s.(*Block); ok {
+		p.stmt(s)
+		return
+	}
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+// Operator precedence levels for minimal parenthesization.
+const (
+	precLowest = iota
+	precComma
+	precAssign
+	precTernary
+	precLogOr
+	precLogAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+)
+
+func binPrec(op string) int {
+	switch op {
+	case "||":
+		return precLogOr
+	case "&&":
+		return precLogAnd
+	case "|":
+		return precBitOr
+	case "^":
+		return precBitXor
+	case "&":
+		return precBitAnd
+	case "==", "!=":
+		return precEq
+	case "<", ">", "<=", ">=":
+		return precRel
+	case "<<", ">>":
+		return precShift
+	case "+", "-":
+		return precAdd
+	case "*", "/", "%":
+		return precMul
+	}
+	return precLowest
+}
+
+func (p *printer) expr(e Expr, parent int) {
+	switch v := e.(type) {
+	case *Ident:
+		p.b.WriteString(v.Name)
+	case *IntLit:
+		p.b.WriteString(v.Text)
+	case *FloatLit:
+		p.b.WriteString(v.Text)
+	case *CharLit:
+		p.b.WriteString(v.Text)
+	case *StrLit:
+		p.b.WriteString(v.Text)
+	case *BinaryOp:
+		prec := binPrec(v.Op)
+		open := prec < parent
+		if open {
+			p.b.WriteByte('(')
+		}
+		p.expr(v.L, prec)
+		p.b.WriteString(" " + v.Op + " ")
+		p.expr(v.R, prec+1)
+		if open {
+			p.b.WriteByte(')')
+		}
+	case *Assign:
+		open := precAssign < parent
+		if open {
+			p.b.WriteByte('(')
+		}
+		p.expr(v.L, precUnary)
+		p.b.WriteString(" " + v.Op + " ")
+		p.expr(v.R, precAssign)
+		if open {
+			p.b.WriteByte(')')
+		}
+	case *UnaryOp:
+		open := precUnary < parent
+		if open {
+			p.b.WriteByte('(')
+		}
+		if v.Postfix {
+			p.expr(v.X, precPostfix)
+			p.b.WriteString(v.Op)
+		} else {
+			p.b.WriteString(v.Op)
+			p.expr(v.X, precUnary)
+		}
+		if open {
+			p.b.WriteByte(')')
+		}
+	case *ArrayRef:
+		p.expr(v.Arr, precPostfix)
+		p.b.WriteByte('[')
+		p.expr(v.Index, precLowest)
+		p.b.WriteByte(']')
+	case *FuncCall:
+		p.expr(v.Fun, precPostfix)
+		p.b.WriteByte('(')
+		for i, a := range v.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.b.WriteByte(')')
+	case *Member:
+		p.expr(v.X, precPostfix)
+		if v.Arrow {
+			p.b.WriteString("->")
+		} else {
+			p.b.WriteString(".")
+		}
+		p.b.WriteString(v.Field)
+	case *Ternary:
+		open := precTernary < parent
+		if open {
+			p.b.WriteByte('(')
+		}
+		p.expr(v.Cond, precLogOr)
+		p.b.WriteString(" ? ")
+		p.expr(v.Then, precAssign)
+		p.b.WriteString(" : ")
+		p.expr(v.Else, precTernary)
+		if open {
+			p.b.WriteByte(')')
+		}
+	case *Cast:
+		open := precUnary < parent
+		if open {
+			p.b.WriteByte('(')
+		}
+		p.b.WriteString("(" + typeString(v.Type) + ") ")
+		p.expr(v.X, precUnary)
+		if open {
+			p.b.WriteByte(')')
+		}
+	case *Sizeof:
+		if v.Type != nil {
+			p.b.WriteString("sizeof(" + typeString(v.Type) + ")")
+		} else {
+			p.b.WriteString("sizeof(")
+			p.expr(v.X, precLowest)
+			p.b.WriteByte(')')
+		}
+	case *Comma:
+		open := precComma < parent
+		if open {
+			p.b.WriteByte('(')
+		}
+		p.expr(v.L, precComma)
+		p.b.WriteString(", ")
+		p.expr(v.R, precAssign)
+		if open {
+			p.b.WriteByte(')')
+		}
+	case *InitList:
+		p.b.WriteByte('{')
+		for i, el := range v.Elems {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(el, precAssign)
+		}
+		p.b.WriteByte('}')
+	default:
+		fmt.Fprintf(&p.b, "/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,292 @@
+package cast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RenameResult maps original identifiers to their canonical replacements.
+type RenameResult struct {
+	Mapping map[string]string
+}
+
+// knownLibraryFuncs are never renamed: their identity carries semantics the
+// classifier should see (the paper's LIME analysis shows fprintf/stderr
+// driving "no pragma" predictions).
+var knownLibraryFuncs = map[string]bool{
+	"printf": true, "fprintf": true, "scanf": true, "fscanf": true,
+	"sprintf": true, "snprintf": true, "puts": true, "putchar": true,
+	"getchar": true, "fgets": true, "fputs": true, "fopen": true,
+	"fclose": true, "fread": true, "fwrite": true, "fflush": true,
+	"malloc": true, "calloc": true, "realloc": true, "free": true,
+	"memcpy": true, "memset": true, "memmove": true, "strcpy": true,
+	"strncpy": true, "strcat": true, "strcmp": true, "strlen": true,
+	"rand": true, "srand": true, "exit": true, "abort": true,
+	"sqrt": true, "sqrtf": true, "fabs": true, "fabsf": true, "abs": true,
+	"sin": true, "cos": true, "tan": true, "exp": true, "log": true,
+	"pow": true, "floor": true, "ceil": true, "fmax": true, "fmin": true,
+	"stderr": true, "stdout": true, "stdin": true, "NULL": true,
+}
+
+// IsLibraryName reports whether name is a C standard-library identifier
+// exempt from canonicalization.
+func IsLibraryName(name string) bool { return knownLibraryFuncs[name] }
+
+// Rename rewrites all user identifiers in n (in place) to canonical indexed
+// names — scalar variables become var0, var1, ...; identifiers used as array
+// bases become arr0, arr1, ...; called functions become func0, func1, ...;
+// struct fields become fld0, ... — producing the paper's "Replaced"
+// representations (R-Text and R-AST, §4.2). Standard library names are kept.
+// The classification pass runs first over the whole tree so a name's role is
+// consistent everywhere it appears; numbering follows first appearance.
+func Rename(n Node) RenameResult {
+	arrays := map[string]bool{}
+	funcs := map[string]bool{}
+	fields := map[string]bool{}
+
+	Walk(n, func(nd Node) bool {
+		switch v := nd.(type) {
+		case *ArrayRef:
+			if base := rootIdent(v.Arr); base != "" {
+				arrays[base] = true
+			}
+		case *FuncCall:
+			if id, ok := v.Fun.(*Ident); ok {
+				funcs[id.Name] = true
+			}
+		case *FuncDef:
+			funcs[v.Name] = true
+		case *Member:
+			fields[v.Field] = true
+		case *Decl:
+			if len(v.ArrayDims) > 0 || (v.Type != nil && v.Type.Ptr > 0) {
+				arrays[v.Name] = true
+			}
+		}
+		return true
+	})
+
+	mapping := map[string]string{}
+	var counts [4]int // var, arr, func, fld
+	assign := func(name string, class int) string {
+		if knownLibraryFuncs[name] {
+			return name
+		}
+		if r, ok := mapping[name]; ok {
+			return r
+		}
+		prefixes := [...]string{"var", "arr", "func", "fld"}
+		r := fmt.Sprintf("%s%d", prefixes[class], counts[class])
+		counts[class]++
+		mapping[name] = r
+		return r
+	}
+	classOf := func(name string) int {
+		switch {
+		case funcs[name]:
+			return 2
+		case arrays[name]:
+			return 1
+		default:
+			return 0
+		}
+	}
+
+	Walk(n, func(nd Node) bool {
+		switch v := nd.(type) {
+		case *Ident:
+			v.Name = assign(v.Name, classOf(v.Name))
+		case *Decl:
+			if v.Name != "" {
+				v.Name = assign(v.Name, classOf(v.Name))
+			}
+		case *FuncDef:
+			v.Name = assign(v.Name, 2)
+		case *Member:
+			if !fields[v.Field] { // defensive; fields map covers all
+				fields[v.Field] = true
+			}
+			v.Field = assign(v.Field, 3)
+		}
+		return true
+	})
+
+	return RenameResult{Mapping: mapping}
+}
+
+// rootIdent returns the base identifier of a possibly nested postfix
+// expression (a[i][j] -> a, s->p[i] -> s), or "" when there is none.
+func rootIdent(e Expr) string {
+	for {
+		switch v := e.(type) {
+		case *Ident:
+			return v.Name
+		case *ArrayRef:
+			e = v.Arr
+		case *Member:
+			e = v.X
+		case *UnaryOp:
+			e = v.X
+		case *Cast:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// RootIdent is the exported form of rootIdent for use by the dependence
+// analyzer and the S2S compilers.
+func RootIdent(e Expr) string { return rootIdent(e) }
+
+// Clone returns a deep copy of the AST rooted at n. Rename mutates in
+// place, so callers that need both original and replaced representations
+// clone first.
+func Clone(n Node) Node {
+	switch v := n.(type) {
+	case nil:
+		return nil
+	case *File:
+		c := &File{}
+		for _, it := range v.Items {
+			c.Items = append(c.Items, Clone(it))
+		}
+		return c
+	case *FuncDef:
+		c := &FuncDef{ReturnType: cloneType(v.ReturnType), Name: v.Name}
+		for _, p := range v.Params {
+			c.Params = append(c.Params, Clone(p).(*Decl))
+		}
+		c.Body = Clone(v.Body).(*Block)
+		return c
+	case *Decl:
+		c := &Decl{Type: cloneType(v.Type), Name: v.Name, IsTypedef: v.IsTypedef}
+		for _, d := range v.ArrayDims {
+			c.ArrayDims = append(c.ArrayDims, cloneExpr(d))
+		}
+		c.Init = cloneExpr(v.Init)
+		return c
+	case *Block:
+		c := &Block{}
+		for _, s := range v.Stmts {
+			c.Stmts = append(c.Stmts, Clone(s).(Stmt))
+		}
+		return c
+	case *ExprStmt:
+		return &ExprStmt{X: cloneExpr(v.X)}
+	case *DeclStmt:
+		c := &DeclStmt{}
+		for _, d := range v.Decls {
+			c.Decls = append(c.Decls, Clone(d).(*Decl))
+		}
+		return c
+	case *For:
+		c := &For{Cond: cloneExpr(v.Cond), Post: cloneExpr(v.Post)}
+		if v.Init != nil {
+			c.Init = Clone(v.Init).(Stmt)
+		}
+		if v.Body != nil {
+			c.Body = Clone(v.Body).(Stmt)
+		}
+		return c
+	case *While:
+		return &While{Cond: cloneExpr(v.Cond), Body: Clone(v.Body).(Stmt)}
+	case *DoWhile:
+		return &DoWhile{Body: Clone(v.Body).(Stmt), Cond: cloneExpr(v.Cond)}
+	case *If:
+		c := &If{Cond: cloneExpr(v.Cond), Then: Clone(v.Then).(Stmt)}
+		if v.Else != nil {
+			c.Else = Clone(v.Else).(Stmt)
+		}
+		return c
+	case *Return:
+		return &Return{X: cloneExpr(v.X)}
+	case *Break:
+		return &Break{}
+	case *Continue:
+		return &Continue{}
+	case *Empty:
+		return &Empty{}
+	case *PragmaStmt:
+		c := &PragmaStmt{Text: v.Text}
+		if v.Stmt != nil {
+			c.Stmt = Clone(v.Stmt).(Stmt)
+		}
+		return c
+	case *Ident:
+		return &Ident{Name: v.Name}
+	case *IntLit:
+		return &IntLit{Text: v.Text}
+	case *FloatLit:
+		return &FloatLit{Text: v.Text}
+	case *CharLit:
+		return &CharLit{Text: v.Text}
+	case *StrLit:
+		return &StrLit{Text: v.Text}
+	case *BinaryOp:
+		return &BinaryOp{Op: v.Op, L: cloneExpr(v.L), R: cloneExpr(v.R)}
+	case *Assign:
+		return &Assign{Op: v.Op, L: cloneExpr(v.L), R: cloneExpr(v.R)}
+	case *UnaryOp:
+		return &UnaryOp{Op: v.Op, X: cloneExpr(v.X), Postfix: v.Postfix}
+	case *ArrayRef:
+		return &ArrayRef{Arr: cloneExpr(v.Arr), Index: cloneExpr(v.Index)}
+	case *FuncCall:
+		c := &FuncCall{Fun: cloneExpr(v.Fun)}
+		for _, a := range v.Args {
+			c.Args = append(c.Args, cloneExpr(a))
+		}
+		return c
+	case *Member:
+		return &Member{X: cloneExpr(v.X), Field: v.Field, Arrow: v.Arrow}
+	case *Ternary:
+		return &Ternary{Cond: cloneExpr(v.Cond), Then: cloneExpr(v.Then), Else: cloneExpr(v.Else)}
+	case *Cast:
+		return &Cast{Type: cloneType(v.Type), X: cloneExpr(v.X)}
+	case *Sizeof:
+		return &Sizeof{Type: cloneType(v.Type), X: cloneExpr(v.X)}
+	case *Comma:
+		return &Comma{L: cloneExpr(v.L), R: cloneExpr(v.R)}
+	case *InitList:
+		c := &InitList{}
+		for _, e := range v.Elems {
+			c.Elems = append(c.Elems, cloneExpr(e))
+		}
+		return c
+	}
+	return nil
+}
+
+func cloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return Clone(e).(Expr)
+}
+
+func cloneType(t *TypeSpec) *TypeSpec {
+	if t == nil {
+		return nil
+	}
+	c := &TypeSpec{Struct: t.Struct, Union: t.Union, Ptr: t.Ptr}
+	c.Quals = append(c.Quals, t.Quals...)
+	c.Names = append(c.Names, t.Names...)
+	return c
+}
+
+// CollectIdents returns the sorted set of identifier names appearing in n.
+func CollectIdents(n Node) []string {
+	set := map[string]bool{}
+	Walk(n, func(nd Node) bool {
+		if id, ok := nd.(*Ident); ok {
+			set[id.Name] = true
+		}
+		return true
+	})
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,176 @@
+package cast
+
+import (
+	"strings"
+)
+
+// Serialize renders the AST in the paper's pycparser-inspired DFS order
+// (Table 6): each node contributes a label token such as "For:",
+// "Assignment: =", "ID: i", or "Constant: int, 0", and children follow in
+// depth-first order. The result is the "AST" code representation fed to the
+// model tokenizer.
+func Serialize(n Node) string {
+	var s serializer
+	s.node(n)
+	return strings.Join(s.out, " ")
+}
+
+// SerializeTokens returns the DFS serialization as a token slice, splitting
+// composite labels the way the model tokenizer would.
+func SerializeTokens(n Node) []string {
+	return strings.Fields(Serialize(n))
+}
+
+type serializer struct {
+	out []string
+}
+
+func (s *serializer) emit(parts ...string) {
+	s.out = append(s.out, parts...)
+}
+
+func (s *serializer) node(n Node) {
+	switch v := n.(type) {
+	case *File:
+		for _, it := range v.Items {
+			s.node(it)
+		}
+	case *FuncDef:
+		s.emit("FuncDef:", "Decl:", v.Name)
+		for _, p := range v.Params {
+			s.node(p)
+		}
+		s.node(v.Body)
+	case *Decl:
+		s.emit("Decl:", v.Name, "TypeDecl:", strings.Join(append(append([]string{}, v.Type.Quals...), v.Type.Names...), " "))
+		for _, d := range v.ArrayDims {
+			s.emit("ArrayDecl:")
+			if d != nil {
+				s.node(d)
+			}
+		}
+		if v.Init != nil {
+			s.node(v.Init)
+		}
+	case *Block:
+		s.emit("Compound:")
+		for _, st := range v.Stmts {
+			s.node(st)
+		}
+	case *ExprStmt:
+		s.node(v.X)
+	case *DeclStmt:
+		for _, d := range v.Decls {
+			s.node(d)
+		}
+	case *For:
+		s.emit("For:")
+		if v.Init != nil {
+			s.node(v.Init)
+		}
+		if v.Cond != nil {
+			s.node(v.Cond)
+		}
+		if v.Post != nil {
+			s.node(v.Post)
+		}
+		s.node(v.Body)
+	case *While:
+		s.emit("While:")
+		s.node(v.Cond)
+		s.node(v.Body)
+	case *DoWhile:
+		s.emit("DoWhile:")
+		s.node(v.Body)
+		s.node(v.Cond)
+	case *If:
+		s.emit("If:")
+		s.node(v.Cond)
+		s.node(v.Then)
+		if v.Else != nil {
+			s.node(v.Else)
+		}
+	case *Return:
+		s.emit("Return:")
+		if v.X != nil {
+			s.node(v.X)
+		}
+	case *Break:
+		s.emit("Break:")
+	case *Continue:
+		s.emit("Continue:")
+	case *Empty:
+		s.emit("EmptyStatement:")
+	case *PragmaStmt:
+		s.emit("Pragma:", v.Text)
+		if v.Stmt != nil {
+			s.node(v.Stmt)
+		}
+	case *Ident:
+		s.emit("ID:", v.Name)
+	case *IntLit:
+		s.emit("Constant:", "int,", v.Text)
+	case *FloatLit:
+		s.emit("Constant:", "float,", v.Text)
+	case *CharLit:
+		s.emit("Constant:", "char,", v.Text)
+	case *StrLit:
+		s.emit("Constant:", "string,", v.Text)
+	case *BinaryOp:
+		s.emit("BinaryOp:", v.Op)
+		s.node(v.L)
+		s.node(v.R)
+	case *Assign:
+		s.emit("Assignment:", v.Op)
+		s.node(v.L)
+		s.node(v.R)
+	case *UnaryOp:
+		op := v.Op
+		if v.Postfix {
+			op = "p" + op
+		}
+		s.emit("UnaryOp:", op)
+		s.node(v.X)
+	case *ArrayRef:
+		s.emit("ArrayRef:")
+		s.node(v.Arr)
+		s.node(v.Index)
+	case *FuncCall:
+		s.emit("FuncCall:")
+		s.node(v.Fun)
+		s.emit("ExprList:")
+		for _, a := range v.Args {
+			s.node(a)
+		}
+	case *Member:
+		op := "."
+		if v.Arrow {
+			op = "->"
+		}
+		s.emit("StructRef:", op)
+		s.node(v.X)
+		s.emit("ID:", v.Field)
+	case *Ternary:
+		s.emit("TernaryOp:")
+		s.node(v.Cond)
+		s.node(v.Then)
+		s.node(v.Else)
+	case *Cast:
+		s.emit("Cast:", strings.Join(v.Type.Names, " "))
+		s.node(v.X)
+	case *Sizeof:
+		s.emit("UnaryOp:", "sizeof")
+		if v.X != nil {
+			s.node(v.X)
+		}
+	case *Comma:
+		s.emit("ExprList:")
+		s.node(v.L)
+		s.node(v.R)
+	case *InitList:
+		s.emit("InitList:")
+		for _, e := range v.Elems {
+			s.node(e)
+		}
+	}
+}

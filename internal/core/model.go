@@ -1,0 +1,368 @@
+// Package core implements PragFormer, the paper's primary contribution: a
+// transformer encoder over tokenized code snippets with a two-layer fully-
+// connected classification head (§4.1), trained with binary cross-entropy.
+// It also provides the masked-language-model pretraining head that stands in
+// for the DeepSCC/RoBERTa initialization (transfer learning at CPU scale),
+// and gob-based model persistence.
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+
+	"pragformer/internal/nn"
+	"pragformer/internal/tensor"
+	"pragformer/internal/tokenize"
+)
+
+// Config describes a PragFormer architecture.
+type Config struct {
+	Vocab    int     // vocabulary size (from tokenize.Vocab)
+	MaxLen   int     // maximum input positions; the paper uses 110
+	D        int     // model dimension
+	Heads    int     // attention heads
+	Layers   int     // encoder blocks
+	FFHidden int     // FFN hidden dimension
+	FCHidden int     // classification head hidden dimension
+	Dropout  float64 // dropout rate in residuals and the head
+}
+
+// Validate fills defaults and checks consistency.
+func (c *Config) Validate() error {
+	if c.MaxLen == 0 {
+		c.MaxLen = 110
+	}
+	if c.FFHidden == 0 {
+		c.FFHidden = 2 * c.D
+	}
+	if c.FCHidden == 0 {
+		c.FCHidden = c.D
+	}
+	if c.Vocab < tokenize.NumSpecials {
+		return fmt.Errorf("core: vocab %d too small", c.Vocab)
+	}
+	if c.D <= 0 || c.Heads <= 0 || c.Layers <= 0 {
+		return fmt.Errorf("core: invalid dims %+v", c)
+	}
+	if c.D%c.Heads != 0 {
+		return fmt.Errorf("core: D %d not divisible by heads %d", c.D, c.Heads)
+	}
+	return nil
+}
+
+// PragFormer is the encoder + classification head.
+type PragFormer struct {
+	Cfg     Config
+	Emb     *nn.Embedding
+	Blocks  []*nn.EncoderBlock
+	FinalLN *nn.LayerNorm
+	FC1     *nn.Linear
+	FC2     *nn.Linear
+	MLMHead *nn.Linear // vocab projection for pretraining
+
+	rng *rand.Rand // dropout randomness (training only)
+}
+
+// New builds a PragFormer with seeded initialization.
+func New(cfg Config, seed int64) (*PragFormer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := &PragFormer{
+		Cfg:     cfg,
+		Emb:     nn.NewEmbedding(cfg.Vocab, cfg.MaxLen, cfg.D, rng),
+		FinalLN: nn.NewLayerNorm("final_ln", cfg.D),
+		FC1:     nn.NewLinear("fc1", cfg.D, cfg.FCHidden, rng),
+		FC2:     nn.NewLinear("fc2", cfg.FCHidden, 2, rng),
+		MLMHead: nn.NewLinear("mlm", cfg.D, cfg.Vocab, rng),
+		rng:     rand.New(rand.NewSource(seed + 1)),
+	}
+	for l := 0; l < cfg.Layers; l++ {
+		m.Blocks = append(m.Blocks, nn.NewEncoderBlock(
+			fmt.Sprintf("block%d", l), cfg.D, cfg.Heads, cfg.FFHidden, cfg.Dropout, rng))
+	}
+	return m, nil
+}
+
+// Params returns the classifier parameters (excludes the MLM head).
+func (m *PragFormer) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.Emb.Params()...)
+	for _, b := range m.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, m.FinalLN.Params()...)
+	ps = append(ps, m.FC1.Params()...)
+	ps = append(ps, m.FC2.Params()...)
+	return ps
+}
+
+// EncoderParams returns only the encoder parameters (shared between the
+// MLM pretraining phase and fine-tuning — the transfer-learning surface).
+func (m *PragFormer) EncoderParams() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.Emb.Params()...)
+	for _, b := range m.Blocks {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, m.FinalLN.Params()...)
+	return ps
+}
+
+// MLMParams returns encoder parameters plus the MLM head.
+func (m *PragFormer) MLMParams() []*nn.Param {
+	return append(m.EncoderParams(), m.MLMHead.Params()...)
+}
+
+// encCache stores every sub-cache of one encoder pass.
+type encCache struct {
+	ids    []int
+	blocks []*nn.BlockCache
+	lnc    *nn.LayerNormCache
+	hidden *tensor.Matrix // post-final-LN activations (T×D)
+}
+
+// encode runs the encoder over ids.
+func (m *PragFormer) encode(ids []int, train bool) *encCache {
+	if len(ids) > m.Cfg.MaxLen {
+		ids = ids[:m.Cfg.MaxLen]
+	}
+	c := &encCache{ids: ids}
+	x := m.Emb.Forward(ids)
+	for _, b := range m.Blocks {
+		var bc *nn.BlockCache
+		x, bc = b.Forward(x, train, m.rng)
+		c.blocks = append(c.blocks, bc)
+	}
+	c.hidden, c.lnc = m.FinalLN.Forward(x)
+	return c
+}
+
+// encodeBackward propagates dHidden through the encoder.
+func (m *PragFormer) encodeBackward(c *encCache, dHidden *tensor.Matrix) {
+	dx := m.FinalLN.Backward(c.lnc, dHidden)
+	for l := len(m.Blocks) - 1; l >= 0; l-- {
+		dx = m.Blocks[l].Backward(c.blocks[l], dx)
+	}
+	m.Emb.Backward(c.ids, dx)
+}
+
+// clsCache extends encCache with head activations.
+type clsCache struct {
+	enc  *encCache
+	c1   *nn.LinearCache
+	cr   *nn.ReLUCache
+	cd   *nn.DropoutCache
+	c2   *nn.LinearCache
+	prob [2]float64
+}
+
+// forwardCls runs encoder + head, returning class probabilities.
+func (m *PragFormer) forwardCls(ids []int, train bool) *clsCache {
+	c := &clsCache{enc: m.encode(ids, train)}
+	cls := tensor.FromSlice(1, m.Cfg.D, c.enc.hidden.Row(0)) // [CLS] pooling
+	h, c1 := m.FC1.Forward(cls)
+	c.c1 = c1
+	a, cr := nn.ReLU(h)
+	c.cr = cr
+	a, c.cd = nn.Dropout(a, m.Cfg.Dropout, train, m.rng)
+	logits, c2 := m.FC2.Forward(a)
+	c.c2 = c2
+	p := tensor.SoftmaxVec(logits.Row(0))
+	c.prob[0], c.prob[1] = p[0], p[1]
+	return c
+}
+
+// Predict returns the probability that the snippet is a positive example
+// (needs a directive / clause). Inputs are tokenize.Vocab-encoded ids.
+func (m *PragFormer) Predict(ids []int) float64 {
+	return m.forwardCls(ids, false).prob[1]
+}
+
+// PredictLabel applies the paper's 0.5 threshold.
+func (m *PragFormer) PredictLabel(ids []int) bool { return m.Predict(ids) > 0.5 }
+
+// LossAndBackward computes the binary cross-entropy loss (Eq. 1) for one
+// example and accumulates gradients for all classifier parameters.
+func (m *PragFormer) LossAndBackward(ids []int, label bool) float64 {
+	c := m.forwardCls(ids, true)
+	y := 0
+	if label {
+		y = 1
+	}
+	loss := -math.Log(math.Max(c.prob[y], 1e-12))
+
+	// Softmax+CE gradient: dlogits = p - onehot(y).
+	dLogits := tensor.New(1, 2)
+	dLogits.Set(0, 0, c.prob[0])
+	dLogits.Set(0, 1, c.prob[1])
+	dLogits.Data[y] -= 1
+
+	da := m.FC2.Backward(c.c2, dLogits)
+	da = nn.DropoutBackward(c.cd, da)
+	dh := nn.ReLUBackward(c.cr, da)
+	dCls := m.FC1.Backward(c.c1, dh)
+
+	dHidden := tensor.New(len(c.enc.ids), m.Cfg.D)
+	copy(dHidden.Row(0), dCls.Row(0))
+	m.encodeBackward(c.enc, dHidden)
+	return loss
+}
+
+// Loss computes the BCE loss without touching gradients (validation).
+func (m *PragFormer) Loss(ids []int, label bool) float64 {
+	c := m.forwardCls(ids, false)
+	y := 0
+	if label {
+		y = 1
+	}
+	return -math.Log(math.Max(c.prob[y], 1e-12))
+}
+
+// ---------------------------------------------------------------------------
+// Masked language model pretraining (the DeepSCC stand-in)
+// ---------------------------------------------------------------------------
+
+// MLMLossAndBackward applies the BERT-style masking recipe (15% of
+// positions: 80% [MASK], 10% random, 10% kept) and accumulates encoder and
+// MLM-head gradients. Returns the mean masked-token cross-entropy and the
+// number of masked positions.
+func (m *PragFormer) MLMLossAndBackward(ids []int, rng *rand.Rand) (float64, int) {
+	if len(ids) > m.Cfg.MaxLen {
+		ids = ids[:m.Cfg.MaxLen]
+	}
+	masked := make([]int, len(ids))
+	copy(masked, ids)
+	var targets []int               // positions
+	for t := 1; t < len(ids); t++ { // never mask [CLS]
+		if rng.Float64() >= 0.15 {
+			continue
+		}
+		targets = append(targets, t)
+		switch r := rng.Float64(); {
+		case r < 0.8:
+			masked[t] = tokenize.MASK
+		case r < 0.9:
+			masked[t] = tokenize.NumSpecials + rng.Intn(m.Cfg.Vocab-tokenize.NumSpecials)
+		}
+	}
+	if len(targets) == 0 {
+		return 0, 0
+	}
+
+	c := m.encode(masked, true)
+	logits, lc := m.MLMHead.Forward(c.hidden)
+	dLogits := tensor.New(logits.Rows, logits.Cols)
+	total := 0.0
+	inv := 1 / float64(len(targets))
+	for _, t := range targets {
+		p := tensor.SoftmaxVec(logits.Row(t))
+		gold := ids[t]
+		total += -math.Log(math.Max(p[gold], 1e-12))
+		drow := dLogits.Row(t)
+		copy(drow, p)
+		drow[gold] -= 1
+		for j := range drow {
+			drow[j] *= inv
+		}
+	}
+	dHidden := m.MLMHead.Backward(lc, dLogits)
+	m.encodeBackward(c, dHidden)
+	return total * inv, len(targets)
+}
+
+// ---------------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------------
+
+// modelFile is the gob wire format.
+type modelFile struct {
+	Cfg    Config
+	Names  []string
+	Shapes [][2]int
+	Data   [][]float64
+}
+
+// Save writes the model (including the MLM head) to w.
+func (m *PragFormer) Save(w io.Writer) error {
+	mf := modelFile{Cfg: m.Cfg}
+	for _, p := range m.MLMParams() {
+		mf.Names = append(mf.Names, p.Name)
+		mf.Shapes = append(mf.Shapes, [2]int{p.W.Rows, p.W.Cols})
+		mf.Data = append(mf.Data, p.W.Data)
+	}
+	for _, p := range []*nn.Param{m.FC1.W, m.FC1.B, m.FC2.W, m.FC2.B} {
+		mf.Names = append(mf.Names, p.Name)
+		mf.Shapes = append(mf.Shapes, [2]int{p.W.Rows, p.W.Cols})
+		mf.Data = append(mf.Data, p.W.Data)
+	}
+	return gob.NewEncoder(w).Encode(mf)
+}
+
+// SaveFile writes the model to a file path.
+func (m *PragFormer) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return m.Save(f)
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*PragFormer, error) {
+	var mf modelFile
+	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, err
+	}
+	m, err := New(mf.Cfg, 0)
+	if err != nil {
+		return nil, err
+	}
+	params := append(m.MLMParams(), m.FC1.W, m.FC1.B, m.FC2.W, m.FC2.B)
+	if len(params) != len(mf.Data) {
+		return nil, fmt.Errorf("core: model file has %d tensors, want %d", len(mf.Data), len(params))
+	}
+	for i, p := range params {
+		if p.Name != mf.Names[i] {
+			return nil, fmt.Errorf("core: tensor %d name %q, want %q", i, mf.Names[i], p.Name)
+		}
+		if p.W.Rows != mf.Shapes[i][0] || p.W.Cols != mf.Shapes[i][1] {
+			return nil, fmt.Errorf("core: tensor %q shape mismatch", p.Name)
+		}
+		copy(p.W.Data, mf.Data[i])
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from a file path.
+func LoadFile(path string) (*PragFormer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// CopyEncoderFrom copies encoder weights from src (transfer learning: MLM
+// pretraining → task fine-tuning). Head parameters stay freshly initialized.
+func (m *PragFormer) CopyEncoderFrom(src *PragFormer) error {
+	dst := m.EncoderParams()
+	from := src.EncoderParams()
+	if len(dst) != len(from) {
+		return fmt.Errorf("core: encoder param count mismatch %d vs %d", len(dst), len(from))
+	}
+	for i := range dst {
+		if dst[i].W.Rows != from[i].W.Rows || dst[i].W.Cols != from[i].W.Cols {
+			return fmt.Errorf("core: encoder param %q shape mismatch", dst[i].Name)
+		}
+		copy(dst[i].W.Data, from[i].W.Data)
+	}
+	return nil
+}

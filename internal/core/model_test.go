@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pragformer/internal/tokenize"
+)
+
+func tinyConfig() Config {
+	return Config{Vocab: 50, MaxLen: 16, D: 8, Heads: 2, Layers: 2, FFHidden: 16, FCHidden: 8, Dropout: 0}
+}
+
+func mustNew(t *testing.T, cfg Config, seed int64) *PragFormer {
+	t.Helper()
+	m, err := New(cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := Config{Vocab: 100, D: 32, Heads: 4, Layers: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxLen != 110 {
+		t.Errorf("default MaxLen = %d, want 110 (the paper's cap)", c.MaxLen)
+	}
+	if c.FFHidden != 64 || c.FCHidden != 32 {
+		t.Errorf("defaults = %+v", c)
+	}
+	bad := []Config{
+		{Vocab: 2, D: 8, Heads: 2, Layers: 1},
+		{Vocab: 100, D: 9, Heads: 2, Layers: 1},
+		{Vocab: 100, D: 0, Heads: 2, Layers: 1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestPredictRange(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 1)
+	ids := []int{tokenize.CLS, 5, 6, 7}
+	p := m.Predict(ids)
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		t.Fatalf("p = %g", p)
+	}
+}
+
+func TestPredictDeterministic(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 1)
+	ids := []int{tokenize.CLS, 5, 6, 7, 8}
+	if m.Predict(ids) != m.Predict(ids) {
+		t.Fatal("eval-mode prediction not deterministic")
+	}
+}
+
+func TestLongInputTruncated(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 1)
+	ids := make([]int, 100) // longer than MaxLen=16
+	for i := range ids {
+		ids[i] = 4 + i%40
+	}
+	p := m.Predict(ids)
+	if math.IsNaN(p) {
+		t.Fatal("NaN on long input")
+	}
+	if p != m.Predict(ids[:16]) {
+		t.Error("truncation inconsistent")
+	}
+}
+
+// TestTrainingReducesLoss is the end-to-end learning sanity check: SGD on a
+// single separable pattern must drive the loss down and flip predictions.
+func TestTrainingReducesLoss(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 2)
+	posIDs := []int{tokenize.CLS, 10, 11, 12}
+	negIDs := []int{tokenize.CLS, 20, 21, 22}
+
+	lossBefore := m.Loss(posIDs, true) + m.Loss(negIDs, false)
+	lr := 0.05
+	for step := 0; step < 60; step++ {
+		for _, p := range m.Params() {
+			p.ZeroGrad()
+		}
+		m.LossAndBackward(posIDs, true)
+		m.LossAndBackward(negIDs, false)
+		for _, p := range m.Params() {
+			for i := range p.W.Data {
+				p.W.Data[i] -= lr * p.Grad.Data[i]
+			}
+		}
+	}
+	lossAfter := m.Loss(posIDs, true) + m.Loss(negIDs, false)
+	if lossAfter >= lossBefore {
+		t.Fatalf("loss did not decrease: %.4f → %.4f", lossBefore, lossAfter)
+	}
+	if !m.PredictLabel(posIDs) || m.PredictLabel(negIDs) {
+		t.Errorf("predictions not separated: pos=%.3f neg=%.3f", m.Predict(posIDs), m.Predict(negIDs))
+	}
+}
+
+func TestLossMatchesPrediction(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 3)
+	ids := []int{tokenize.CLS, 7, 8}
+	p := m.Predict(ids)
+	lossPos := m.Loss(ids, true)
+	lossNeg := m.Loss(ids, false)
+	if math.Abs(lossPos+math.Log(p)) > 1e-9 {
+		t.Errorf("loss(+) = %g, -log(p) = %g", lossPos, -math.Log(p))
+	}
+	if math.Abs(lossNeg+math.Log(1-p)) > 1e-6 {
+		t.Errorf("loss(-) = %g, -log(1-p) = %g", lossNeg, -math.Log(1-p))
+	}
+}
+
+func TestMLMPretrainingLearns(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 4)
+	rng := rand.New(rand.NewSource(9))
+	seqs := [][]int{
+		{tokenize.CLS, 10, 11, 12, 13, 10, 11, 12, 13},
+		{tokenize.CLS, 20, 21, 22, 23, 20, 21, 22, 23},
+	}
+	measure := func() float64 {
+		mrng := rand.New(rand.NewSource(42))
+		total, n := 0.0, 0
+		for _, s := range seqs {
+			for _, p := range m.MLMParams() {
+				p.ZeroGrad()
+			}
+			l, k := m.MLMLossAndBackward(s, mrng)
+			if k > 0 {
+				total += l
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	before := measure()
+	lr := 0.05
+	for step := 0; step < 80; step++ {
+		for _, p := range m.MLMParams() {
+			p.ZeroGrad()
+		}
+		for _, s := range seqs {
+			m.MLMLossAndBackward(s, rng)
+		}
+		for _, p := range m.MLMParams() {
+			for i := range p.W.Data {
+				p.W.Data[i] -= lr * p.Grad.Data[i]
+			}
+		}
+	}
+	after := measure()
+	if after >= before {
+		t.Fatalf("MLM loss did not decrease: %.4f → %.4f", before, after)
+	}
+}
+
+func TestMLMNoTargets(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 5)
+	// Sequence of length 1 ([CLS] only) can never mask anything.
+	l, n := m.MLMLossAndBackward([]int{tokenize.CLS}, rand.New(rand.NewSource(1)))
+	if l != 0 || n != 0 {
+		t.Fatalf("l=%g n=%d", l, n)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 6)
+	ids := []int{tokenize.CLS, 9, 8, 7}
+	want := m.Predict(ids)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Predict(ids); got != want {
+		t.Fatalf("prediction after load = %g, want %g", got, want)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 7)
+	path := t.TempDir() + "/model.gob"
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{tokenize.CLS, 4, 5}
+	if m.Predict(ids) != m2.Predict(ids) {
+		t.Fatal("file round trip changed predictions")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestCopyEncoderFrom(t *testing.T) {
+	pre := mustNew(t, tinyConfig(), 8)
+	fine := mustNew(t, tinyConfig(), 99)
+	ids := []int{tokenize.CLS, 5, 6}
+
+	// Perturb the pretrained encoder so the copy is observable.
+	for _, p := range pre.EncoderParams() {
+		for i := range p.W.Data {
+			p.W.Data[i] += 0.1
+		}
+	}
+	before := fine.Predict(ids)
+	if err := fine.CopyEncoderFrom(pre); err != nil {
+		t.Fatal(err)
+	}
+	after := fine.Predict(ids)
+	if before == after {
+		t.Error("encoder copy had no effect")
+	}
+	for i, p := range fine.EncoderParams() {
+		src := pre.EncoderParams()[i]
+		for j := range p.W.Data {
+			if p.W.Data[j] != src.W.Data[j] {
+				t.Fatalf("param %s not copied", p.Name)
+			}
+		}
+	}
+}
+
+func TestCopyEncoderShapeMismatch(t *testing.T) {
+	a := mustNew(t, tinyConfig(), 1)
+	cfg := tinyConfig()
+	cfg.D = 16
+	cfg.FFHidden = 32
+	b := mustNew(t, cfg, 1)
+	if err := a.CopyEncoderFrom(b); err == nil {
+		t.Fatal("expected shape mismatch error")
+	}
+}
+
+func TestParamCounts(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 1)
+	// emb(2) + 2 blocks × 16 + final ln(2) + fc1(2) + fc2(2) = 40.
+	if n := len(m.Params()); n != 40 {
+		t.Errorf("params = %d, want 40", n)
+	}
+	if n := len(m.MLMParams()); n != 38 {
+		t.Errorf("mlm params = %d, want 38", n)
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, p := range m.Params() {
+		if seen[p.Name] {
+			t.Errorf("duplicate param %s", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestDropoutModelStillInRange(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Dropout = 0.3
+	m := mustNew(t, cfg, 11)
+	ids := []int{tokenize.CLS, 5, 6, 7}
+	// Training forward uses dropout internally; loss must stay finite.
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	l := m.LossAndBackward(ids, true)
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Fatalf("loss = %g", l)
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	cfg := Config{Vocab: 3000, MaxLen: 110, D: 64, Heads: 4, Layers: 2}
+	m, err := New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int, 34)
+	ids[0] = tokenize.CLS
+	for i := 1; i < len(ids); i++ {
+		ids[i] = 4 + i
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Predict(ids)
+	}
+}
+
+func BenchmarkLossAndBackward(b *testing.B) {
+	cfg := Config{Vocab: 3000, MaxLen: 110, D: 64, Heads: 4, Layers: 2}
+	m, err := New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := make([]int, 34)
+	ids[0] = tokenize.CLS
+	for i := 1; i < len(ids); i++ {
+		ids[i] = 4 + i
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.LossAndBackward(ids, i%2 == 0)
+	}
+}

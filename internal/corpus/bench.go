@@ -1,0 +1,309 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/pragma"
+)
+
+// Held-out benchmark suites for the paper's generality study (§5.4,
+// Table 11). PolyBench-style snippets use unexpanded POLYBENCH_LOOP_BOUND
+// macros; SPEC-style snippets use the application constructs (register,
+// ssize_t casts, struct member chains) that broke ComPar's frontend in the
+// paper. Labels follow suite annotation practice, not pure dependence
+// analysis: PolyBench leaves some parallelizable initialization loops
+// unannotated (the paper's Table 12 example 4), which bounds every
+// classifier's achievable accuracy below 1.
+
+// pbBound builds POLYBENCH_LOOP_BOUND(c, n).
+func pbBound(c int, n string) cast.Expr {
+	return call("POLYBENCH_LOOP_BOUND", lit(c), id(n))
+}
+
+// GeneratePolyBench produces the PolyBench-style held-out set: 64 snippets
+// with OpenMP directives and 83 without (the paper's counts).
+func GeneratePolyBench(seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{}
+	add := func(s *snippet, d *pragma.Directive) {
+		code := renderSnippet(s)
+		c.Records = append(c.Records, &Record{
+			ID: len(c.Records), Code: code, Directive: d,
+			Domain: DomainBenchmark, Template: s.template,
+			Lines: strings.Count(code, "\n"),
+		})
+	}
+	labelAndAdd := func(s *snippet) {
+		d, _ := labelSnippet(s)
+		add(s, d)
+	}
+
+	// --- positives: 64 polyhedral kernels ---
+	for x := 0; x < 20; x++ { // matvec family (paper Table 12 example 1)
+		labelAndAdd(pbMatVec(rng))
+	}
+	for x := 0; x < 12; x++ { // gemm-like triple loops
+		labelAndAdd(pbGemm(rng))
+	}
+	for x := 0; x < 12; x++ { // out-of-place jacobi sweeps
+		labelAndAdd(pbJacobi(rng))
+	}
+	for x := 0; x < 10; x++ { // atax/bicg-like two-phase products
+		labelAndAdd(pbAtax(rng))
+	}
+	for x := 0; x < 10; x++ { // gesummv-like combined updates
+		labelAndAdd(pbGesummv(rng))
+	}
+
+	// --- negatives: 83 ---
+	for x := 0; x < 35; x++ { // result-dump I/O loops (Table 12 example 2)
+		s := tplIOPrint(rng, &genCtx{})
+		s.template = "pbDump"
+		add(s, nil)
+	}
+	for x := 0; x < 30; x++ { // dependence-carrying sweeps
+		var s *snippet
+		switch x % 3 {
+		case 0:
+			s = tplRecurrence(rng, &genCtx{})
+		case 1:
+			s = tplInPlaceStencil(rng, &genCtx{})
+		default:
+			s = tplPrefixSum(rng, &genCtx{})
+		}
+		s.template = "pbSerial"
+		add(s, nil)
+	}
+	for x := 0; x < 10; x++ { // tiny setup loops
+		s := tplTinyNested(rng, &genCtx{})
+		s.template = "pbTinyInit"
+		add(s, nil)
+	}
+	for x := 0; x < 8; x++ { // parallelizable but unannotated init
+		s := pbUnannotatedInit(rng)
+		add(s, nil) // suite annotation says no directive
+	}
+	return c
+}
+
+func pbMatVec(rng *rand.Rand) *snippet {
+	n := []string{"n", "m", "size"}[rng.Intn(3)]
+	cBound := []int{2000, 4000, 8000}[rng.Intn(3)]
+	arrs := []string{"x1", "A", "y_1"}
+	if rng.Intn(2) == 0 {
+		arrs = []string{"x2", "B", "y_2"}
+	}
+	inner := forUp("j", lit(0), pbBound(cBound, n),
+		es(asg(aref(id(arrs[0]), id("i")),
+			bin("+", aref(id(arrs[0]), id("i")),
+				bin("*", aref(id(arrs[1]), id("i"), id("j")), aref(id(arrs[2]), id("j")))))))
+	loop := forUp("i", lit(0), pbBound(cBound, n), inner)
+	return newSnippet("pbMatVec", loop)
+}
+
+func pbGemm(rng *rand.Rand) *snippet {
+	n := []string{"ni", "nj", "nk"}[rng.Intn(3)]
+	cBound := []int{1000, 1024, 2000}[rng.Intn(3)]
+	kLoop := forUp("k", lit(0), pbBound(cBound, n),
+		es(opAsg("+=", aref(id("C"), id("i"), id("j")),
+			bin("*", bin("*", id("alpha"), aref(id("A"), id("i"), id("k"))), aref(id("B"), id("k"), id("j"))))))
+	jBody := block(
+		es(asg(aref(id("C"), id("i"), id("j")), bin("*", aref(id("C"), id("i"), id("j")), id("beta")))),
+		kLoop,
+	)
+	loop := forUp("i", lit(0), pbBound(cBound, n), forUp("j", lit(0), pbBound(cBound, n), jBody))
+	return newSnippet("pbGemm", loop)
+}
+
+func pbJacobi(rng *rand.Rand) *snippet {
+	cBound := []int{500, 1000}[rng.Intn(2)]
+	rhs := bin("*", flit("0.2"),
+		bin("+", bin("+", bin("+", aref(id("A"), id("i"), id("j")),
+			aref(id("A"), id("i"), bin("-", id("j"), lit(1)))),
+			aref(id("A"), id("i"), bin("+", id("j"), lit(1)))),
+			aref(id("A"), bin("+", id("i"), lit(1)), id("j"))))
+	inner := forUp("j", lit(1), bin("-", pbBound(cBound, "n"), lit(1)),
+		es(asg(aref(id("B"), id("i"), id("j")), rhs)))
+	loop := forUp("i", lit(1), bin("-", pbBound(cBound, "n"), lit(1)), inner)
+	return newSnippet("pbJacobi", loop)
+}
+
+func pbAtax(rng *rand.Rand) *snippet {
+	cBound := []int{1800, 2100, 4000}[rng.Intn(3)]
+	body := block(
+		es(asg(id("tmp0"), flit("0.0"))),
+		forUp("j", lit(0), pbBound(cBound, "n"),
+			es(opAsg("+=", id("tmp0"), bin("*", aref(id("A"), id("i"), id("j")), aref(id("x"), id("j")))))),
+		es(asg(aref(id("y"), id("i")), id("tmp0"))),
+	)
+	loop := forUp("i", lit(0), pbBound(cBound, "m"), body)
+	return newSnippet("pbAtax", loop)
+}
+
+func pbGesummv(rng *rand.Rand) *snippet {
+	cBound := []int{1300, 2800}[rng.Intn(2)]
+	body := block(
+		es(asg(id("tmp0"), flit("0.0"))),
+		es(asg(aref(id("y"), id("i")), flit("0.0"))),
+		forUp("j", lit(0), pbBound(cBound, "n"), block(
+			es(asg(id("tmp0"), bin("+", bin("*", aref(id("A"), id("i"), id("j")), aref(id("x"), id("j"))), id("tmp0")))),
+			es(asg(aref(id("y"), id("i")), bin("+", bin("*", aref(id("B"), id("i"), id("j")), aref(id("x"), id("j"))), aref(id("y"), id("i"))))),
+		)),
+		es(asg(aref(id("y"), id("i")), bin("+", bin("*", id("alpha"), id("tmp0")), bin("*", id("beta"), aref(id("y"), id("i")))))),
+	)
+	loop := forUp("i", lit(0), pbBound(cBound, "n"), body)
+	return newSnippet("pbGesummv", loop)
+}
+
+// pbUnannotatedInit is a parallelizable initialization the suite left
+// unannotated (the paper's Table 12 example 4).
+func pbUnannotatedInit(rng *rand.Rand) *snippet {
+	arrs := [][3]string{
+		{"sum_tang", "mean", "path"},
+		{"w_init", "b_init", "g_init"},
+	}[rng.Intn(2)]
+	body := block(
+		es(asg(aref(id(arrs[0]), id("i"), id("j")),
+			&cast.Cast{Type: &cast.TypeSpec{Names: []string{"int"}},
+				X: bin("*", bin("+", id("i"), lit(1)), bin("+", id("j"), lit(1)))})),
+		es(asg(aref(id(arrs[1]), id("i"), id("j")),
+			bin("/", bin("-", &cast.Cast{Type: &cast.TypeSpec{Names: []string{"int"}}, X: id("i")}, id("j")), id("maxgrid")))),
+		es(asg(aref(id(arrs[2]), id("i"), id("j")),
+			bin("/", bin("*", &cast.Cast{Type: &cast.TypeSpec{Names: []string{"int"}}, X: id("i")}, bin("-", id("j"), lit(1))), id("maxgrid")))),
+	)
+	inner := forUp("j", lit(0), id("maxgrid"), body)
+	loop := forUp("i", lit(0), id("maxgrid"), inner)
+	return newSnippet("pbUnannotatedInit", loop)
+}
+
+// GenerateSPEC produces the SPEC-OMP-style held-out set: 113 snippets with
+// directives and 174 without (the paper's counts). Most snippets carry the
+// application constructs that break S2S frontends.
+func GenerateSPEC(seed int64) *Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Corpus{}
+	add := func(s *snippet, d *pragma.Directive) {
+		code := renderSnippet(s)
+		c.Records = append(c.Records, &Record{
+			ID: len(c.Records), Code: code, Directive: d,
+			Domain: DomainBenchmark, Template: s.template,
+			Lines: strings.Count(code, "\n"),
+		})
+	}
+
+	// --- positives: 113 ---
+	for x := 0; x < 30; x++ { // colormap-style cast loops (Table 12 ex. 3)
+		s := specColormap(rng)
+		d, _ := labelSnippet(s)
+		if d != nil && x%2 == 0 {
+			d.Schedule = pragma.ScheduleDynamic
+			d.Chunk = 4
+		}
+		add(s, d)
+	}
+	for x := 0; x < 30; x++ { // struct field sweeps
+		s := tplStructArray(rng, &genCtx{})
+		s.template = "specStruct"
+		d, _ := labelSnippet(s)
+		add(s, d)
+	}
+	for x := 0; x < 28; x++ { // register-qualified hot loops
+		s := specRegisterLoop(rng)
+		d, _ := labelSnippet(s)
+		add(s, d)
+	}
+	for x := 0; x < 25; x++ { // private-temp application loops
+		s := tplPrivateTemp(rng, &genCtx{})
+		s.template = "specPrivate"
+		hardenAlways(rng, s)
+		d, _ := labelSnippet(s)
+		add(s, d)
+	}
+
+	// --- negatives: 174 ---
+	for x := 0; x < 50; x++ {
+		s := tplIOPrint(rng, &genCtx{})
+		s.template = "specIO"
+		add(s, nil)
+	}
+	for x := 0; x < 40; x++ {
+		var s *snippet
+		if x%2 == 0 {
+			s = tplRecurrence(rng, &genCtx{})
+		} else {
+			s = tplHorner(rng, &genCtx{})
+		}
+		s.template = "specSerial"
+		hardenAlways(rng, s)
+		add(s, nil)
+	}
+	for x := 0; x < 30; x++ {
+		s := tplImpureCall(rng, &genCtx{})
+		s.template = "specImpure"
+		add(s, nil)
+	}
+	for x := 0; x < 30; x++ {
+		s := tplTinyLoop(rng, &genCtx{})
+		s.template = "specTiny"
+		add(s, nil)
+	}
+	for x := 0; x < 24; x++ {
+		s := tplLinkedList(rng, &genCtx{})
+		s.template = "specList"
+		add(s, nil)
+	}
+	return c
+}
+
+// specColormap reproduces the paper's third qualitative example:
+// for (i = 0; i < ((ssize_t) image->colors); i++)
+//
+//	image->colormap[i].opacity = (IndexPacket) i;
+func specColormap(rng *rand.Rand) *snippet {
+	obj := []string{"image", "frame", "layer0"}[rng.Intn(3)]
+	field := []string{"colors", "rows", "count"}[rng.Intn(3)]
+	mapField := []string{"colormap", "pixels", "entries"}[rng.Intn(3)]
+	attr := []string{"opacity", "alpha", "index"}[rng.Intn(3)]
+	bound := &cast.Cast{Type: &cast.TypeSpec{Names: []string{"ssize_t"}},
+		X: &cast.Member{X: id(obj), Field: field, Arrow: true}}
+	lhs := &cast.Member{
+		X:     aref(&cast.Member{X: id(obj), Field: mapField, Arrow: true}, id("i")),
+		Field: attr,
+	}
+	rhs := &cast.Cast{Type: &cast.TypeSpec{Names: []string{"IndexPacket"}}, X: id("i")}
+	loop := forUp("i", lit(0), bound, es(asg(lhs, rhs)))
+	return newSnippet("specColormap", loop)
+}
+
+// specRegisterLoop is a hot loop with register-qualified declarations.
+func specRegisterLoop(rng *rand.Rand) *snippet {
+	nm := names{rng}
+	arrs := nm.arrays(2)
+	regDecl := &cast.DeclStmt{Decls: []*cast.Decl{{
+		Type: &cast.TypeSpec{Quals: []string{"register"}, Names: []string{"int"}},
+		Name: "i",
+	}}}
+	loop := forUp("i", lit(0), boundExpr(nm, rng),
+		es(asg(aref(id(arrs[0]), id("i")), mapExpr(nm, rng, "i", arrs[1:]))))
+	s := newSnippet("specRegister", loop)
+	s.items = append([]cast.Node{regDecl}, s.items...)
+	return s
+}
+
+// hardenAlways injects an S2S-breaking construct unconditionally.
+func hardenAlways(rng *rand.Rand, s *snippet) {
+	for attempt := 0; attempt < 8; attempt++ {
+		before := len(s.items)
+		hardenSnippet(rng, s)
+		if len(s.items) != before {
+			return
+		}
+		if bin, ok := s.loop.Cond.(*cast.BinaryOp); ok {
+			if _, isCast := bin.R.(*cast.Cast); isCast {
+				return
+			}
+		}
+	}
+}

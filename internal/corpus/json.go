@@ -1,0 +1,80 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pragformer/internal/pragma"
+)
+
+// recordJSON is the on-disk record format: the directive is stored in its
+// canonical pragma spelling, mirroring the paper's (code.c, pragma.c) pairs.
+type recordJSON struct {
+	ID       int    `json:"id"`
+	Code     string `json:"code"`
+	Pragma   string `json:"pragma,omitempty"`
+	Domain   int    `json:"domain"`
+	Template string `json:"template,omitempty"`
+	Lines    int    `json:"lines"`
+}
+
+// Save writes the corpus as JSON lines.
+func (c *Corpus) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range c.Records {
+		rj := recordJSON{ID: r.ID, Code: r.Code, Domain: int(r.Domain), Template: r.Template, Lines: r.Lines}
+		if r.Directive != nil {
+			rj.Pragma = r.Directive.String()
+		}
+		if err := enc.Encode(rj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveFile writes the corpus to a file path.
+func (c *Corpus) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.Save(f)
+}
+
+// Load reads a corpus written by Save.
+func Load(r io.Reader) (*Corpus, error) {
+	dec := json.NewDecoder(r)
+	c := &Corpus{}
+	for {
+		var rj recordJSON
+		if err := dec.Decode(&rj); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("corpus: decode record %d: %w", len(c.Records), err)
+		}
+		rec := &Record{ID: rj.ID, Code: rj.Code, Domain: Domain(rj.Domain), Template: rj.Template, Lines: rj.Lines}
+		if rj.Pragma != "" {
+			d, err := pragma.Parse(rj.Pragma)
+			if err != nil {
+				return nil, fmt.Errorf("corpus: record %d pragma: %w", rj.ID, err)
+			}
+			rec.Directive = d
+		}
+		c.Records = append(c.Records, rec)
+	}
+	return c, nil
+}
+
+// LoadFile reads a corpus from a file path.
+func LoadFile(path string) (*Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,70 @@
+package corpus
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pragformer/internal/pragma"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := Generate(Config{Seed: 3, Total: 120})
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Records) != len(c.Records) {
+		t.Fatalf("records = %d, want %d", len(c2.Records), len(c.Records))
+	}
+	for i, r := range c.Records {
+		r2 := c2.Records[i]
+		if r2.Code != r.Code || r2.Domain != r.Domain || r2.Lines != r.Lines {
+			t.Fatalf("record %d fields differ", i)
+		}
+		if !pragma.Equal(r.Directive, r2.Directive) {
+			t.Fatalf("record %d directive: %v vs %v", i, r.Directive, r2.Directive)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	c := Generate(Config{Seed: 3, Total: 30})
+	path := t.TempDir() + "/corpus.jsonl"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Records) != 30 {
+		t.Fatalf("records = %d", len(c2.Records))
+	}
+	if c.Stats() != c2.Stats() {
+		t.Error("stats changed across round trip")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{broken")); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Load(strings.NewReader(`{"id":0,"code":"x;","pragma":"#pragma once"}`)); err == nil {
+		t.Fatal("expected error for bad pragma")
+	}
+}
+
+func TestLoadEmpty(t *testing.T) {
+	c, err := Load(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Records) != 0 {
+		t.Fatal("expected empty corpus")
+	}
+}

@@ -1,0 +1,147 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Name pools. GitHub-mined code exhibits a long tail of identifier spellings
+// with a heavy head of conventional names (the paper §5.1: "iteration
+// variables tend to be named i, j, k, and A, B, C, vec, arr as matrices and
+// vectors"); the pools reproduce both the head and a synthetic tail so the
+// Text-representation vocabulary is realistically larger than the
+// Replaced-Text vocabulary (Table 7).
+
+var loopVarHead = []string{"i", "j", "k", "l", "m", "ii", "jj", "idx", "t"}
+
+var arrayHead = []string{
+	"A", "B", "C", "a", "b", "c", "x", "y", "z", "u", "v", "w",
+	"vec", "arr", "data", "buf", "src", "dst", "out", "in", "res",
+	"mat", "grid", "tmp", "p", "q", "r", "field", "img", "mask",
+	"x1", "y_1", "x2", "y_2", "sum_tang", "mean", "path", "work",
+}
+
+var scalarHead = []string{
+	"sum", "s", "t", "acc", "total", "prod", "val", "alpha", "beta",
+	"scale", "factor", "tmp", "mx", "mn", "avg", "norm", "energy", "err",
+}
+
+var boundHead = []string{"n", "N", "len", "size", "m", "M", "cnt", "dim", "rows", "cols", "nx", "ny", "maxgrid", "limit"}
+
+var arrayStems = []string{
+	"vel", "pos", "force", "rho", "pressure", "temp", "flux", "phi",
+	"psi", "omega", "grad", "div", "curl", "weight", "bias", "coef",
+	"delta", "gamma", "theta", "lambda", "sigma", "kappa", "edge",
+	"node", "cell", "face", "vert", "elem", "row", "col", "diag",
+	"lower", "upper", "left", "right", "north", "south", "east", "west",
+	"input", "output", "result", "buffer", "table", "list", "queue",
+	"stack", "heap", "tree", "graph", "image", "pixel", "frame", "block",
+	"tile", "chunk", "slice", "band", "layer", "state", "score", "dist",
+	"cost", "gain", "loss", "rate", "freq", "amp", "phase", "real",
+	"imag", "keys", "vals", "hist", "bins", "count", "accum", "partial",
+}
+
+var arraySuffixes = []string{"", "s", "0", "1", "2", "_new", "_old", "_tmp", "_buf", "_arr", "_vec", "_loc", "_glob", "_in", "_out"}
+
+// pureFuncNames name side-effect-free helper functions; their spellings hint
+// at purity, which is the kind of lexical signal the paper's LIME analysis
+// surfaces.
+var pureFuncNames = []string{
+	"square", "cube", "scale_val", "clamp", "lerp", "smooth", "weight_of",
+	"dist2", "norm2", "phi_at", "eval_poly", "blend", "gauss", "kernel_at",
+	"decay", "activation", "sigmoid_of", "relu_of", "mix", "interp",
+}
+
+// impureFuncNames name helpers with global side effects.
+var impureFuncNames = []string{
+	"update_state", "log_event", "record_stat", "push_result", "emit",
+	"advance_clock", "bump_counter", "enqueue_item", "register_hit",
+	"append_entry", "store_global", "commit_row", "track_error",
+}
+
+// names draws identifiers for one snippet, deterministically from rng.
+type names struct {
+	rng *rand.Rand
+}
+
+func (nm names) loopVar() string { return loopVarHead[nm.rng.Intn(6)] }
+
+// loopVars returns d distinct loop variable names starting from the
+// conventional i, j, k sequence.
+func (nm names) loopVars(d int) []string {
+	start := nm.rng.Intn(3)
+	out := make([]string, d)
+	for x := 0; x < d; x++ {
+		out[x] = loopVarHead[(start+x)%len(loopVarHead)]
+	}
+	return out
+}
+
+func (nm names) array() string {
+	if nm.rng.Intn(100) < 65 {
+		return arrayHead[nm.rng.Intn(len(arrayHead))]
+	}
+	return arrayStems[nm.rng.Intn(len(arrayStems))] + arraySuffixes[nm.rng.Intn(len(arraySuffixes))]
+}
+
+// arrays returns d distinct array names.
+func (nm names) arrays(d int) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, d)
+	for len(out) < d {
+		a := nm.array()
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (nm names) scalar() string {
+	if nm.rng.Intn(100) < 70 {
+		return scalarHead[nm.rng.Intn(len(scalarHead))]
+	}
+	return arrayStems[nm.rng.Intn(len(arrayStems))] + "_v"
+}
+
+func (nm names) reductionScalar() string {
+	// Reduction targets use accumulator-flavored names almost always.
+	pool := []string{"sum", "total", "acc", "s", "prod", "norm", "energy", "dot", "partial_sum", "checksum"}
+	return pool[nm.rng.Intn(len(pool))]
+}
+
+func (nm names) bound() string { return boundHead[nm.rng.Intn(len(boundHead))] }
+
+func (nm names) pureFunc() string { return pureFuncNames[nm.rng.Intn(len(pureFuncNames))] }
+
+func (nm names) impureFunc() string { return impureFuncNames[nm.rng.Intn(len(impureFuncNames))] }
+
+// smallConst returns a small integer constant.
+func (nm names) smallConst() int { return 1 + nm.rng.Intn(9) }
+
+// bigConst returns a large bound constant; spread widely to diversify the
+// Text vocabulary the way real constants do.
+func (nm names) bigConst() int {
+	base := []int{64, 100, 128, 256, 500, 512, 1000, 1024, 2048, 4000, 4096, 8192, 10000}
+	v := base[nm.rng.Intn(len(base))]
+	if nm.rng.Intn(3) == 0 {
+		v += nm.rng.Intn(64)
+	}
+	return v
+}
+
+// tinyConst returns an unprofitably small trip count.
+func (nm names) tinyConst() int { return 2 + nm.rng.Intn(46) }
+
+// floatConst returns a floating literal string.
+func (nm names) floatConst() string {
+	pool := []string{"0.5", "2.0", "1.5", "0.25", "3.0", "0.1", "1.0", "0.9", "4.0", "0.01", "2.5", "0.333"}
+	return pool[nm.rng.Intn(len(pool))]
+}
+
+// uniqueTag produces an occasional unique identifier to build the long-tail
+// vocabulary (and OOV types in validation/test splits, Table 7).
+func (nm names) uniqueTag(kind string, n int) string {
+	return fmt.Sprintf("%s_%s%d", arrayStems[nm.rng.Intn(len(arrayStems))], kind, n%97)
+}

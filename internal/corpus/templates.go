@@ -1,0 +1,428 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"pragformer/internal/cast"
+)
+
+// snippet is one generated code segment before labeling.
+type snippet struct {
+	// items are the nodes printed into the record's code text (helper
+	// functions first, then the loop).
+	items []cast.Node
+	// loop is the pragma target.
+	loop *cast.For
+	// funcs holds ALL generated function bodies for ground-truth labeling,
+	// including bodies deliberately omitted from the printed code (the
+	// paper's "lack of association of functions" S2S pitfall).
+	funcs map[string]*cast.FuncDef
+	// template names the generating template for diagnostics and tests.
+	template string
+}
+
+func newSnippet(template string, loop *cast.For) *snippet {
+	return &snippet{items: []cast.Node{loop}, loop: loop, funcs: map[string]*cast.FuncDef{}, template: template}
+}
+
+// withFunc registers fn for labeling and, when include is true, prepends its
+// body to the printed code.
+func (s *snippet) withFunc(fn *cast.FuncDef, include bool) *snippet {
+	s.funcs[fn.Name] = fn
+	if include {
+		s.items = append([]cast.Node{fn}, s.items...)
+	}
+	return s
+}
+
+// template is a generator for one snippet family.
+type template struct {
+	name   string
+	weight int
+	build  func(rng *rand.Rand, g *genCtx) *snippet
+}
+
+// genCtx carries cross-snippet state (unique-name counters for the
+// vocabulary tail).
+type genCtx struct {
+	tagCounter int
+}
+
+func (g *genCtx) nextTag() int {
+	g.tagCounter++
+	return g.tagCounter
+}
+
+// boundExpr returns either a symbolic or constant large loop bound, never
+// colliding with the loop variables in avoid (a `for (m = 0; m < m; m++)`
+// degenerate would otherwise slip through for the unlucky name draw).
+func boundExpr(nm names, rng *rand.Rand, avoid ...string) cast.Expr {
+	if rng.Intn(100) < 55 {
+		for attempt := 0; attempt < 8; attempt++ {
+			b := nm.bound()
+			collides := false
+			for _, v := range avoid {
+				if b == v {
+					collides = true
+				}
+			}
+			if !collides {
+				return id(b)
+			}
+		}
+	}
+	return lit(nm.bigConst())
+}
+
+// mapExpr builds a side-effect-free RHS over reads of arrays at index v.
+func mapExpr(nm names, rng *rand.Rand, v string, arrays []string) cast.Expr {
+	ops := []string{"+", "-", "*"}
+	e := cast.Expr(aref(id(arrays[0]), id(v)))
+	for _, a := range arrays[1:] {
+		e = bin(ops[rng.Intn(len(ops))], e, aref(id(a), id(v)))
+	}
+	switch rng.Intn(6) {
+	case 0:
+		e = bin("*", e, flit(nm.floatConst()))
+	case 1:
+		e = bin("+", e, lit(nm.smallConst()))
+	case 2:
+		mf := []string{"sqrt", "fabs", "sin", "cos", "exp"}[rng.Intn(5)]
+		e = call(mf, e)
+	}
+	return e
+}
+
+// fillerStmts appends extra independent elementwise statements to stretch
+// snippet length without altering the label.
+func fillerStmts(nm names, rng *rand.Rand, v string, count int) []cast.Stmt {
+	var out []cast.Stmt
+	for x := 0; x < count; x++ {
+		dsts := nm.arrays(2)
+		out = append(out, es(asg(aref(id(dsts[0]+"2"), id(v)), mapExpr(nm, rng, v, []string{dsts[1]}))))
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Positive templates (parallelizable, profitably so)
+// ---------------------------------------------------------------------------
+
+// tplVecInit: array initialization — `for (i=0;i<=N;i++) A[i] = i;`
+func tplVecInit(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	var rhs cast.Expr
+	switch rng.Intn(4) {
+	case 0:
+		rhs = id(v)
+	case 1:
+		rhs = lit(0)
+	case 2:
+		rhs = flit(nm.floatConst())
+	default:
+		rhs = bin("*", id(v), lit(nm.smallConst()))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), es(asg(aref(id(arr), id(v)), rhs)))
+	if rng.Intn(4) == 0 {
+		loop.Cond = bin("<=", id(v), boundExpr(nm, rng, v))
+	}
+	return newSnippet("vecInit", loop)
+}
+
+// mapBody builds an elementwise-map loop body shared by the profitable
+// (vecMap) and unprofitable (tinyLoop) templates so the two classes differ
+// only in iteration count, not in surface structure.
+func mapBody(nm names, rng *rand.Rand, v string) cast.Stmt {
+	arrs := nm.arrays(2 + rng.Intn(3))
+	first := es(asg(aref(id(arrs[0]), id(v)), mapExpr(nm, rng, v, arrs[1:])))
+	stmts := []cast.Stmt{first}
+	if rng.Intn(3) == 0 {
+		stmts = append(stmts, fillerStmts(nm, rng, v, rng.Intn(3))...)
+	}
+	if len(stmts) == 1 && rng.Intn(2) == 0 {
+		return first // unbraced single-statement form
+	}
+	return block(stmts...)
+}
+
+// tplVecMap: elementwise map over one or more source arrays.
+func tplVecMap(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), mapBody(nm, rng, v))
+	return newSnippet("vecMap", loop)
+}
+
+// tplAxpy: y[i] = y[i] + alpha*x[i].
+func tplAxpy(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(2)
+	alpha := []string{"alpha", "a", "scale", "factor", "beta"}[rng.Intn(5)]
+	rhs := bin("+", aref(id(arrs[0]), id(v)), bin("*", id(alpha), aref(id(arrs[1]), id(v))))
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), es(asg(aref(id(arrs[0]), id(v)), rhs)))
+	return newSnippet("axpy", loop)
+}
+
+// tplMatVec: x1[i] += A[i][j] * y[j] with outer-declared j → private(j).
+func tplMatVec(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	vs := nm.loopVars(2)
+	i, j := vs[0], vs[1]
+	arrs := nm.arrays(3)
+	b := boundExpr(nm, rng, i, j)
+	inner := forUp(j, lit(0), b,
+		es(asg(aref(id(arrs[0]), id(i)),
+			bin("+", aref(id(arrs[0]), id(i)), bin("*", aref(id(arrs[1]), id(i), id(j)), aref(id(arrs[2]), id(j)))))))
+	loop := forUp(i, lit(0), b, inner)
+	return newSnippet("matVec", loop)
+}
+
+// tplMat2D: 2-D elementwise nested loop; inner variable sometimes declared
+// inline (no private clause) and sometimes outside (private(j)).
+func tplMat2D(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	vs := nm.loopVars(2)
+	i, j := vs[0], vs[1]
+	arrs := nm.arrays(3)
+	b := boundExpr(nm, rng, i, j)
+	assign := es(asg(aref(id(arrs[0]), id(i), id(j)),
+		bin("+", aref(id(arrs[1]), id(i), id(j)), aref(id(arrs[2]), id(i), id(j)))))
+	var inner cast.Stmt
+	if rng.Intn(2) == 0 {
+		inner = forUp(j, lit(0), b, assign)
+	} else {
+		inner = forDecl(j, lit(0), b, assign)
+	}
+	loop := forUp(i, lit(0), b, inner)
+	return newSnippet("mat2D", loop)
+}
+
+// tplMatMul: triple nested with private temp.
+func tplMatMul(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	vs := nm.loopVars(3)
+	i, j, k := vs[0], vs[1], vs[2]
+	arrs := nm.arrays(3)
+	s := nm.scalar()
+	b := boundExpr(nm, rng, i, j, k)
+	kLoop := forUp(k, lit(0), b,
+		es(opAsg("+=", id(s), bin("*", aref(id(arrs[1]), id(i), id(k)), aref(id(arrs[2]), id(k), id(j))))))
+	jBody := block(
+		es(asg(id(s), lit(0))),
+		kLoop,
+		es(asg(aref(id(arrs[0]), id(i), id(j)), id(s))),
+	)
+	loop := forUp(i, lit(0), b, forUp(j, lit(0), b, jBody))
+	return newSnippet("matMul", loop)
+}
+
+// tplStencil: out[i] = f(in[i-1], in[i], in[i+1]).
+func tplStencil(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(2)
+	b := boundExpr(nm, rng, v)
+	rhs := bin("/",
+		bin("+", bin("+", aref(id(arrs[1]), bin("-", id(v), lit(1))), aref(id(arrs[1]), id(v))),
+			aref(id(arrs[1]), bin("+", id(v), lit(1)))),
+		flit("3.0"))
+	loop := forUp(v, lit(1), bin("-", b, lit(1)), es(asg(aref(id(arrs[0]), id(v)), rhs)))
+	return newSnippet("stencil", loop)
+}
+
+// tplReduceSum: sum += expr — compound form (Cetus-recognizable).
+func tplReduceSum(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	s := nm.reductionScalar()
+	arrs := nm.arrays(1 + rng.Intn(2))
+	op := []string{"+=", "+=", "+=", "*="}[rng.Intn(4)]
+	var rhs cast.Expr
+	if len(arrs) == 2 {
+		rhs = bin("*", aref(id(arrs[0]), id(v)), aref(id(arrs[1]), id(v)))
+	} else {
+		rhs = aref(id(arrs[0]), id(v))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), es(opAsg(op, id(s), rhs)))
+	return newSnippet("reduceSum", loop)
+}
+
+// tplReduceExplicit: sum = sum + expr — form Cetus's matcher misses.
+func tplReduceExplicit(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	s := nm.reductionScalar()
+	arr := nm.array()
+	op := []string{"+", "+", "*"}[rng.Intn(3)]
+	var rhs cast.Expr
+	if rng.Intn(2) == 0 {
+		rhs = bin(op, id(s), aref(id(arr), id(v)))
+	} else {
+		rhs = bin(op, aref(id(arr), id(v)), id(s))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), es(asg(id(s), rhs)))
+	return newSnippet("reduceExplicit", loop)
+}
+
+// tplReduceMax: m = fmax(m, a[i]).
+func tplReduceMax(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	m := []string{"mx", "mn", "best", "peak", "m"}[rng.Intn(5)]
+	arr := nm.array()
+	fn := []string{"fmax", "fmin"}[rng.Intn(2)]
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), es(asg(id(m), call(fn, id(m), aref(id(arr), id(v))))))
+	return newSnippet("reduceMax", loop)
+}
+
+// tplReduceNested: nested loop reduction with private inner var.
+func tplReduceNested(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	vs := nm.loopVars(2)
+	i, j := vs[0], vs[1]
+	s := nm.reductionScalar()
+	arr := nm.array()
+	b := boundExpr(nm, rng, i, j)
+	inner := forUp(j, lit(0), b, es(opAsg("+=", id(s), aref(id(arr), id(i), id(j)))))
+	loop := forUp(i, lit(0), b, inner)
+	return newSnippet("reduceNested", loop)
+}
+
+// tplPrivateTemp: t = f(a[i]); b[i] = g(t) — private(t).
+func tplPrivateTemp(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	tvar := []string{"t", "tmp", "val", "x0", "h"}[rng.Intn(5)]
+	arrs := nm.arrays(2)
+	stmts := []cast.Stmt{
+		es(asg(id(tvar), mapExpr(nm, rng, v, arrs[1:]))),
+		es(asg(aref(id(arrs[0]), id(v)), bin("*", id(tvar), id(tvar)))),
+	}
+	if rng.Intn(3) == 0 {
+		stmts = append(stmts, es(opAsg("+=", aref(id(arrs[0]), id(v)), id(tvar))))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), block(stmts...))
+	return newSnippet("privateTemp", loop)
+}
+
+// tplPrivateTempDecl: body-local temp (no clause needed) — still positive.
+func tplPrivateTempDecl(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(2)
+	body := block(
+		declStmt("double", "t", mapExpr(nm, rng, v, arrs[1:])),
+		es(asg(aref(id(arrs[0]), id(v)), bin("+", id("t"), flit(nm.floatConst())))),
+	)
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("privateTempDecl", loop)
+}
+
+// tplUnbalanced: guarded heavy work → schedule(dynamic) (paper Table 1 #2).
+func tplUnbalanced(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	guard := nm.pureFunc()
+	heavy := nm.pureFunc()
+	guardFn := funcDef("int", guard, []*cast.Decl{param("int", "x", 0)},
+		&cast.Return{X: bin("%", id("x"), lit(2+rng.Intn(5)))})
+	heavyFn := funcDef("double", heavy, []*cast.Decl{param("int", "x", 0)},
+		declStmt("double", "acc", flit("0.0")),
+		forDecl("q", lit(0), lit(100+rng.Intn(100)),
+			es(opAsg("+=", id("acc"), call("sqrt", bin("+", bin("*", id("x"), id("x")), id("q")))))),
+		&cast.Return{X: id("acc")})
+	body := &cast.If{
+		Cond: call(guard, id(v)),
+		Then: es(asg(aref(id(arr), id(v)), call(heavy, id(v)))),
+	}
+	loop := forUpIncl(v, lit(0), id("N"), body)
+	s := newSnippet("unbalanced", loop)
+	s.withFunc(guardFn, true)
+	s.withFunc(heavyFn, rng.Intn(100) < 30)
+	return s
+}
+
+// tplPureCall: a[i] = helper(b[i]) with the pure helper body sometimes
+// omitted from the printed code — S2S must decline, the label stays positive.
+func tplPureCall(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	fn := nm.pureFunc()
+	arrs := nm.arrays(2)
+	helper := funcDef("double", fn, []*cast.Decl{param("double", "x", 0)},
+		&cast.Return{X: bin("*", bin("+", id("x"), flit(nm.floatConst())), id("x"))})
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v),
+		es(asg(aref(id(arrs[0]), id(v)), call(fn, aref(id(arrs[1]), id(v))))))
+	s := newSnippet("pureCall", loop)
+	s.withFunc(helper, rng.Intn(100) < 30) // body omitted 70% of the time
+	return s
+}
+
+// tplStructArray: pts[i].x = ... — Cetus-only territory.
+func tplStructArray(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	base := []string{"pts", "nodes", "cells", "particles", "items"}[rng.Intn(5)]
+	fields := []string{"x", "y", "z", "val", "w"}
+	f1 := fields[rng.Intn(len(fields))]
+	body := es(asg(&cast.Member{X: aref(id(base), id(v)), Field: f1},
+		bin("*", id(v), flit(nm.floatConst()))))
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("structArray", loop)
+}
+
+// tplStrided: a[2*i] = b[i] — disjoint strided writes.
+func tplStrided(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(2)
+	stride := 2 + rng.Intn(2)
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v),
+		es(asg(aref(id(arrs[0]), bin("*", lit(stride), id(v))), aref(id(arrs[1]), id(v)))))
+	return newSnippet("strided", loop)
+}
+
+// tplGather: b[i] = a[idx[i]] — indirect reads are safe.
+func tplGather(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(2)
+	ind := []string{"idx", "perm", "map0", "order"}[rng.Intn(4)]
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v),
+		es(asg(aref(id(arrs[0]), id(v)), aref(id(arrs[1]), aref(id(ind), id(v))))))
+	return newSnippet("gather", loop)
+}
+
+// tplConditionalStore: if (mask[i]) out[i] = in[i]; — safe guarded writes.
+func tplConditionalStore(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(3)
+	body := &cast.If{
+		Cond: bin(">", aref(id(arrs[2]), id(v)), lit(0)),
+		Then: es(asg(aref(id(arrs[0]), id(v)), aref(id(arrs[1]), id(v)))),
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("conditionalStore", loop)
+}
+
+// tplLongBody: a long multi-statement parallel body (length tail of
+// Table 4) — many independent elementwise updates.
+func tplLongBody(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	count := 8 + rng.Intn(40)
+	var stmts []cast.Stmt
+	for x := 0; x < count; x++ {
+		dst := nm.uniqueTag("d", g.nextTag())
+		src := nm.uniqueTag("s", g.nextTag())
+		stmts = append(stmts, es(asg(aref(id(dst), id(v)),
+			bin("*", aref(id(src), id(v)), flit(nm.floatConst())))))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), block(stmts...))
+	return newSnippet("longBody", loop)
+}

@@ -1,0 +1,268 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"pragformer/internal/cast"
+)
+
+// ---------------------------------------------------------------------------
+// Negative templates: loops a developer would not annotate — loop-carried
+// dependences, side effects, or unprofitable trip counts.
+// ---------------------------------------------------------------------------
+
+// tplRecurrence: a[i] = a[i-1] op ... — flow dependence.
+func tplRecurrence(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	off := 1 + rng.Intn(2)
+	var rhs cast.Expr = bin("+", aref(id(arr), bin("-", id(v), lit(off))), lit(nm.smallConst()))
+	if rng.Intn(3) == 0 {
+		rhs = bin("*", aref(id(arr), bin("-", id(v), lit(off))), flit(nm.floatConst()))
+	}
+	loop := forUp(v, lit(off), boundExpr(nm, rng, v), es(asg(aref(id(arr), id(v)), rhs)))
+	return newSnippet("recurrence", loop)
+}
+
+// tplPrefixSum: running sum stored per element.
+func tplPrefixSum(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	s := nm.reductionScalar()
+	arrs := nm.arrays(2)
+	body := block(
+		es(opAsg("+=", id(s), aref(id(arrs[1]), id(v)))),
+		es(asg(aref(id(arrs[0]), id(v)), id(s))),
+	)
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("prefixSum", loop)
+}
+
+// tplHorner: s = s * x + c[i] — non-associative recurrence.
+func tplHorner(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	s := nm.scalar()
+	arr := nm.array()
+	x := []string{"x", "base", "r", "z"}[rng.Intn(4)]
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v),
+		es(asg(id(s), bin("+", bin("*", id(s), id(x)), aref(id(arr), id(v))))))
+	return newSnippet("horner", loop)
+}
+
+// tplIOPrint: fprintf/printf in the body (paper Table 12 example 2).
+func tplIOPrint(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	var body cast.Stmt
+	if rng.Intn(2) == 0 {
+		body = block(
+			es(call("fprintf", id("stderr"), str("%0.2lf "), aref(id(arr), id(v)))),
+			&cast.If{
+				Cond: bin("==", bin("%", id(v), lit(20)), lit(0)),
+				Then: es(call("fprintf", id("stderr"), str(" \\n"))),
+			},
+		)
+	} else {
+		body = es(call("printf", str("%d "), aref(id(arr), id(v))))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("ioPrint", loop)
+}
+
+// tplRandFill: a[i] = rand() — ordered RNG state mutation.
+func tplRandFill(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	var rhs cast.Expr = call("rand")
+	if rng.Intn(2) == 0 {
+		rhs = bin("%", call("rand"), lit(nm.bigConst()))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), es(asg(aref(id(arr), id(v)), rhs)))
+	return newSnippet("randFill", loop)
+}
+
+// tplAllocLoop: malloc/free inside the loop.
+func tplAllocLoop(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	body := es(asg(aref(id(arr), id(v)),
+		call("malloc", bin("*", id(nm.bound()), &cast.Sizeof{Type: &cast.TypeSpec{Names: []string{"double"}}}))))
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("allocLoop", loop)
+}
+
+// tplTinyLoop: dependence-free but unprofitably small (the paper's RQ1
+// rationale: spawn overhead outweighs the gain). The body deliberately uses
+// the same construction as the profitable vecMap template, so the only
+// discriminating signal is the iteration count — classifiers must learn the
+// profitability judgment, not a surface artifact.
+func tplTinyLoop(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	loop := forUp(v, lit(0), lit(nm.tinyConst()), mapBody(nm, rng, v))
+	return newSnippet("tinyLoop", loop)
+}
+
+// tplTinyNested: small 2-D initialization, also unprofitable.
+func tplTinyNested(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	vs := nm.loopVars(2)
+	i, j := vs[0], vs[1]
+	arr := nm.array()
+	n := lit(nm.tinyConst())
+	inner := forDecl(j, lit(0), n, es(asg(aref(id(arr), id(i), id(j)), lit(0))))
+	loop := forUp(i, lit(0), n, inner)
+	return newSnippet("tinyNested", loop)
+}
+
+// tplBreakSearch: early-exit search loop.
+func tplBreakSearch(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	target := []string{"key", "needle", "target", "want"}[rng.Intn(4)]
+	found := []string{"pos", "found", "where", "hit"}[rng.Intn(4)]
+	body := &cast.If{
+		Cond: bin("==", aref(id(arr), id(v)), id(target)),
+		Then: block(es(asg(id(found), id(v))), &cast.Break{}),
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("breakSearch", loop)
+}
+
+// tplScatter: a[idx[i]] = ... — potential write collisions.
+func tplScatter(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(2)
+	ind := []string{"idx", "bucket", "hash0", "bin"}[rng.Intn(4)]
+	var body cast.Stmt = es(asg(aref(id(arrs[0]), aref(id(ind), id(v))), aref(id(arrs[1]), id(v))))
+	if rng.Intn(2) == 0 { // histogram increment
+		body = es(opAsg("+=", aref(id(arrs[0]), aref(id(ind), id(v))), lit(1)))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("scatter", loop)
+}
+
+// tplOverlapShift: a[i] = a[i+1] — anti dependence.
+func tplOverlapShift(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	loop := forUp(v, lit(0), bin("-", boundExpr(nm, rng, v), lit(1)),
+		es(asg(aref(id(arr), id(v)), bin("*", aref(id(arr), bin("+", id(v), lit(1))), flit(nm.floatConst())))))
+	return newSnippet("overlapShift", loop)
+}
+
+// tplInPlaceStencil: a[i] = (a[i-1]+a[i+1])/2 — both directions carried.
+func tplInPlaceStencil(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	rhs := bin("/", bin("+", aref(id(arr), bin("-", id(v), lit(1))), aref(id(arr), bin("+", id(v), lit(1)))), flit("2.0"))
+	loop := forUp(v, lit(1), bin("-", boundExpr(nm, rng, v), lit(1)), es(asg(aref(id(arr), id(v)), rhs)))
+	return newSnippet("inPlaceStencil", loop)
+}
+
+// tplImpureCall: calls a helper that mutates global state; the body is
+// sometimes omitted from the code so only name cues remain (update_state,
+// log_event, ...).
+func tplImpureCall(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	fn := nm.impureFunc()
+	arr := nm.array()
+	glob := []string{"counter0", "events", "stats_n", "seen"}[rng.Intn(4)]
+	helper := funcDef("void", fn, []*cast.Decl{param("int", "x", 0)},
+		es(asg(id(glob), bin("+", id(glob), id("x")))))
+	var body cast.Stmt = es(call(fn, aref(id(arr), id(v))))
+	if rng.Intn(2) == 0 {
+		body = es(call(fn, id(v)))
+	}
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	s := newSnippet("impureCall", loop)
+	s.withFunc(helper, rng.Intn(100) < 50)
+	return s
+}
+
+// tplLoopVarMutation: the body adjusts the loop variable.
+func tplLoopVarMutation(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arrs := nm.arrays(2)
+	body := block(
+		es(asg(aref(id(arrs[0]), id(v)), aref(id(arrs[1]), id(v)))),
+		&cast.If{
+			Cond: bin("<", aref(id(arrs[1]), id(v)), lit(0)),
+			Then: es(opAsg("+=", id(v), lit(1))),
+		},
+	)
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("loopVarMutation", loop)
+}
+
+// tplStrcatLoop: string accumulation, order dependent.
+func tplStrcatLoop(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	buf := []string{"buf", "line", "msg", "out_str"}[rng.Intn(4)]
+	arr := []string{"words", "parts", "tokens", "names"}[rng.Intn(4)]
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v),
+		es(call("strcat", id(buf), aref(id(arr), id(v)))))
+	return newSnippet("strcatLoop", loop)
+}
+
+// tplFileWrite: fwrite in a loop.
+func tplFileWrite(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v),
+		es(call("fwrite", &cast.UnaryOp{Op: "&", X: aref(id(arr), id(v))},
+			&cast.Sizeof{Type: &cast.TypeSpec{Names: []string{"double"}}}, lit(1), id("fp"))))
+	return newSnippet("fileWrite", loop)
+}
+
+// tplLinkedList: pointer-chasing traversal written as a for-loop.
+func tplLinkedList(rng *rand.Rand, g *genCtx) *snippet {
+	p := []string{"p", "cur", "node", "it"}[rng.Intn(4)]
+	cnt := []string{"count", "total", "n_seen", "len0"}[rng.Intn(4)]
+	loop := &cast.For{
+		Init: es(asg(id(p), id("head"))),
+		Cond: id(p),
+		Post: asg(id(p), &cast.Member{X: id(p), Field: "next", Arrow: true}),
+		Body: es(inc(cnt)),
+	}
+	return newSnippet("linkedList", loop)
+}
+
+// tplAccumulateDependent: s used and rewritten non-reducibly across
+// statements.
+func tplAccumulateDependent(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	s := nm.scalar()
+	arrs := nm.arrays(2)
+	body := block(
+		es(asg(aref(id(arrs[0]), id(v)), bin("+", id(s), aref(id(arrs[1]), id(v))))),
+		es(asg(id(s), aref(id(arrs[0]), id(v)))),
+	)
+	loop := forUp(v, lit(0), boundExpr(nm, rng, v), body)
+	return newSnippet("accumDependent", loop)
+}
+
+// tplTinyIO: a short loop that both is tiny and does I/O — doubly negative,
+// and a source of "fprintf"/"stderr" tokens for the explainability study.
+func tplTinyIO(rng *rand.Rand, g *genCtx) *snippet {
+	nm := names{rng}
+	v := nm.loopVar()
+	arr := nm.array()
+	loop := forUp(v, lit(0), lit(nm.tinyConst()),
+		es(call("printf", str("%0.3f\\n"), aref(id(arr), id(v)))))
+	return newSnippet("tinyIO", loop)
+}

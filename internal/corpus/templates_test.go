@@ -1,0 +1,217 @@
+package corpus
+
+import (
+	"math/rand"
+	"testing"
+
+	"pragformer/internal/cparse"
+)
+
+// Per-template labeling contracts: across many random draws, each positive
+// template must label positive with its intended clause profile, and each
+// negative template must label negative, for every draw. These pin the
+// generator's ground-truth semantics.
+
+const templateTrials = 25
+
+func runTemplate(t *testing.T, name string, build func(*rand.Rand, *genCtx) *snippet,
+	check func(t *testing.T, s *snippet, trial int)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	g := &genCtx{}
+	for trial := 0; trial < templateTrials; trial++ {
+		s := build(rng, g)
+		if s.template == "" {
+			t.Fatalf("%s: empty template name", name)
+		}
+		code := renderSnippet(s)
+		if _, err := cparse.Parse(code); err != nil {
+			t.Fatalf("%s trial %d: unparseable output: %v\n%s", name, trial, err, code)
+		}
+		check(t, s, trial)
+	}
+}
+
+func wantPositive(name string, wantPriv, wantRed bool) func(*testing.T, *snippet, int) {
+	return func(t *testing.T, s *snippet, trial int) {
+		t.Helper()
+		d, a := labelSnippet(s)
+		if d == nil {
+			t.Fatalf("%s trial %d labeled negative: %v\n%s", name, trial, a.Reasons, renderSnippet(s))
+		}
+		if wantPriv && !d.HasPrivate() {
+			t.Errorf("%s trial %d: missing private clause (%s)", name, trial, d)
+		}
+		if wantRed && !d.HasReduction() {
+			t.Errorf("%s trial %d: missing reduction clause (%s)", name, trial, d)
+		}
+	}
+}
+
+func wantNegative(name string) func(*testing.T, *snippet, int) {
+	return func(t *testing.T, s *snippet, trial int) {
+		t.Helper()
+		if d, _ := labelSnippet(s); d != nil {
+			t.Fatalf("%s trial %d labeled positive (%s):\n%s", name, trial, d, renderSnippet(s))
+		}
+	}
+}
+
+func TestPositiveTemplateContracts(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*rand.Rand, *genCtx) *snippet
+		priv  bool
+		red   bool
+	}{
+		{"vecInit", tplVecInit, false, false},
+		{"vecMap", tplVecMap, false, false},
+		{"axpy", tplAxpy, false, false},
+		{"stencil", tplStencil, false, false},
+		{"strided", tplStrided, false, false},
+		{"gather", tplGather, false, false},
+		{"conditionalStore", tplConditionalStore, false, false},
+		{"structArray", tplStructArray, false, false},
+		{"pureCall", tplPureCall, false, false},
+		{"longBody", tplLongBody, false, false},
+		{"privateTempDecl", tplPrivateTempDecl, false, false},
+		{"matVec", tplMatVec, true, false},
+		{"matMul", tplMatMul, true, false},
+		{"privateTemp", tplPrivateTemp, true, false},
+		{"reduceSum", tplReduceSum, false, true},
+		{"reduceExplicit", tplReduceExplicit, false, true},
+		{"reduceMax", tplReduceMax, false, true},
+		{"reduceNested", tplReduceNested, true, true},
+		{"unbalanced", tplUnbalanced, false, false},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			runTemplate(t, c.name, c.build, wantPositive(c.name, c.priv, c.red))
+		})
+	}
+}
+
+func TestUnbalancedTemplateGetsDynamic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := &genCtx{}
+	for trial := 0; trial < templateTrials; trial++ {
+		s := tplUnbalanced(rng, g)
+		d, a := labelSnippet(s)
+		if d == nil {
+			t.Fatalf("trial %d negative: %v", trial, a.Reasons)
+		}
+		if d.Schedule.String() != "dynamic" {
+			t.Fatalf("trial %d: schedule = %q, want dynamic", trial, d.Schedule)
+		}
+	}
+}
+
+func TestNegativeTemplateContracts(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*rand.Rand, *genCtx) *snippet
+	}{
+		{"recurrence", tplRecurrence},
+		{"prefixSum", tplPrefixSum},
+		{"horner", tplHorner},
+		{"ioPrint", tplIOPrint},
+		{"randFill", tplRandFill},
+		{"allocLoop", tplAllocLoop},
+		{"tinyLoop", tplTinyLoop},
+		{"tinyNested", tplTinyNested},
+		{"tinyIO", tplTinyIO},
+		{"breakSearch", tplBreakSearch},
+		{"scatter", tplScatter},
+		{"overlapShift", tplOverlapShift},
+		{"inPlaceStencil", tplInPlaceStencil},
+		{"impureCall", tplImpureCall},
+		{"loopVarMutation", tplLoopVarMutation},
+		{"strcatLoop", tplStrcatLoop},
+		{"fileWrite", tplFileWrite},
+		{"linkedList", tplLinkedList},
+		{"accumDependent", tplAccumulateDependent},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			runTemplate(t, c.name, c.build, wantNegative(c.name))
+		})
+	}
+}
+
+// TestMat2DTemplateEitherClause checks mat2D's two variants: inline decl
+// (no clause) or outer variable (private clause), always positive.
+func TestMat2DTemplateEitherClause(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := &genCtx{}
+	sawPriv, sawPlain := false, false
+	for trial := 0; trial < 40; trial++ {
+		s := tplMat2D(rng, g)
+		d, a := labelSnippet(s)
+		if d == nil {
+			t.Fatalf("trial %d negative: %v", trial, a.Reasons)
+		}
+		if d.HasPrivate() {
+			sawPriv = true
+		} else {
+			sawPlain = true
+		}
+	}
+	if !sawPriv || !sawPlain {
+		t.Errorf("mat2D variants: private=%v plain=%v, want both", sawPriv, sawPlain)
+	}
+}
+
+// TestHardenSnippetLabelNeutral verifies hardening never flips a label.
+func TestHardenSnippetLabelNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := &genCtx{}
+	for trial := 0; trial < 60; trial++ {
+		s := tplVecMap(rng, g)
+		before, _ := labelSnippet(s)
+		hardenAlways(rng, s)
+		after, _ := labelSnippet(s)
+		if (before == nil) != (after == nil) {
+			t.Fatalf("trial %d: hardening flipped label\n%s", trial, renderSnippet(s))
+		}
+	}
+}
+
+// TestExtendSnippetLabelNeutral verifies body extension never flips a label.
+func TestExtendSnippetLabelNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := &genCtx{}
+	builders := []func(*rand.Rand, *genCtx) *snippet{tplVecMap, tplReduceSum, tplRecurrence, tplTinyLoop}
+	for trial := 0; trial < 40; trial++ {
+		s := builders[trial%len(builders)](rng, g)
+		before, _ := labelSnippet(s)
+		extendSnippet(rng, s, 40)
+		after, _ := labelSnippet(s)
+		if (before == nil) != (after == nil) {
+			t.Fatalf("trial %d: extension flipped label\n%s", trial, renderSnippet(s))
+		}
+	}
+}
+
+func TestDrawLengthTargetDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	short, mid, long := 0, 0, 0
+	for i := 0; i < 3000; i++ {
+		switch target := drawLengthTarget(rng); {
+		case target == 0:
+			short++
+		case target <= 50:
+			mid++
+		default:
+			long++
+		}
+	}
+	if short < 1500 || short > 2000 {
+		t.Errorf("short draws = %d/3000, want ≈ 1740 (58%%)", short)
+	}
+	if long < 100 || long > 450 {
+		t.Errorf("long draws = %d/3000, want ≈ 234 (7.8%%)", long)
+	}
+	_ = mid
+}

@@ -1,0 +1,578 @@
+// Package cparse is a recursive-descent parser for the C subset used by the
+// Open-OMP corpus, standing in for the paper's use of pycparser. It handles
+// declarations (pointers, arrays, struct tags, typedefs, storage classes),
+// the statement forms found in loop snippets, the full C expression
+// precedence ladder, and attaches `#pragma omp` lines to the statements that
+// follow them.
+package cparse
+
+import (
+	"fmt"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/clex"
+)
+
+// builtinTypes seeds the typedef table with names that real corpus code uses
+// without declaring (the paper's SPEC examples use ssize_t, IndexPacket...).
+var builtinTypes = map[string]bool{
+	"size_t": true, "ssize_t": true, "ptrdiff_t": true, "FILE": true,
+	"int8_t": true, "int16_t": true, "int32_t": true, "int64_t": true,
+	"uint8_t": true, "uint16_t": true, "uint32_t": true, "uint64_t": true,
+	"IndexPacket": true, "PixelPacket": true, "MagickBooleanType": true,
+	"bool": true, "uint": true, "ulong": true, "real_t": true,
+}
+
+// Parser parses a token stream into a cast.File.
+type Parser struct {
+	toks     []clex.Token
+	pos      int
+	typedefs map[string]bool
+}
+
+// Parse parses C source text into an AST.
+func Parse(src string) (*cast.File, error) {
+	toks, err := clex.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, typedefs: map[string]bool{}}
+	for k := range builtinTypes {
+		p.typedefs[k] = true
+	}
+	return p.parseFile()
+}
+
+// ParseStmt parses a single statement (e.g. one loop snippet).
+func ParseStmt(src string) (cast.Stmt, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	for _, it := range f.Items {
+		if s, ok := it.(cast.Stmt); ok {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("cparse: no statement in input")
+}
+
+func (p *Parser) cur() clex.Token  { return p.toks[p.pos] }
+func (p *Parser) peek() clex.Token { return p.at(1) }
+
+func (p *Parser) at(off int) clex.Token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) next() clex.Token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(text string) bool {
+	if p.cur().Kind != clex.EOF && p.cur().Text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(text string) error {
+	if p.accept(text) {
+		return nil
+	}
+	t := p.cur()
+	return fmt.Errorf("cparse: line %d: expected %q, got %q", t.Line, text, t.Text)
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("cparse: line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) parseFile() (*cast.File, error) {
+	f := &cast.File{}
+	for p.cur().Kind != clex.EOF {
+		n, err := p.parseTopLevel()
+		if err != nil {
+			return nil, err
+		}
+		if n != nil {
+			f.Items = append(f.Items, n)
+		}
+	}
+	return f, nil
+}
+
+// parseTopLevel parses a function definition, declaration, or loose
+// statement. Corpus snippets are usually loose statements (a bare for-loop).
+func (p *Parser) parseTopLevel() (cast.Node, error) {
+	if p.cur().Kind == clex.Pragma {
+		return p.parseStatement()
+	}
+	if p.startsDecl() {
+		// Could be a declaration or a function definition; decide by
+		// scanning for '(' after the declarator name at paren depth 0.
+		save := p.pos
+		fd, isFunc, err := p.tryFuncDef()
+		if err != nil {
+			return nil, err
+		}
+		if isFunc {
+			return fd, nil
+		}
+		p.pos = save
+		ds, err := p.parseDeclLine()
+		if err != nil {
+			return nil, err
+		}
+		return ds, nil
+	}
+	return p.parseStatement()
+}
+
+// startsDecl reports whether the current token can begin a declaration.
+func (p *Parser) startsDecl() bool {
+	t := p.cur()
+	switch t.Kind {
+	case clex.Keyword:
+		switch t.Text {
+		case "int", "char", "float", "double", "long", "short", "signed",
+			"unsigned", "void", "const", "volatile", "static", "extern",
+			"register", "struct", "union", "enum", "typedef", "auto",
+			"inline", "restrict":
+			return true
+		}
+		return false
+	case clex.Ident:
+		// A typedef name followed by an identifier or '*' begins a decl.
+		if !p.typedefs[t.Text] {
+			return false
+		}
+		n := p.peek()
+		return n.Kind == clex.Ident || n.Text == "*"
+	}
+	return false
+}
+
+// tryFuncDef attempts to parse `type name(params) { body }`. Returns
+// (nil,false,nil) if the construct is not a function definition.
+func (p *Parser) tryFuncDef() (*cast.FuncDef, bool, error) {
+	ts, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, false, nil //nolint:nilerr // fall back to decl path
+	}
+	if p.cur().Kind != clex.Ident {
+		return nil, false, nil
+	}
+	name := p.cur().Text
+	if p.peek().Text != "(" {
+		return nil, false, nil
+	}
+	p.next() // name
+	p.next() // (
+	var params []*cast.Decl
+	if !p.accept(")") {
+		for {
+			if p.cur().Text == "void" && p.peek().Text == ")" {
+				p.next()
+				break
+			}
+			pt, err := p.parseTypeSpec()
+			if err != nil {
+				return nil, false, err
+			}
+			pd := &cast.Decl{Type: pt}
+			if p.cur().Kind == clex.Ident {
+				pd.Name = p.next().Text
+			}
+			for p.cur().Text == "[" {
+				p.next()
+				if p.cur().Text == "]" {
+					pd.ArrayDims = append(pd.ArrayDims, nil)
+				} else {
+					dim, err := p.parseExpr(precAssign)
+					if err != nil {
+						return nil, false, err
+					}
+					pd.ArrayDims = append(pd.ArrayDims, dim)
+				}
+				if err := p.expect("]"); err != nil {
+					return nil, false, err
+				}
+			}
+			params = append(params, pd)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, false, err
+		}
+	}
+	if p.cur().Text != "{" {
+		// Function prototype: treat as a no-body definition.
+		if p.accept(";") {
+			return &cast.FuncDef{ReturnType: ts, Name: name, Params: params, Body: &cast.Block{}}, true, nil
+		}
+		return nil, false, nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, false, err
+	}
+	return &cast.FuncDef{ReturnType: ts, Name: name, Params: params, Body: body}, true, nil
+}
+
+// parseTypeSpec parses qualifiers, struct/union tags, type names and
+// pointer stars.
+func (p *Parser) parseTypeSpec() (*cast.TypeSpec, error) {
+	ts := &cast.TypeSpec{}
+	seenType := false
+	for {
+		t := p.cur()
+		if t.Kind == clex.Keyword {
+			switch t.Text {
+			case "const", "volatile", "static", "extern", "register", "auto", "inline", "restrict":
+				ts.Quals = append(ts.Quals, t.Text)
+				p.next()
+				continue
+			case "struct", "union":
+				ts.Union = t.Text == "union"
+				p.next()
+				if p.cur().Kind != clex.Ident {
+					return nil, p.errorf("expected struct tag")
+				}
+				ts.Struct = p.next().Text
+				seenType = true
+				continue
+			case "int", "char", "float", "double", "long", "short", "signed", "unsigned", "void":
+				ts.Names = append(ts.Names, t.Text)
+				p.next()
+				seenType = true
+				continue
+			}
+		}
+		if t.Kind == clex.Ident && !seenType && p.typedefs[t.Text] {
+			ts.Names = append(ts.Names, t.Text)
+			p.next()
+			seenType = true
+			continue
+		}
+		break
+	}
+	if !seenType && ts.Struct == "" {
+		if len(ts.Quals) > 0 {
+			ts.Names = append(ts.Names, "int") // e.g. `register i`
+		} else {
+			return nil, p.errorf("expected type, got %q", p.cur().Text)
+		}
+	}
+	for p.accept("*") {
+		ts.Ptr++
+	}
+	return ts, nil
+}
+
+// parseDeclLine parses `type a = 1, *b, c[10];` into a DeclStmt.
+func (p *Parser) parseDeclLine() (*cast.DeclStmt, error) {
+	isTypedef := p.accept("typedef")
+	base, err := p.parseTypeSpec()
+	if err != nil {
+		return nil, err
+	}
+	ds := &cast.DeclStmt{}
+	for {
+		d := &cast.Decl{Type: cloneTypeSpec(base), IsTypedef: isTypedef}
+		for p.accept("*") {
+			d.Type.Ptr++
+		}
+		if p.cur().Kind != clex.Ident {
+			return nil, p.errorf("expected declarator name, got %q", p.cur().Text)
+		}
+		d.Name = p.next().Text
+		for p.cur().Text == "[" {
+			p.next()
+			if p.cur().Text == "]" {
+				d.ArrayDims = append(d.ArrayDims, nil)
+			} else {
+				dim, err := p.parseExpr(precAssign)
+				if err != nil {
+					return nil, err
+				}
+				d.ArrayDims = append(d.ArrayDims, dim)
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+		}
+		if p.accept("=") {
+			init, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		if isTypedef {
+			p.typedefs[d.Name] = true
+		}
+		ds.Decls = append(ds.Decls, d)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func (p *Parser) parseInitializer() (cast.Expr, error) {
+	if p.cur().Text == "{" {
+		p.next()
+		il := &cast.InitList{}
+		for p.cur().Text != "}" {
+			e, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			il.Elems = append(il.Elems, e)
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect("}"); err != nil {
+			return nil, err
+		}
+		return il, nil
+	}
+	return p.parseExpr(precAssign)
+}
+
+func cloneTypeSpec(t *cast.TypeSpec) *cast.TypeSpec {
+	c := &cast.TypeSpec{Struct: t.Struct, Union: t.Union, Ptr: t.Ptr}
+	c.Quals = append(c.Quals, t.Quals...)
+	c.Names = append(c.Names, t.Names...)
+	return c
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseBlock() (*cast.Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &cast.Block{}
+	for p.cur().Text != "}" {
+		if p.cur().Kind == clex.EOF {
+			return nil, p.errorf("unexpected EOF in block")
+		}
+		s, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.next() // }
+	return b, nil
+}
+
+func (p *Parser) parseStatement() (cast.Stmt, error) {
+	t := p.cur()
+	if t.Kind == clex.Pragma {
+		p.next()
+		ps := &cast.PragmaStmt{Text: t.Text}
+		if p.cur().Kind != clex.EOF && p.cur().Text != "}" {
+			s, err := p.parseStatement()
+			if err != nil {
+				return nil, err
+			}
+			ps.Stmt = s
+		}
+		return ps, nil
+	}
+	switch t.Text {
+	case "{":
+		return p.parseBlock()
+	case ";":
+		p.next()
+		return &cast.Empty{}, nil
+	case "for":
+		return p.parseFor()
+	case "while":
+		return p.parseWhile()
+	case "do":
+		return p.parseDoWhile()
+	case "if":
+		return p.parseIf()
+	case "return":
+		p.next()
+		r := &cast.Return{}
+		if p.cur().Text != ";" {
+			e, err := p.parseExpr(precLowest)
+			if err != nil {
+				return nil, err
+			}
+			r.X = e
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case "break":
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &cast.Break{}, nil
+	case "continue":
+		p.next()
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &cast.Continue{}, nil
+	}
+	if p.startsDecl() {
+		return p.parseDeclLine()
+	}
+	e, err := p.parseExpr(precLowest)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &cast.ExprStmt{X: e}, nil
+}
+
+func (p *Parser) parseFor() (cast.Stmt, error) {
+	p.next() // for
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &cast.For{}
+	if p.cur().Text != ";" {
+		if p.startsDecl() {
+			ds, err := p.parseDeclLine() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			f.Init = ds
+		} else {
+			e, err := p.parseExpr(precLowest)
+			if err != nil {
+				return nil, err
+			}
+			f.Init = &cast.ExprStmt{X: e}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		p.next()
+	}
+	if p.cur().Text != ";" {
+		c, err := p.parseExpr(precLowest)
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = c
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if p.cur().Text != ")" {
+		post, err := p.parseExpr(precLowest)
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *Parser) parseWhile() (cast.Stmt, error) {
+	p.next()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr(precLowest)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	return &cast.While{Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) parseDoWhile() (cast.Stmt, error) {
+	p.next()
+	body, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("while"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr(precLowest)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	return &cast.DoWhile{Body: body, Cond: cond}, nil
+}
+
+func (p *Parser) parseIf() (cast.Stmt, error) {
+	p.next()
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr(precLowest)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	st := &cast.If{Cond: cond, Then: then}
+	if p.accept("else") {
+		els, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}

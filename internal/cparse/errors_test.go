@@ -1,0 +1,282 @@
+package cparse
+
+import (
+	"strings"
+	"testing"
+
+	"pragformer/internal/cast"
+)
+
+// Exhaustive malformed-input coverage: every recovery path must produce an
+// error, never a panic or a silent mis-parse.
+func TestMalformedInputs(t *testing.T) {
+	bad := []string{
+		"for (",
+		"for (;;",
+		"for (i = 0; i < n; i++)",
+		"while (x",
+		"while",
+		"do { x--; } while (x",
+		"do { x--; }",
+		"if (a > b",
+		"if",
+		"return",
+		"break",
+		"continue",
+		"int",
+		"int x",
+		"int x[",
+		"int x[3",
+		"int x = ;",
+		"x ->;",
+		"x = a ? b;",
+		"x = a ? b :;",
+		"f(a,;",
+		"a[;",
+		"x = (a;",
+		"typedef int;",
+		"struct;",
+		"x..y;",
+		"sizeof(;",
+		"x = 1 +;",
+		"{ int a = 1;",
+		"void f(int a { return; }",
+	}
+	for _, src := range bad {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			if _, err := Parse(src); err == nil {
+				t.Errorf("Parse(%q): expected error", src)
+			}
+		}()
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	f, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Items) != 0 {
+		t.Fatalf("items = %d", len(f.Items))
+	}
+}
+
+func TestPragmaAtEndOfBlock(t *testing.T) {
+	// A pragma with nothing after it inside a block must not consume '}'.
+	f := mustParse(t, "{ x = 1;\n#pragma omp barrier\n}")
+	blk := f.Items[0].(*cast.Block)
+	ps, ok := blk.Stmts[len(blk.Stmts)-1].(*cast.PragmaStmt)
+	if !ok || ps.Stmt != nil {
+		t.Fatalf("trailing pragma mishandled: %#v", blk.Stmts)
+	}
+}
+
+func TestPragmaAtEOF(t *testing.T) {
+	f := mustParse(t, "#pragma omp parallel for")
+	ps, ok := f.Items[0].(*cast.PragmaStmt)
+	if !ok || ps.Stmt != nil {
+		t.Fatalf("items = %#v", f.Items)
+	}
+}
+
+func TestSizeofTypeForm(t *testing.T) {
+	f := mustParse(t, "n = sizeof(unsigned long);")
+	sz := f.Items[0].(*cast.ExprStmt).X.(*cast.Assign).R.(*cast.Sizeof)
+	if sz.Type == nil || len(sz.Type.Names) != 2 {
+		t.Fatalf("sizeof type = %#v", sz.Type)
+	}
+}
+
+func TestCastVsParenExpr(t *testing.T) {
+	// (n) + 1 is arithmetic, not a cast, because n is not a known type.
+	f := mustParse(t, "x = (n) + 1;")
+	if _, isCast := f.Items[0].(*cast.ExprStmt).X.(*cast.Assign).R.(*cast.Cast); isCast {
+		t.Fatal("(n) + 1 parsed as cast")
+	}
+	// (size_t) n is a cast because size_t is a builtin typedef.
+	f = mustParse(t, "x = (size_t) n;")
+	if _, isCast := f.Items[0].(*cast.ExprStmt).X.(*cast.Assign).R.(*cast.Cast); !isCast {
+		t.Fatal("(size_t) n not parsed as cast")
+	}
+}
+
+func TestPointerCastForm(t *testing.T) {
+	f := mustParse(t, "p = (double *) q;")
+	cs, ok := f.Items[0].(*cast.ExprStmt).X.(*cast.Assign).R.(*cast.Cast)
+	if !ok || cs.Type.Ptr != 1 {
+		t.Fatalf("got %#v", f.Items[0])
+	}
+}
+
+func TestUnaryOperators(t *testing.T) {
+	f := mustParse(t, "y = -x + !b + ~m + *p + &v + +w;")
+	ops := map[string]bool{}
+	cast.Walk(f, func(n cast.Node) bool {
+		if u, ok := n.(*cast.UnaryOp); ok && !u.Postfix {
+			ops[u.Op] = true
+		}
+		return true
+	})
+	for _, want := range []string{"-", "!", "~", "*", "&", "+"} {
+		if !ops[want] {
+			t.Errorf("unary %q not parsed", want)
+		}
+	}
+}
+
+func TestPrefixIncrement(t *testing.T) {
+	f := mustParse(t, "++x; --y;")
+	var pre int
+	cast.Walk(f, func(n cast.Node) bool {
+		if u, ok := n.(*cast.UnaryOp); ok && !u.Postfix && (u.Op == "++" || u.Op == "--") {
+			pre++
+		}
+		return true
+	})
+	if pre != 2 {
+		t.Errorf("prefix ops = %d", pre)
+	}
+}
+
+func TestFunctionPrototype(t *testing.T) {
+	f := mustParse(t, "double norm(double *v, int n);\nx = norm(a, 3);")
+	fd, ok := f.Items[0].(*cast.FuncDef)
+	if !ok {
+		t.Fatalf("item = %T", f.Items[0])
+	}
+	if len(fd.Body.Stmts) != 0 {
+		t.Error("prototype should have empty body")
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	f := mustParse(t, "int get(void) { return 1; }")
+	fd := f.Items[0].(*cast.FuncDef)
+	if len(fd.Params) != 0 {
+		t.Fatalf("params = %d", len(fd.Params))
+	}
+}
+
+func TestArrayParam(t *testing.T) {
+	f := mustParse(t, "void fill(double v[], int n) { v[0] = n; }")
+	fd := f.Items[0].(*cast.FuncDef)
+	if len(fd.Params[0].ArrayDims) != 1 {
+		t.Fatalf("param dims = %#v", fd.Params[0])
+	}
+}
+
+func TestNestedInitializerList(t *testing.T) {
+	f := mustParse(t, "int m[2][2] = {{1, 2}, {3, 4}};")
+	d := f.Items[0].(*cast.DeclStmt).Decls[0]
+	il, ok := d.Init.(*cast.InitList)
+	if !ok || len(il.Elems) != 2 {
+		t.Fatalf("init = %#v", d.Init)
+	}
+	if _, ok := il.Elems[0].(*cast.InitList); !ok {
+		t.Fatal("nested list not parsed")
+	}
+}
+
+func TestLogicalAndBitwiseOps(t *testing.T) {
+	src := "r = a && b || c & d | e ^ f;"
+	f := mustParse(t, src)
+	// || binds loosest: top must be ||.
+	top := f.Items[0].(*cast.ExprStmt).X.(*cast.Assign).R.(*cast.BinaryOp)
+	if top.Op != "||" {
+		t.Fatalf("top = %q", top.Op)
+	}
+	printed := cast.PrintExpr(f.Items[0].(*cast.ExprStmt).X)
+	f2 := mustParse(t, printed+";")
+	if cast.Serialize(f) != cast.Serialize(f2) {
+		t.Error("precedence round trip failed")
+	}
+}
+
+func TestShiftOps(t *testing.T) {
+	f := mustParse(t, "x = a << 2 >> b;")
+	var shifts int
+	cast.Walk(f, func(n cast.Node) bool {
+		if b, ok := n.(*cast.BinaryOp); ok && (b.Op == "<<" || b.Op == ">>") {
+			shifts++
+		}
+		return true
+	})
+	if shifts != 2 {
+		t.Errorf("shifts = %d", shifts)
+	}
+}
+
+func TestStaticAndConstDecls(t *testing.T) {
+	f := mustParse(t, "static const double eps = 1e-9;")
+	d := f.Items[0].(*cast.DeclStmt).Decls[0]
+	if len(d.Type.Quals) != 2 {
+		t.Fatalf("quals = %v", d.Type.Quals)
+	}
+}
+
+func TestStructDeclarations(t *testing.T) {
+	f := mustParse(t, "struct point p;\nstruct node *head;\nunion conv u;")
+	if len(f.Items) != 3 {
+		t.Fatalf("items = %d", len(f.Items))
+	}
+	u := f.Items[2].(*cast.DeclStmt).Decls[0]
+	if !u.Type.Union {
+		t.Error("union flag lost")
+	}
+}
+
+// FuzzParse exercises the parser for panics on arbitrary inputs; any input
+// must produce either an AST or an error.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"for (i = 0; i < n; i++) a[i] = i;",
+		"#pragma omp parallel for\nfor (;;) {}",
+		"int x = {1, {2}};",
+		"a->b.c[d](e, f)++;",
+		"x = (ssize_t) y;",
+		"do ; while (0);",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		ast, err := Parse(src)
+		if err == nil && ast == nil {
+			t.Fatal("nil AST without error")
+		}
+		if err == nil {
+			// The printer must render any accepted AST without panicking.
+			_ = cast.Print(ast)
+		}
+	})
+}
+
+func TestParseIdempotentOnCorpusShapes(t *testing.T) {
+	srcs := []string{
+		"register int r0;\nfor (i = 0; i < 4096; i++) out[i] = in[i] * 0.5;",
+		"union conv_u *u0;\nfor (j = 0; j < m; j++) sum += grid[j];",
+		"double square(double x) { return x * x; }\nfor (k = 0; k < len; k++) b[k] = square(a[k]);",
+	}
+	for _, src := range srcs {
+		f1 := mustParse(t, src)
+		f2 := mustParse(t, cast.Print(f1))
+		if cast.Serialize(f1) != cast.Serialize(f2) {
+			t.Errorf("round trip mismatch for %q", src)
+		}
+	}
+}
+
+func TestDeepExpressionNoStackIssue(t *testing.T) {
+	// 200 nested parens parse without trouble.
+	src := "x = " + strings.Repeat("(", 200) + "1" + strings.Repeat(")", 200) + ";"
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"pragformer/internal/corpus"
+)
+
+var c = corpus.Generate(corpus.Config{Seed: 5, Total: 1000})
+
+func TestDirectiveSplitSizes(t *testing.T) {
+	s := Directive(c, Options{Seed: 1})
+	tr, va, te := s.Sizes()
+	if tr+va+te != len(c.Records) {
+		t.Fatalf("splits sum to %d, want %d", tr+va+te, len(c.Records))
+	}
+	if math.Abs(float64(tr)/float64(len(c.Records))-0.8) > 0.02 {
+		t.Errorf("train share = %.3f, want ≈ 0.8", float64(tr)/float64(len(c.Records)))
+	}
+	if va == 0 || te == 0 {
+		t.Error("empty validation or test split")
+	}
+}
+
+func TestDirectiveStratified(t *testing.T) {
+	s := Directive(c, Options{Seed: 1})
+	whole := PositiveFraction(append(append([]Instance{}, s.Train...), append(s.Valid, s.Test...)...))
+	for name, part := range map[string][]Instance{"train": s.Train, "valid": s.Valid, "test": s.Test} {
+		if f := PositiveFraction(part); math.Abs(f-whole) > 0.05 {
+			t.Errorf("%s positive fraction %.3f differs from corpus %.3f", name, f, whole)
+		}
+	}
+}
+
+func TestNoLeakageAcrossSplits(t *testing.T) {
+	s := Directive(c, Options{Seed: 1})
+	seen := map[int]string{}
+	check := func(name string, ins []Instance) {
+		for _, in := range ins {
+			if prev, ok := seen[in.Rec.ID]; ok {
+				t.Fatalf("record %d appears in both %s and %s", in.Rec.ID, prev, name)
+			}
+			seen[in.Rec.ID] = name
+		}
+	}
+	check("train", s.Train)
+	check("valid", s.Valid)
+	check("test", s.Test)
+}
+
+func TestDeterministicSplits(t *testing.T) {
+	a := Directive(c, Options{Seed: 9})
+	b := Directive(c, Options{Seed: 9})
+	for i := range a.Train {
+		if a.Train[i].Rec.ID != b.Train[i].Rec.ID {
+			t.Fatal("same seed produced different splits")
+		}
+	}
+	d := Directive(c, Options{Seed: 10})
+	diff := 0
+	for i := range a.Train {
+		if a.Train[i].Rec.ID != d.Train[i].Rec.ID {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical order")
+	}
+}
+
+func TestClausePrivate(t *testing.T) {
+	s := Clause(c, TaskPrivate, Options{Seed: 1})
+	tr, va, te := s.Sizes()
+	if tr+va+te != len(c.Positives()) {
+		t.Fatalf("clause dataset covers %d, want %d positives", tr+va+te, len(c.Positives()))
+	}
+	for _, in := range s.Train {
+		if !in.Rec.HasOMP() {
+			t.Fatal("clause dataset contains a record without directive")
+		}
+		if in.Label != in.Rec.NeedsPrivate() {
+			t.Fatal("label mismatch")
+		}
+	}
+}
+
+func TestClauseReductionBalanced(t *testing.T) {
+	s := Clause(c, TaskReduction, Options{Seed: 1, Balance: true})
+	all := append(append([]Instance{}, s.Train...), append(s.Valid, s.Test...)...)
+	f := PositiveFraction(all)
+	if math.Abs(f-0.5) > 0.02 {
+		t.Errorf("balanced fraction = %.3f, want 0.5", f)
+	}
+}
+
+func TestClausePanicsOnDirective(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Clause(c, TaskDirective, Options{})
+}
+
+func TestTaskString(t *testing.T) {
+	if TaskDirective.String() != "directive" || TaskPrivate.String() != "private" || TaskReduction.String() != "reduction" {
+		t.Error("task names wrong")
+	}
+}
+
+func TestPositiveFractionEmpty(t *testing.T) {
+	if PositiveFraction(nil) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}
+
+func TestPaperScaleSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale corpus generation")
+	}
+	// At the paper's corpus size the Table 5 numbers should be close.
+	big := corpus.Generate(corpus.Config{Seed: 1, Total: 4000})
+	s := Directive(big, Options{Seed: 1})
+	tr, va, te := s.Sizes()
+	if tr+va+te != 4000 {
+		t.Fatalf("sum = %d", tr+va+te)
+	}
+	cs := Clause(big, TaskPrivate, Options{Seed: 1})
+	ctr, cva, cte := cs.Sizes()
+	if ctr+cva+cte != len(big.Positives()) {
+		t.Fatalf("clause sum = %d want %d", ctr+cva+cte, len(big.Positives()))
+	}
+	if float64(cva) < 0.08*float64(ctr) {
+		t.Errorf("valid/train ratio off: %d vs %d", cva, ctr)
+	}
+}

@@ -1,0 +1,385 @@
+package dep
+
+import (
+	"sort"
+
+	"pragformer/internal/cast"
+)
+
+// collector walks a loop body gathering accesses and side-effect facts.
+type collector struct {
+	loopVar  string
+	funcs    map[string]*cast.FuncDef
+	declared map[string]bool // names declared inside the body (auto-private)
+
+	accesses     []access
+	order        int
+	hasIO        bool
+	hasBreak     bool
+	badWrite     bool
+	unbalanced   bool
+	impureCall   string
+	unknownCalls []string
+	unknownSeen  map[string]bool
+	innerVars    []string // inner loop variables (for private classification)
+	condDepth    int      // >0 while under an if/ternary condition's branches
+}
+
+func (c *collector) record(a access) {
+	a.cond = c.condDepth > 0
+	a.order = c.order
+	c.order++
+	c.accesses = append(c.accesses, a)
+}
+
+func (c *collector) stmt(s cast.Stmt) {
+	switch v := s.(type) {
+	case nil:
+	case *cast.Block:
+		for _, st := range v.Stmts {
+			c.stmt(st)
+		}
+	case *cast.ExprStmt:
+		c.expr(v.X, false)
+	case *cast.DeclStmt:
+		for _, d := range v.Decls {
+			c.declared[d.Name] = true
+			if d.Init != nil {
+				c.expr(d.Init, false)
+				// The decl itself writes a body-local name; body-local names
+				// are automatically private so no access record is needed.
+			}
+			for _, dim := range d.ArrayDims {
+				if dim != nil {
+					c.expr(dim, false)
+				}
+			}
+		}
+	case *cast.For:
+		h := ParseHeader(v)
+		if h.OK {
+			if h.DeclInline {
+				c.declared[h.Var] = true
+			} else {
+				c.innerVars = append(c.innerVars, h.Var)
+				// The header writes then reads the inner variable.
+				c.record(access{name: h.Var, write: true, plainWrite: true})
+				c.record(access{name: h.Var})
+			}
+			// Bound/step expressions are reads.
+			if v.Init != nil {
+				if es, ok := v.Init.(*cast.ExprStmt); ok {
+					if asg, ok := es.X.(*cast.Assign); ok {
+						c.expr(asg.R, false)
+					}
+				}
+			}
+			if v.Cond != nil {
+				c.exprSkipVar(v.Cond, h.Var)
+			}
+			c.stmt(v.Body)
+			return
+		}
+		// Unnormalized inner loop: treat header conservatively.
+		if v.Init != nil {
+			c.stmt(v.Init)
+		}
+		if v.Cond != nil {
+			c.expr(v.Cond, false)
+		}
+		if v.Post != nil {
+			c.expr(v.Post, false)
+		}
+		c.stmt(v.Body)
+	case *cast.While:
+		c.expr(v.Cond, false)
+		c.stmt(v.Body)
+	case *cast.DoWhile:
+		c.stmt(v.Body)
+		c.expr(v.Cond, false)
+	case *cast.If:
+		c.expr(v.Cond, false)
+		heavyThen := c.weigh(v.Then)
+		heavyElse := c.weigh(v.Else)
+		// A guard whose branches differ greatly in cost marks the loop as
+		// unbalanced (paper §1.1 example #2: if (MoreCalc(i)) Calc(i);).
+		if heavyThen >= 2*heavyElse+2 || heavyElse >= 2*heavyThen+2 {
+			c.unbalanced = true
+		}
+		c.condDepth++
+		c.stmt(v.Then)
+		if v.Else != nil {
+			c.stmt(v.Else)
+		}
+		c.condDepth--
+	case *cast.Return:
+		c.hasBreak = true // returning from inside the loop is an early exit
+		if v.X != nil {
+			c.expr(v.X, false)
+		}
+	case *cast.Break:
+		c.hasBreak = true
+	case *cast.Continue:
+		// continue is fine: iteration independence is unaffected.
+	case *cast.Empty:
+	case *cast.PragmaStmt:
+		if v.Stmt != nil {
+			c.stmt(v.Stmt)
+		}
+	}
+}
+
+// weigh estimates the computational weight of a statement subtree: number
+// of calls, loops and assignments. Used by the balance heuristic only.
+func (c *collector) weigh(s cast.Stmt) int {
+	if s == nil {
+		return 0
+	}
+	w := 0
+	cast.Walk(s, func(n cast.Node) bool {
+		switch n.(type) {
+		case *cast.FuncCall:
+			w += 3
+		case *cast.For, *cast.While, *cast.DoWhile:
+			w += 4
+		case *cast.Assign:
+			w++
+		case *cast.BinaryOp:
+			w++
+		}
+		return true
+	})
+	return w
+}
+
+// exprSkipVar records reads in e except for bare references to skip.
+func (c *collector) exprSkipVar(e cast.Expr, skip string) {
+	if id, ok := e.(*cast.Ident); ok && id.Name == skip {
+		return
+	}
+	if bin, ok := e.(*cast.BinaryOp); ok {
+		c.exprSkipVar(bin.L, skip)
+		c.exprSkipVar(bin.R, skip)
+		return
+	}
+	c.expr(e, false)
+}
+
+// expr records accesses in an expression. asWrite marks the expression as
+// the target of an assignment.
+func (c *collector) expr(e cast.Expr, asWrite bool) {
+	c.exprOp(e, asWrite, false)
+}
+
+// exprOp is expr with compound-assignment awareness: compound indicates the
+// enclosing assignment reads the lvalue too.
+func (c *collector) exprOp(e cast.Expr, asWrite, compound bool) {
+	switch v := e.(type) {
+	case nil:
+	case *cast.Ident:
+		if v.Name == c.loopVar {
+			if asWrite {
+				c.badWrite = true // body mutates the loop variable
+			}
+			return
+		}
+		if cast.IsLibraryName(v.Name) {
+			return
+		}
+		if c.declared[v.Name] {
+			return // body-local: automatically private
+		}
+		if asWrite {
+			c.record(access{name: v.Name, write: true, plainWrite: !compound})
+			if compound {
+				c.record(access{name: v.Name})
+			}
+		} else {
+			c.record(access{name: v.Name})
+		}
+	case *cast.IntLit, *cast.FloatLit, *cast.CharLit, *cast.StrLit:
+	case *cast.Assign:
+		// Reduction-shaped scalar accumulations are recorded specially so
+		// the classifier can distinguish `sum += a[i]` (reduction) from a
+		// generic read-modify-write (carried dependence). The self-read is
+		// implicit in the accumOp and not recorded separately.
+		if id, ok := v.L.(*cast.Ident); ok &&
+			id.Name != c.loopVar && !c.declared[id.Name] && !cast.IsLibraryName(id.Name) {
+			if op, rhs, okShape := accumShape(v, id.Name); okShape && !refersTo(rhs, id.Name) {
+				c.exprOp(rhs, false, false)
+				c.record(access{name: id.Name, write: true, accumOp: op})
+				return
+			}
+		}
+		compound := v.Op != "="
+		// RHS is evaluated first (reads), then the lvalue is written.
+		c.exprOp(v.R, false, false)
+		c.writeTarget(v.L, compound)
+	case *cast.BinaryOp:
+		c.exprOp(v.L, false, false)
+		c.exprOp(v.R, false, false)
+	case *cast.UnaryOp:
+		if v.Op == "++" || v.Op == "--" {
+			// x++ reads and writes x.
+			c.writeTarget(v.X, true)
+			return
+		}
+		if v.Op == "*" && !v.Postfix {
+			if asWrite {
+				c.badWrite = true // *p = ... unanalyzable
+				return
+			}
+			c.exprOp(v.X, false, false)
+			return
+		}
+		if v.Op == "&" && !v.Postfix {
+			// Taking an address defeats scalar analysis.
+			if name := cast.RootIdent(v.X); name != "" {
+				c.badWrite = true
+			}
+			return
+		}
+		c.exprOp(v.X, asWrite, compound)
+	case *cast.ArrayRef:
+		base := cast.RootIdent(v.Arr)
+		var subs []cast.Expr
+		cur := e
+		for {
+			ar, ok := cur.(*cast.ArrayRef)
+			if !ok {
+				break
+			}
+			subs = append([]cast.Expr{ar.Index}, subs...)
+			cur = ar.Arr
+		}
+		for _, s := range subs {
+			c.exprOp(s, false, false)
+		}
+		if base == "" {
+			if asWrite {
+				c.badWrite = true
+			}
+			return
+		}
+		if asWrite {
+			c.record(access{name: base, write: true, plainWrite: !compound, subs: subs})
+			if compound {
+				c.record(access{name: base, subs: subs})
+			}
+		} else {
+			c.record(access{name: base, subs: subs})
+		}
+	case *cast.FuncCall:
+		name := ""
+		if id, ok := v.Fun.(*cast.Ident); ok {
+			name = id.Name
+		}
+		for _, arg := range v.Args {
+			c.exprOp(arg, false, false)
+		}
+		c.call(name, v.Args)
+	case *cast.Member:
+		base := cast.RootIdent(v.X)
+		// Treat s->f / s.f as an access to pseudo-array "base.field" with
+		// the member path folded into the name; subscripts inside v.X were
+		// already visited via RootIdent-based traversal below.
+		c.memberAccess(v, asWrite, compound, base)
+	case *cast.Ternary:
+		c.exprOp(v.Cond, false, false)
+		c.condDepth++
+		c.exprOp(v.Then, false, false)
+		c.exprOp(v.Else, false, false)
+		c.condDepth--
+	case *cast.Cast:
+		c.exprOp(v.X, asWrite, compound)
+	case *cast.Sizeof:
+		// No runtime access.
+	case *cast.Comma:
+		c.exprOp(v.L, false, false)
+		c.exprOp(v.R, asWrite, compound)
+	case *cast.InitList:
+		for _, el := range v.Elems {
+			c.exprOp(el, false, false)
+		}
+	}
+}
+
+// memberAccess handles struct member reads/writes, including the
+// image->colormap[i].opacity pattern: the innermost ArrayRef subscripts
+// participate in dependence testing under the flattened name.
+func (c *collector) memberAccess(m *cast.Member, asWrite, compound bool, base string) {
+	// Collect subscripts found anywhere in the postfix chain.
+	var subs []cast.Expr
+	var walkPost func(e cast.Expr)
+	walkPost = func(e cast.Expr) {
+		switch v := e.(type) {
+		case *cast.ArrayRef:
+			walkPost(v.Arr)
+			subs = append(subs, v.Index)
+			c.exprOp(v.Index, false, false)
+		case *cast.Member:
+			walkPost(v.X)
+		}
+	}
+	walkPost(m.X)
+	name := base + "." + m.Field
+	if base == "" {
+		if asWrite {
+			c.badWrite = true
+		}
+		return
+	}
+	// A member written without any subscript (s->total = ...) touches one
+	// shared location every iteration; record it with an empty (non-nil)
+	// subscript vector so the array tests flag the output dependence rather
+	// than the scalar classifier treating it as privatizable.
+	if subs == nil {
+		subs = []cast.Expr{}
+	}
+	if asWrite {
+		c.record(access{name: name, write: true, plainWrite: !compound, subs: subs})
+		if compound {
+			c.record(access{name: name, subs: subs})
+		}
+	} else {
+		c.record(access{name: name, subs: subs})
+	}
+}
+
+// writeTarget records a write to an lvalue expression.
+func (c *collector) writeTarget(e cast.Expr, compound bool) {
+	c.exprOp(e, true, compound)
+}
+
+// call classifies a function call by name and, when available, by body.
+func (c *collector) call(name string, args []cast.Expr) {
+	if name == "" {
+		c.badWrite = true // call through pointer
+		return
+	}
+	if pureFuncs[name] {
+		return
+	}
+	if ioFuncs[name] {
+		c.hasIO = true
+		return
+	}
+	if fd, ok := c.funcs[name]; ok && fd != nil {
+		se := SideEffects(fd, c.funcs)
+		switch {
+		case se.HasIO:
+			c.hasIO = true
+		case se.WritesGlobals || se.WritesPointerParams:
+			c.impureCall = name
+		}
+		return
+	}
+	if c.unknownSeen == nil {
+		c.unknownSeen = map[string]bool{}
+	}
+	if !c.unknownSeen[name] {
+		c.unknownSeen[name] = true
+		c.unknownCalls = append(c.unknownCalls, name)
+		sort.Strings(c.unknownCalls)
+	}
+}

@@ -1,0 +1,320 @@
+// Package dep implements the data-dependence analysis that underlies both
+// the corpus ground-truth labeler and the S2S compiler baselines: loop
+// header normalization, read/write set extraction, scalar dependence
+// classification (private / reduction / carried), array dependence testing
+// (ZIV / SIV / GCD on affine subscripts), function side-effect analysis, and
+// workload-balance heuristics.
+package dep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/pragma"
+)
+
+// LoopHeader is a normalized `for (v = L; v < U; v += S)` header.
+type LoopHeader struct {
+	Var        string
+	Lower      Affine
+	Upper      Affine
+	Step       int64
+	Inclusive  bool // `<=` bound
+	DeclInline bool // loop variable declared in the init clause
+	OK         bool
+}
+
+// TripCount returns the constant iteration count, or -1 when unknown.
+func (h LoopHeader) TripCount() int64 {
+	if !h.OK || !h.Lower.constOnly() || !h.Upper.constOnly() || h.Step == 0 {
+		return -1
+	}
+	lo, hi := h.Lower.Const, h.Upper.Const
+	if h.Step > 0 {
+		if h.Inclusive {
+			hi++
+		}
+		if hi <= lo {
+			return 0
+		}
+		return (hi - lo + h.Step - 1) / h.Step
+	}
+	if h.Inclusive {
+		hi--
+	}
+	if lo <= hi {
+		return 0
+	}
+	return (lo - hi + (-h.Step) - 1) / (-h.Step)
+}
+
+// Analysis is the full result of analyzing one for-loop.
+type Analysis struct {
+	Header LoopHeader
+
+	// Parallelizable is true when no loop-carried dependence, side effect,
+	// or analysis failure prevents a `parallel for` directive.
+	Parallelizable bool
+
+	// Private lists scalars needing a private clause (assigned before use
+	// in each iteration, declared outside the loop). Inner loop variables
+	// declared outside land here, matching the paper's private(j) examples.
+	Private []string
+	// FirstPrivate lists scalars read before assignment but then
+	// overwritten; kept separate for directive generation fidelity.
+	FirstPrivate []string
+	// Reductions lists recognized reduction idioms.
+	Reductions []pragma.Reduction
+	// Unbalanced is set when the body's cost is iteration-dependent
+	// (guarded heavy work), suggesting schedule(dynamic) per the paper §1.1.
+	Unbalanced bool
+
+	// HasIO is true when the body performs I/O or other pinned-order calls.
+	HasIO bool
+	// UnknownCalls lists called functions whose bodies were unavailable;
+	// analysis treats them as having arbitrary side effects.
+	UnknownCalls []string
+	// Reasons explains (for humans and for tests) why the loop was or was
+	// not parallelizable.
+	Reasons []string
+}
+
+// Reason records a single explanation string.
+func (a *Analysis) reason(format string, args ...any) {
+	a.Reasons = append(a.Reasons, fmt.Sprintf(format, args...))
+}
+
+// Directive builds the OpenMP directive this analysis supports, or nil when
+// the loop is not parallelizable.
+func (a *Analysis) Directive() *pragma.Directive {
+	if !a.Parallelizable {
+		return nil
+	}
+	d := &pragma.Directive{ParallelFor: true}
+	d.Private = append(d.Private, a.Private...)
+	d.FirstPrivate = append(d.FirstPrivate, a.FirstPrivate...)
+	d.Reductions = append(d.Reductions, a.Reductions...)
+	if a.Unbalanced {
+		d.Schedule = pragma.ScheduleDynamic
+		d.Chunk = 4
+	}
+	return d
+}
+
+// pureFuncs never have side effects: math library calls.
+var pureFuncs = map[string]bool{
+	"sqrt": true, "sqrtf": true, "fabs": true, "fabsf": true, "abs": true,
+	"sin": true, "cos": true, "tan": true, "asin": true, "acos": true,
+	"atan": true, "atan2": true, "exp": true, "log": true, "log2": true,
+	"log10": true, "pow": true, "floor": true, "ceil": true, "fmod": true,
+	"fmax": true, "fmin": true, "hypot": true, "cbrt": true, "round": true,
+	"POLYBENCH_LOOP_BOUND": true, // polybench bound macro parsed as a call
+	"SCALAR_VAL":           true,
+}
+
+// ioFuncs pin iteration order or mutate global state; calling one forbids
+// parallelization.
+var ioFuncs = map[string]bool{
+	"printf": true, "fprintf": true, "scanf": true, "fscanf": true,
+	"sprintf": true, "snprintf": true, "puts": true, "putchar": true,
+	"getchar": true, "fgets": true, "fputs": true, "fopen": true,
+	"fclose": true, "fread": true, "fwrite": true, "fflush": true,
+	"malloc": true, "calloc": true, "realloc": true, "free": true,
+	"rand": true, "srand": true, "exit": true, "abort": true,
+	"strcat": true, "strcpy": true, "strncpy": true, "gets": true,
+}
+
+// IsPureFunc reports whether name is a known side-effect-free function.
+func IsPureFunc(name string) bool { return pureFuncs[name] }
+
+// IsIOFunc reports whether name performs I/O or global mutation.
+func IsIOFunc(name string) bool { return ioFuncs[name] }
+
+// access records one scalar or array access inside a loop body.
+type access struct {
+	name  string
+	write bool
+	// plainWrite marks `x = ...` (not `x op= ...`) — used for the private
+	// pattern. Meaningful on write accesses only.
+	plainWrite bool
+	// accumOp is the reduction operator when this write is a recognized
+	// accumulation such as `s += e` or `s = fmax(s, e)`.
+	accumOp string
+	subs    []cast.Expr // array subscripts, outermost first; nil = scalar
+	// cond is true when the access happens under a condition (if/ternary).
+	cond  bool
+	order int // DFS visit order
+}
+
+// AnalyzeLoop analyzes one for-loop. funcs maps function names to their
+// definitions when bodies are available (the corpus records include called
+// function implementations, per the paper §3.1); callers with no bodies pass
+// nil and unknown calls are treated conservatively.
+func AnalyzeLoop(loop *cast.For, funcs map[string]*cast.FuncDef) *Analysis {
+	a := &Analysis{}
+	a.Header = ParseHeader(loop)
+	if !a.Header.OK {
+		a.reason("loop header is not a normalized affine for-loop")
+		return a
+	}
+
+	ctx := &collector{loopVar: a.Header.Var, funcs: funcs, declared: map[string]bool{}}
+	if a.Header.DeclInline {
+		ctx.declared[a.Header.Var] = true
+	}
+	ctx.stmt(loop.Body)
+
+	if ctx.hasBreak {
+		a.reason("loop contains break/early exit")
+		return a
+	}
+	if ctx.badWrite {
+		a.reason("write through pointer or unanalyzable lvalue")
+		return a
+	}
+	a.HasIO = ctx.hasIO
+	a.UnknownCalls = ctx.unknownCalls
+	a.Unbalanced = ctx.unbalanced
+	if ctx.hasIO {
+		a.reason("body performs I/O or order-pinned library calls")
+		return a
+	}
+	if len(ctx.unknownCalls) > 0 {
+		a.reason("calls functions with unknown bodies: %s", strings.Join(ctx.unknownCalls, ", "))
+		return a
+	}
+	if ctx.impureCall != "" {
+		a.reason("calls function %s with global side effects", ctx.impureCall)
+		return a
+	}
+
+	// Scalar classification.
+	okScalars := a.classifyScalars(ctx)
+	if !okScalars {
+		return a
+	}
+	// Array dependence tests.
+	if !a.testArrays(ctx) {
+		return a
+	}
+
+	a.Parallelizable = true
+	a.reason("no loop-carried dependences detected")
+	return a
+}
+
+// ParseHeader normalizes a for-loop header.
+func ParseHeader(loop *cast.For) LoopHeader {
+	h := LoopHeader{}
+	// Init: `v = expr` or `type v = expr`.
+	switch init := loop.Init.(type) {
+	case *cast.ExprStmt:
+		asg, ok := init.X.(*cast.Assign)
+		if !ok || asg.Op != "=" {
+			return h
+		}
+		id, ok := asg.L.(*cast.Ident)
+		if !ok {
+			return h
+		}
+		h.Var = id.Name
+		h.Lower = ToAffine(asg.R, h.Var)
+	case *cast.DeclStmt:
+		if len(init.Decls) != 1 || init.Decls[0].Init == nil {
+			return h
+		}
+		h.Var = init.Decls[0].Name
+		h.Lower = ToAffine(init.Decls[0].Init, h.Var)
+		h.DeclInline = true
+	default:
+		return h
+	}
+	if !h.Lower.OK || h.Lower.Coef != 0 {
+		return LoopHeader{}
+	}
+
+	// Cond: any of `v < expr`, `v <= expr`, `v > expr`, `v >= expr` and the
+	// mirrored forms with the variable on the right. The bound side is the
+	// non-variable side; inclusivity follows the presence of '='.
+	cond, ok := loop.Cond.(*cast.BinaryOp)
+	if !ok {
+		return LoopHeader{}
+	}
+	var boundExpr cast.Expr
+	switch cond.Op {
+	case "<", "<=", ">", ">=":
+		if id, ok := cond.L.(*cast.Ident); ok && id.Name == h.Var {
+			boundExpr = cond.R
+		} else if id, ok := cond.R.(*cast.Ident); ok && id.Name == h.Var {
+			boundExpr = cond.L
+		} else {
+			return LoopHeader{}
+		}
+		h.Inclusive = cond.Op == "<=" || cond.Op == ">="
+	default:
+		return LoopHeader{}
+	}
+	h.Upper = ToAffine(boundExpr, h.Var)
+	if !h.Upper.OK || h.Upper.Coef != 0 {
+		return LoopHeader{}
+	}
+
+	// Post: v++, ++v, v--, v += c, v -= c, v = v + c.
+	switch post := loop.Post.(type) {
+	case *cast.UnaryOp:
+		id, ok := post.X.(*cast.Ident)
+		if !ok || id.Name != h.Var {
+			return LoopHeader{}
+		}
+		switch post.Op {
+		case "++":
+			h.Step = 1
+		case "--":
+			h.Step = -1
+		default:
+			return LoopHeader{}
+		}
+	case *cast.Assign:
+		id, ok := post.L.(*cast.Ident)
+		if !ok || id.Name != h.Var {
+			return LoopHeader{}
+		}
+		switch post.Op {
+		case "+=", "-=":
+			lit, ok := post.R.(*cast.IntLit)
+			if !ok {
+				return LoopHeader{}
+			}
+			n, err := strconv.ParseInt(lit.Text, 0, 64)
+			if err != nil || n == 0 {
+				return LoopHeader{}
+			}
+			if post.Op == "-=" {
+				n = -n
+			}
+			h.Step = n
+		case "=":
+			// v = v + c or v = c + v
+			bin, ok := post.R.(*cast.BinaryOp)
+			if !ok || (bin.Op != "+" && bin.Op != "-") {
+				return LoopHeader{}
+			}
+			aff := ToAffine(post.R, h.Var)
+			if !aff.OK || aff.Coef != 1 || len(aff.SymCoefs) != 0 {
+				return LoopHeader{}
+			}
+			if aff.Const == 0 {
+				return LoopHeader{}
+			}
+			h.Step = aff.Const
+		default:
+			return LoopHeader{}
+		}
+	default:
+		return LoopHeader{}
+	}
+	h.OK = true
+	return h
+}

@@ -1,0 +1,121 @@
+package dep
+
+import (
+	"pragformer/internal/cast"
+)
+
+// Effects summarizes what a function may do to state outside itself.
+// The paper identifies "determining function side effects" as a significant
+// S2S pitfall; the ground-truth labeler uses this analysis with full bodies
+// while the S2S personalities are denied them.
+type Effects struct {
+	HasIO               bool
+	WritesGlobals       bool
+	WritesPointerParams bool
+	CallsUnknown        bool
+}
+
+// Pure reports whether the function is safe to call from concurrent loop
+// iterations with disjoint arguments.
+func (e Effects) Pure() bool {
+	return !e.HasIO && !e.WritesGlobals && !e.WritesPointerParams && !e.CallsUnknown
+}
+
+// SideEffects analyzes a function definition. funcs provides callee bodies
+// for transitive analysis; recursion is cut off by the visiting set.
+func SideEffects(fd *cast.FuncDef, funcs map[string]*cast.FuncDef) Effects {
+	return sideEffects(fd, funcs, map[string]bool{})
+}
+
+func sideEffects(fd *cast.FuncDef, funcs map[string]*cast.FuncDef, visiting map[string]bool) Effects {
+	var e Effects
+	if fd == nil {
+		e.CallsUnknown = true
+		return e
+	}
+	if visiting[fd.Name] {
+		return e // recursive call: effects accounted at outer level
+	}
+	visiting[fd.Name] = true
+	defer delete(visiting, fd.Name)
+
+	locals := map[string]bool{}
+	ptrParams := map[string]bool{}
+	for _, p := range fd.Params {
+		locals[p.Name] = true
+		if p.Type != nil && p.Type.Ptr > 0 || len(p.ArrayDims) > 0 {
+			ptrParams[p.Name] = true
+		}
+	}
+	cast.Walk(fd.Body, func(n cast.Node) bool {
+		switch v := n.(type) {
+		case *cast.Decl:
+			locals[v.Name] = true
+		case *cast.Assign:
+			name := cast.RootIdent(v.L)
+			classifyWrite(v.L, name, locals, ptrParams, &e)
+		case *cast.UnaryOp:
+			if v.Op == "++" || v.Op == "--" {
+				name := cast.RootIdent(v.X)
+				classifyWrite(v.X, name, locals, ptrParams, &e)
+			}
+		case *cast.FuncCall:
+			if id, ok := v.Fun.(*cast.Ident); ok {
+				switch {
+				case pureFuncs[id.Name]:
+				case ioFuncs[id.Name]:
+					e.HasIO = true
+				default:
+					callee, ok := funcs[id.Name]
+					if !ok || callee == nil {
+						e.CallsUnknown = true
+					} else {
+						ce := sideEffects(callee, funcs, visiting)
+						e.HasIO = e.HasIO || ce.HasIO
+						e.WritesGlobals = e.WritesGlobals || ce.WritesGlobals
+						e.CallsUnknown = e.CallsUnknown || ce.CallsUnknown
+						// A callee writing its own pointer params writes
+						// whatever we passed; treat as pointer-param write
+						// if we forwarded a pointer, conservatively always.
+						e.WritesPointerParams = e.WritesPointerParams || ce.WritesPointerParams
+					}
+				}
+			} else {
+				e.CallsUnknown = true
+			}
+		}
+		return true
+	})
+	return e
+}
+
+// classifyWrite attributes a write to locals, pointer params, or globals.
+func classifyWrite(lhs cast.Expr, name string, locals, ptrParams map[string]bool, e *Effects) {
+	if name == "" {
+		e.WritesGlobals = true // *p = ..., unanalyzable target
+		return
+	}
+	switch lhs.(type) {
+	case *cast.Ident:
+		if !locals[name] {
+			e.WritesGlobals = true
+		}
+	default:
+		// Array or member write: through a pointer param it escapes; to a
+		// local array it stays private; to anything else it is global.
+		switch {
+		case ptrParams[name]:
+			e.WritesPointerParams = true
+		case locals[name]:
+		default:
+			e.WritesGlobals = true
+		}
+	}
+	if u, ok := lhs.(*cast.UnaryOp); ok && u.Op == "*" {
+		if ptrParams[name] {
+			e.WritesPointerParams = true
+		} else if !locals[name] {
+			e.WritesGlobals = true
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"pragformer/internal/dataset"
+	"pragformer/internal/tokenize"
+)
+
+// AblationRow is one configuration's best validation accuracy.
+type AblationRow struct {
+	Name     string
+	Accuracy float64
+}
+
+// Ablation is a set of contrasted configurations.
+type Ablation struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Print renders the ablation.
+func (a Ablation) Print(w io.Writer) {
+	fmt.Fprintln(w, a.Title)
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "  %-28s %.3f\n", r.Name, r.Accuracy)
+	}
+}
+
+// ablationParams shrinks the training budget for ablation contrasts: the
+// comparisons are relative, so a reduced budget preserves the ordering
+// while keeping the full suite affordable on one CPU.
+func ablationParams(base Params) Params {
+	if base.MaxTrain == 0 || base.MaxTrain > 1500 {
+		base.MaxTrain = 1500
+	}
+	if base.Epochs > 5 {
+		base.Epochs = 5
+	}
+	if base.PretrainMax > 600 {
+		base.PretrainMax = 600
+	}
+	return base
+}
+
+// RunAblationPretraining contrasts MLM-pretrained initialization (the
+// DeepSCC stand-in) against from-scratch training — the paper's transfer-
+// learning claim (§4.1).
+func (p *Pipeline) RunAblationPretraining() Ablation {
+	base := ablationParams(p.P)
+	withPre := base
+	withPre.PretrainEpochs = maxInt(1, base.PretrainEpochs)
+	if withPre.PretrainMax == 0 {
+		withPre.PretrainMax = 300
+	}
+	without := base
+	without.PretrainEpochs = 0
+
+	seed := p.Cfg.Seed + 500
+	a := Ablation{Title: "Ablation: MLM pretraining (DeepSCC stand-in) vs from scratch"}
+	t1 := p.trainModel(dataset.TaskDirective, tokenize.Text, withPre, seed)
+	a.Rows = append(a.Rows, AblationRow{"MLM-pretrained", t1.History.Best().ValidAccuracy})
+	t2 := p.trainModel(dataset.TaskDirective, tokenize.Text, without, seed)
+	a.Rows = append(a.Rows, AblationRow{"random init", t2.History.Best().ValidAccuracy})
+	return a
+}
+
+// RunAblationHeads contrasts single-head and multi-head attention — the
+// paper's "necessity of its sophisticated model architecture".
+func (p *Pipeline) RunAblationHeads() Ablation {
+	seed := p.Cfg.Seed + 600
+	a := Ablation{Title: "Ablation: attention heads"}
+	for _, heads := range []int{1, p.P.Heads} {
+		prm := ablationParams(p.P)
+		prm.Heads = heads
+		t := p.trainModel(dataset.TaskDirective, tokenize.Text, prm, seed)
+		a.Rows = append(a.Rows, AblationRow{fmt.Sprintf("%d head(s)", heads), t.History.Best().ValidAccuracy})
+	}
+	return a
+}
+
+// RunAblationSeqLen contrasts the paper's 110-token input cap against a
+// tighter 32-token cap (long-range context matters for long snippets).
+func (p *Pipeline) RunAblationSeqLen() Ablation {
+	seed := p.Cfg.Seed + 700
+	a := Ablation{Title: "Ablation: input length cap"}
+	for _, maxLen := range []int{32, p.P.MaxLen} {
+		prm := ablationParams(p.P)
+		prm.MaxLen = maxLen
+		t := p.trainModel(dataset.TaskDirective, tokenize.Text, prm, seed)
+		a.Rows = append(a.Rows, AblationRow{fmt.Sprintf("max %d tokens", maxLen), t.History.Best().ValidAccuracy})
+	}
+	return a
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

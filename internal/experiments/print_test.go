@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pragformer/internal/corpus"
+	"pragformer/internal/lime"
+	"pragformer/internal/metrics"
+	"pragformer/internal/tokenize"
+	"pragformer/internal/train"
+)
+
+// Printing-layer tests over synthetic results; no models required.
+
+func TestComparisonTablePrint(t *testing.T) {
+	tb := ComparisonTable{
+		Title: "Table X: test",
+		Rows: []ClassifierRow{
+			{"PragFormer", metrics.Report{Precision: 0.8, Recall: 0.81, F1: 0.8, Accuracy: 0.8}},
+			{"ComPar", metrics.Report{Precision: 0.51, Recall: 0.56, F1: 0.36, Accuracy: 0.5}},
+		},
+		ComParFailed: 221,
+		TestSize:     1274,
+	}
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table X", "PragFormer", "0.80", "221/1274"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTable11Print(t *testing.T) {
+	tb := Table11{
+		Rows: []ClassifierRow{
+			{"PragFormer Poly", metrics.Report{Accuracy: 0.93}},
+			{"ComPar Poly", metrics.Report{Accuracy: 0.43}},
+		},
+		PolyParseFailures: 64,
+		SPECParseFailures: 287,
+	}
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	if !strings.Contains(buf.String(), "PolyBench 64, SPEC-OMP 287") {
+		t.Errorf("out = %q", buf.String())
+	}
+}
+
+func TestFigure7Print(t *testing.T) {
+	f := Figure7{Buckets: []LengthBucket{
+		{MaxTokens: 15, Count: 10, Errors: 4},
+		{MaxTokens: 1 << 30, Count: 5, Errors: 0},
+	}}
+	var buf bytes.Buffer
+	f.Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "40.0%") {
+		t.Errorf("out = %q", out)
+	}
+	if !strings.Contains(out, ">15") {
+		t.Errorf("open bucket label missing: %q", out)
+	}
+}
+
+func TestLengthBucketErrorRate(t *testing.T) {
+	if (LengthBucket{}).ErrorRate() != 0 {
+		t.Error("empty bucket rate should be 0")
+	}
+	b := LengthBucket{Count: 4, Errors: 1}
+	if b.ErrorRate() != 25 {
+		t.Errorf("rate = %f", b.ErrorRate())
+	}
+}
+
+func TestAblationPrint(t *testing.T) {
+	a := Ablation{Title: "Ablation: demo", Rows: []AblationRow{{"variant a", 0.81}, {"variant b", 0.7}}}
+	var buf bytes.Buffer
+	a.Print(&buf)
+	if !strings.Contains(buf.String(), "variant a") || !strings.Contains(buf.String(), "0.810") {
+		t.Errorf("out = %q", buf.String())
+	}
+}
+
+func TestPrintExamplesSynthetic(t *testing.T) {
+	exs := []PaperExample{{
+		Name:      "1: demo",
+		TrueLabel: true,
+		Predicted: false,
+		Prob:      0.08,
+		Top:       []lime.Attribution{{Token: "fprintf", Weight: -1.2}},
+	}}
+	var buf bytes.Buffer
+	PrintExamples(&buf, exs)
+	out := buf.String()
+	if !strings.Contains(out, "fprintf(-1.200)") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRepresentationCurvesPrint(t *testing.T) {
+	rc := RepresentationCurves{Histories: map[tokenize.Representation]train.History{}}
+	for _, repr := range tokenize.Representations {
+		rc.Histories[repr] = train.History{Epochs: []train.EpochStats{
+			{Epoch: 0, TrainLoss: 0.7, ValidLoss: 0.6, ValidAccuracy: 0.6},
+			{Epoch: 1, TrainLoss: 0.3, ValidLoss: 0.4, ValidAccuracy: 0.8},
+		}, BestEpoch: 1}
+	}
+	var buf bytes.Buffer
+	rc.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 4", "Figure 5", "Figure 6", "Replaced-AST", "Best-epoch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	acc := rc.FinalAccuracy()
+	if acc[tokenize.Text] != 0.8 {
+		t.Errorf("final accuracy = %v", acc)
+	}
+}
+
+func TestTable3PrintSynthetic(t *testing.T) {
+	tb := Table3{Stats: corpus.Stats{Total: 17013, WithDirective: 7630,
+		ScheduleStatic: 7256, ScheduleDynamic: 374, Reduction: 1455, Private: 3403}}
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	for _, want := range []string{"17013", "7630", "374", "1455", "3403"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTable4And5Print(t *testing.T) {
+	var buf bytes.Buffer
+	Table4{Histogram: [4]int{9865, 5824, 724, 600}}.Print(&buf)
+	Table5{DirTrain: 14442, DirValid: 1274, DirTest: 1274,
+		ClauseTrain: 6482, ClauseValid: 572, ClauseTest: 572}.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"9865", "14442", "6482"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFigure3PrintSynthetic(t *testing.T) {
+	f := Figure3{Dist: map[corpus.Domain]float64{
+		corpus.DomainGeneric: 0.43, corpus.DomainUnknown: 0.335,
+		corpus.DomainBenchmark: 0.165, corpus.DomainTesting: 0.07,
+	}}
+	var buf bytes.Buffer
+	f.Print(&buf)
+	if !strings.Contains(buf.String(), "43.0%") {
+		t.Errorf("out = %q", buf.String())
+	}
+}
+
+func TestNamesListComplete(t *testing.T) {
+	// Every paper table/figure has an entry.
+	want := []string{"table3", "table4", "figure3", "table5", "table6", "table7",
+		"figures456", "table8", "figure7", "table9", "table10", "table11", "table12"}
+	set := map[string]bool{}
+	for _, n := range Names {
+		set[n] = true
+	}
+	for _, n := range want {
+		if !set[n] {
+			t.Errorf("experiment %q missing from Names", n)
+		}
+	}
+}

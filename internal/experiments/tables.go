@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pragformer/internal/corpus"
+	"pragformer/internal/dataset"
+	"pragformer/internal/metrics"
+	"pragformer/internal/tokenize"
+)
+
+// Table3 reproduces "Statistics of the OpenMP directives on the raw
+// database".
+type Table3 struct {
+	Stats corpus.Stats
+}
+
+// RunTable3 computes corpus directive statistics.
+func (p *Pipeline) RunTable3() Table3 { return Table3{Stats: p.Corpus().Stats()} }
+
+// Print renders the table.
+func (t Table3) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3: Statistics of the OpenMP directives on the raw database")
+	fmt.Fprintf(w, "  %-38s %7d\n", "Total code snippets", t.Stats.Total)
+	fmt.Fprintf(w, "  %-38s %7d\n", "For loops with OpenMP directives", t.Stats.WithDirective)
+	fmt.Fprintf(w, "  %-38s %7d\n", "Schedule static", t.Stats.ScheduleStatic)
+	fmt.Fprintf(w, "  %-38s %7d\n", "Schedule dynamic", t.Stats.ScheduleDynamic)
+	fmt.Fprintf(w, "  %-38s %7d\n", "Reduction", t.Stats.Reduction)
+	fmt.Fprintf(w, "  %-38s %7d\n", "Private", t.Stats.Private)
+}
+
+// Table4 reproduces "Code snippet lengths in the raw database".
+type Table4 struct {
+	Histogram [4]int
+}
+
+// RunTable4 computes the snippet length histogram.
+func (p *Pipeline) RunTable4() Table4 { return Table4{Histogram: p.Corpus().LengthHistogram()} }
+
+// Print renders the table.
+func (t Table4) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 4: Code snippet lengths in the raw database")
+	labels := []string{"< 10", "11-50", "51-100", "> 100"}
+	for i, l := range labels {
+		fmt.Fprintf(w, "  %-8s %7d\n", l, t.Histogram[i])
+	}
+}
+
+// Figure3 reproduces the domain-distribution pie chart.
+type Figure3 struct {
+	Dist map[corpus.Domain]float64
+}
+
+// RunFigure3 computes the provenance mix.
+func (p *Pipeline) RunFigure3() Figure3 { return Figure3{Dist: p.Corpus().DomainDistribution()} }
+
+// Print renders the distribution.
+func (f Figure3) Print(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3: Distribution of OpenMP snippet sources")
+	var domains []corpus.Domain
+	for d := range f.Dist {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i] < domains[j] })
+	for _, d := range domains {
+		fmt.Fprintf(w, "  %-24s %5.1f%%\n", d, f.Dist[d]*100)
+	}
+}
+
+// Table5 reproduces the dataset-size table.
+type Table5 struct {
+	DirTrain, DirValid, DirTest          int
+	ClauseTrain, ClauseValid, ClauseTest int
+}
+
+// RunTable5 computes split sizes for both datasets.
+func (p *Pipeline) RunTable5() Table5 {
+	var t Table5
+	t.DirTrain, t.DirValid, t.DirTest = p.DirectiveSplit().Sizes()
+	t.ClauseTrain, t.ClauseValid, t.ClauseTest = p.ClauseSplit(dataset.TaskPrivate).Sizes()
+	return t
+}
+
+// Print renders the table.
+func (t Table5) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: Amount of examples in each dataset")
+	fmt.Fprintf(w, "  %-12s %9s %9s\n", "Dataset", "Directive", "Clause")
+	fmt.Fprintf(w, "  %-12s %9d %9d\n", "Training", t.DirTrain, t.ClauseTrain)
+	fmt.Fprintf(w, "  %-12s %9d %9d\n", "Validation", t.DirValid, t.ClauseValid)
+	fmt.Fprintf(w, "  %-12s %9d %9d\n", "Test", t.DirTest, t.ClauseTest)
+}
+
+// Table6 reproduces the four code representations of the fixed example.
+type Table6 struct {
+	Rows map[tokenize.Representation]string
+}
+
+// Table6Example is the paper's snippet.
+const Table6Example = "for (i = 0; i < len; i++) a[i] = i;"
+
+// RunTable6 renders the example under all four representations.
+func (p *Pipeline) RunTable6() Table6 {
+	rows := map[tokenize.Representation]string{}
+	for _, repr := range tokenize.Representations {
+		toks, err := tokenize.Extract(Table6Example, repr)
+		if err != nil {
+			rows[repr] = "error: " + err.Error()
+			continue
+		}
+		rows[repr] = strings.Join(toks, " ")
+	}
+	return Table6{Rows: rows}
+}
+
+// Print renders the table.
+func (t Table6) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 6: Examples of the different code representations")
+	for _, repr := range tokenize.Representations {
+		fmt.Fprintf(w, "  %-14s %s\n", repr, t.Rows[repr])
+	}
+}
+
+// Table7 reproduces the type-level corpus statistics.
+type Table7 struct {
+	Stats map[tokenize.Representation]tokenize.Stats
+}
+
+// RunTable7 computes vocabulary/OOV/length statistics per representation.
+func (p *Pipeline) RunTable7() Table7 {
+	split := p.DirectiveSplit()
+	out := Table7{Stats: map[tokenize.Representation]tokenize.Stats{}}
+	for _, repr := range tokenize.Representations {
+		var trainSeqs, vtSeqs [][]string
+		for _, in := range split.Train {
+			trainSeqs = append(trainSeqs, p.Tokens(in.Rec, repr))
+		}
+		for _, in := range split.Valid {
+			vtSeqs = append(vtSeqs, p.Tokens(in.Rec, repr))
+		}
+		for _, in := range split.Test {
+			vtSeqs = append(vtSeqs, p.Tokens(in.Rec, repr))
+		}
+		out.Stats[repr] = tokenize.ComputeStats(repr, trainSeqs, vtSeqs)
+	}
+	return out
+}
+
+// Print renders the table.
+func (t Table7) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 7: Type-level corpus statistics")
+	fmt.Fprintf(w, "  %-18s %12s %10s %12s\n", "", "Train vocab", "OOV types", "Avg. length")
+	for _, repr := range tokenize.Representations {
+		s := t.Stats[repr]
+		fmt.Fprintf(w, "  %-18s %12d %10d %12.0f\n", repr, s.TrainVocab, s.OOVTypes, s.AvgLength)
+	}
+}
+
+// ClassifierRow is one evaluation-table line.
+type ClassifierRow struct {
+	Name   string
+	Report metrics.Report
+}
+
+// ComparisonTable is the shared shape of Tables 8, 9 and 10.
+type ComparisonTable struct {
+	Title         string
+	Rows          []ClassifierRow
+	ComParFailed  int
+	TestSize      int
+	BestTestModel *Trained // the PragFormer used, for downstream experiments
+}
+
+// Print renders the comparison.
+func (t ComparisonTable) Print(w io.Writer) {
+	fmt.Fprintln(w, t.Title)
+	fmt.Fprintf(w, "  %-16s %10s %8s %8s %10s\n", "", "Precision", "Recall", "F1", "Accuracy")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "  %-16s %10.2f %8.2f %8.2f %10.2f\n",
+			r.Name, r.Report.Precision, r.Report.Recall, r.Report.F1, r.Report.Accuracy)
+	}
+	if t.ComParFailed > 0 {
+		fmt.Fprintf(w, "  (ComPar failed to compile %d/%d test snippets; counted as negative)\n",
+			t.ComParFailed, t.TestSize)
+	}
+}
+
+// runComparison evaluates the three systems on one task's test split.
+func (p *Pipeline) runComparison(task dataset.Task, title string) ComparisonTable {
+	split := p.splitFor(task)
+	trained := p.Model(task, tokenize.Text)
+	pragC := p.EvalModel(trained, split.Test, tokenize.Text)
+	bowC := p.EvalBoW(p.BoW(task), split.Test)
+	cpr := p.EvalComPar(split.Test, task)
+	return ComparisonTable{
+		Title: title,
+		Rows: []ClassifierRow{
+			{"PragFormer", pragC.Report()},
+			{"BoW + Logistic", bowC.Report()},
+			{"ComPar", cpr.Confusion.Report()},
+		},
+		ComParFailed:  cpr.ParseFailures,
+		TestSize:      len(split.Test),
+		BestTestModel: trained,
+	}
+}
+
+// RunTable8 reproduces the directive-classification comparison.
+func (p *Pipeline) RunTable8() ComparisonTable {
+	return p.runComparison(dataset.TaskDirective,
+		"Table 8: Identifying the need for an OpenMP directive")
+}
+
+// RunTable9 reproduces the private-clause comparison.
+func (p *Pipeline) RunTable9() ComparisonTable {
+	return p.runComparison(dataset.TaskPrivate,
+		"Table 9: Identifying the need for a private clause")
+}
+
+// RunTable10 reproduces the reduction-clause comparison.
+func (p *Pipeline) RunTable10() ComparisonTable {
+	return p.runComparison(dataset.TaskReduction,
+		"Table 10: Identifying the need for a reduction clause")
+}
+
+// Table11 reproduces the held-out benchmark study.
+type Table11 struct {
+	Rows              []ClassifierRow // PragFormer/ComPar × PolyBench/SPEC
+	SPECParseFailures int
+	PolyParseFailures int
+}
+
+// RunTable11 evaluates PragFormer and ComPar on the PolyBench-style and
+// SPEC-style held-out suites.
+func (p *Pipeline) RunTable11() Table11 {
+	trained := p.Model(dataset.TaskDirective, tokenize.Text)
+	var t Table11
+
+	evalSuite := func(c *corpus.Corpus, name string) (int, int) {
+		ins := InstancesOf(c, dataset.TaskDirective)
+		var pragC metrics.Confusion
+		v := p.Vocab(tokenize.Text)
+		for _, in := range ins {
+			ids := v.Encode(p.TokensFor(in.Rec, tokenize.Text), p.P.MaxLen)
+			pragC.Add(trained.Model.PredictLabel(ids), in.Label)
+		}
+		cpr := p.EvalComPar(ins, dataset.TaskDirective)
+		t.Rows = append(t.Rows,
+			ClassifierRow{"PragFormer " + name, pragC.Report()},
+			ClassifierRow{"ComPar " + name, cpr.Confusion.Report()})
+		return cpr.ParseFailures, len(ins)
+	}
+	t.PolyParseFailures, _ = evalSuite(p.PolyBench(), "Poly")
+	t.SPECParseFailures, _ = evalSuite(p.SPEC(), "SPEC-OMP")
+	return t
+}
+
+// Print renders the table.
+func (t Table11) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 11: Generality on PolyBench and SPEC-OMP held-out suites")
+	fmt.Fprintf(w, "  %-24s %10s %8s %8s %10s\n", "", "Precision", "Recall", "F1", "Accuracy")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "  %-24s %10.2f %8.2f %8.2f %10.2f\n",
+			r.Name, r.Report.Precision, r.Report.Recall, r.Report.F1, r.Report.Accuracy)
+	}
+	fmt.Fprintf(w, "  (ComPar parse failures: PolyBench %d, SPEC-OMP %d)\n",
+		t.PolyParseFailures, t.SPECParseFailures)
+}

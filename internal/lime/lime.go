@@ -1,0 +1,193 @@
+// Package lime implements the LIME explainability algorithm (Ribeiro et
+// al. 2016) for text classifiers, as the paper applies it in §5.4 /
+// Figure 8: perturb the input by removing token subsets, query the model on
+// each perturbation, weight samples by locality, and fit a ridge-regression
+// surrogate whose coefficients attribute the prediction to tokens.
+package lime
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Attribution is one token's contribution to the positive-class score.
+type Attribution struct {
+	Index  int     // token position in the input
+	Token  string  // token text
+	Weight float64 // surrogate coefficient; positive pushes toward class 1
+}
+
+// Explainer configures the LIME procedure.
+type Explainer struct {
+	// Samples is the number of perturbed inputs (default 300).
+	Samples int
+	// KernelWidth scales the exponential locality kernel (default 0.75).
+	KernelWidth float64
+	// Ridge is the L2 regularizer of the surrogate fit (default 1e-3).
+	Ridge float64
+	// Seed drives the perturbation sampling.
+	Seed int64
+}
+
+// New returns an Explainer with defaults.
+func New(seed int64) *Explainer {
+	return &Explainer{Samples: 300, KernelWidth: 0.75, Ridge: 1e-3, Seed: seed}
+}
+
+// Explain attributes predict's positive-class probability on tokens to the
+// individual tokens, returning attributions sorted by |weight| descending,
+// truncated to topK (topK <= 0 returns all).
+func (e *Explainer) Explain(tokens []string, predict func([]string) float64, topK int) []Attribution {
+	T := len(tokens)
+	if T == 0 {
+		return nil
+	}
+	nSamples := e.Samples
+	if nSamples <= 0 {
+		nSamples = 300
+	}
+	kw := e.KernelWidth
+	if kw <= 0 {
+		kw = 0.75
+	}
+	rng := rand.New(rand.NewSource(e.Seed))
+
+	// Design matrix with intercept column 0.
+	X := make([][]float64, 0, nSamples+1)
+	y := make([]float64, 0, nSamples+1)
+	w := make([]float64, 0, nSamples+1)
+
+	// Include the unperturbed instance with maximal weight.
+	full := make([]float64, T+1)
+	for i := range full {
+		full[i] = 1
+	}
+	X = append(X, full)
+	y = append(y, predict(tokens))
+	w = append(w, 1)
+
+	scratch := make([]string, 0, T)
+	for s := 0; s < nSamples; s++ {
+		mask := make([]float64, T+1)
+		mask[0] = 1 // intercept
+		kept := 0
+		// Sample the number of removals uniformly, then the positions.
+		nRemove := 1 + rng.Intn(T)
+		removed := map[int]bool{}
+		for len(removed) < nRemove {
+			removed[rng.Intn(T)] = true
+		}
+		scratch = scratch[:0]
+		for i, tok := range tokens {
+			if removed[i] {
+				continue
+			}
+			mask[i+1] = 1
+			kept++
+			scratch = append(scratch, tok)
+		}
+		if kept == 0 {
+			continue
+		}
+		X = append(X, mask)
+		y = append(y, predict(scratch))
+		// Cosine distance between the mask and the all-ones vector is
+		// 1 - sqrt(kept/T); the kernel turns it into a locality weight.
+		d := 1 - math.Sqrt(float64(kept)/float64(T))
+		w = append(w, math.Exp(-(d*d)/(kw*kw)))
+	}
+
+	beta := weightedRidge(X, y, w, e.Ridge)
+	attrs := make([]Attribution, T)
+	for i := 0; i < T; i++ {
+		attrs[i] = Attribution{Index: i, Token: tokens[i], Weight: beta[i+1]}
+	}
+	sort.Slice(attrs, func(a, b int) bool {
+		return math.Abs(attrs[a].Weight) > math.Abs(attrs[b].Weight)
+	})
+	if topK > 0 && topK < len(attrs) {
+		attrs = attrs[:topK]
+	}
+	return attrs
+}
+
+// weightedRidge solves (XᵀWX + λI)β = XᵀWy by Gaussian elimination with
+// partial pivoting. The intercept (column 0) is not regularized.
+func weightedRidge(X [][]float64, y, w []float64, lambda float64) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	d := len(X[0])
+	A := make([][]float64, d)
+	b := make([]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	for s, row := range X {
+		ws := w[s]
+		for i := 0; i < d; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			wi := ws * row[i]
+			b[i] += wi * y[s]
+			for j := i; j < d; j++ {
+				A[i][j] += wi * row[j]
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+	for i := 1; i < d; i++ { // skip intercept
+		A[i][i] += lambda
+	}
+	return solve(A, b)
+}
+
+// solve performs in-place Gaussian elimination with partial pivoting.
+func solve(A [][]float64, b []float64) []float64 {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[p][col]) {
+				p = r
+			}
+		}
+		A[col], A[p] = A[p], A[col]
+		b[col], b[p] = b[p], b[col]
+		pv := A[col][col]
+		if math.Abs(pv) < 1e-12 {
+			continue // singular direction; leave coefficient at 0
+		}
+		inv := 1 / pv
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		if math.Abs(A[r][r]) < 1e-12 {
+			x[r] = 0
+			continue
+		}
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= A[r][c] * x[c]
+		}
+		x[r] = s / A[r][r]
+	}
+	return x
+}

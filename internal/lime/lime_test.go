@@ -1,0 +1,179 @@
+package lime
+
+import (
+	"math"
+	"testing"
+)
+
+// keywordModel scores by presence of signal tokens, mimicking a classifier
+// keyed on "fprintf" (negative) and "sum" (positive).
+func keywordModel(tokens []string) float64 {
+	z := 0.0
+	for _, t := range tokens {
+		switch t {
+		case "sum":
+			z += 2
+		case "fprintf", "stderr":
+			z -= 2
+		}
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+func find(attrs []Attribution, token string) (Attribution, bool) {
+	for _, a := range attrs {
+		if a.Token == token {
+			return a, true
+		}
+	}
+	return Attribution{}, false
+}
+
+func TestExplainFindsPositiveDriver(t *testing.T) {
+	tokens := []string{"for", "(", "i", ")", "sum", "+=", "a"}
+	attrs := New(1).Explain(tokens, keywordModel, 0)
+	a, ok := find(attrs, "sum")
+	if !ok {
+		t.Fatal("sum not attributed")
+	}
+	if a.Weight <= 0 {
+		t.Errorf("sum weight = %g, want positive", a.Weight)
+	}
+	// "sum" must rank first by |weight|.
+	if attrs[0].Token != "sum" {
+		t.Errorf("top token = %q, want sum (attrs %v)", attrs[0].Token, attrs[:3])
+	}
+}
+
+func TestExplainFindsNegativeDrivers(t *testing.T) {
+	// The paper's example 2: fprintf/stderr drive the "no pragma" class.
+	tokens := []string{"for", "(", "i", ")", "fprintf", "(", "stderr", ")"}
+	attrs := New(2).Explain(tokens, keywordModel, 0)
+	fp, ok := find(attrs, "fprintf")
+	if !ok || fp.Weight >= 0 {
+		t.Errorf("fprintf weight = %+v, want negative", fp)
+	}
+	st, ok := find(attrs, "stderr")
+	if !ok || st.Weight >= 0 {
+		t.Errorf("stderr weight = %+v, want negative", st)
+	}
+	// Neutral tokens should attract much smaller weights.
+	neutral, _ := find(attrs, "for")
+	if math.Abs(neutral.Weight) > math.Abs(fp.Weight)/2 {
+		t.Errorf("neutral weight %g too large vs %g", neutral.Weight, fp.Weight)
+	}
+}
+
+func TestExplainTopK(t *testing.T) {
+	tokens := []string{"a", "b", "sum", "d", "e"}
+	attrs := New(3).Explain(tokens, keywordModel, 2)
+	if len(attrs) != 2 {
+		t.Fatalf("topK = %d", len(attrs))
+	}
+}
+
+func TestExplainEmpty(t *testing.T) {
+	if attrs := New(1).Explain(nil, keywordModel, 5); attrs != nil {
+		t.Fatal("expected nil for empty input")
+	}
+}
+
+func TestExplainDeterministic(t *testing.T) {
+	tokens := []string{"x", "sum", "y", "fprintf"}
+	a1 := New(7).Explain(tokens, keywordModel, 0)
+	a2 := New(7).Explain(tokens, keywordModel, 0)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("explanations differ under equal seeds")
+		}
+	}
+}
+
+func TestExplainConstantModel(t *testing.T) {
+	tokens := []string{"a", "b", "c"}
+	attrs := New(1).Explain(tokens, func([]string) float64 { return 0.7 }, 0)
+	for _, a := range attrs {
+		if math.Abs(a.Weight) > 0.05 {
+			t.Errorf("constant model attributed weight %g to %q", a.Weight, a.Token)
+		}
+	}
+}
+
+func TestDuplicateTokensSeparatePositions(t *testing.T) {
+	// Position-level features: two "sum" occurrences get separate entries.
+	tokens := []string{"sum", "x", "sum"}
+	attrs := New(4).Explain(tokens, keywordModel, 0)
+	count := 0
+	for _, a := range attrs {
+		if a.Token == "sum" {
+			count++
+			if a.Weight <= 0 {
+				t.Errorf("sum at %d has weight %g", a.Index, a.Weight)
+			}
+		}
+	}
+	if count != 2 {
+		t.Fatalf("sum positions = %d", count)
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 → x = 1, y = 3.
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x := solve(A, b)
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	A := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x := solve(A, b)
+	if math.Abs(x[0]-3) > 1e-9 || math.Abs(x[1]-2) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingularSafe(t *testing.T) {
+	A := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{2, 2}
+	x := solve(A, b)
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("x = %v", x)
+		}
+	}
+}
+
+func TestWeightedRidgeRecoversLinear(t *testing.T) {
+	// y = 1 + 2*f1 - f2 exactly; ridge with tiny lambda recovers it.
+	X := [][]float64{
+		{1, 0, 0}, {1, 1, 0}, {1, 0, 1}, {1, 1, 1},
+	}
+	y := []float64{1, 3, 0, 2}
+	w := []float64{1, 1, 1, 1}
+	beta := weightedRidge(X, y, w, 1e-9)
+	want := []float64{1, 2, -1}
+	for i := range want {
+		if math.Abs(beta[i]-want[i]) > 1e-4 {
+			t.Fatalf("beta = %v", beta)
+		}
+	}
+}
+
+func BenchmarkExplain(b *testing.B) {
+	tokens := make([]string, 40)
+	for i := range tokens {
+		tokens[i] = "tok"
+	}
+	tokens[5] = "sum"
+	e := New(1)
+	e.Samples = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Explain(tokens, keywordModel, 10)
+	}
+}

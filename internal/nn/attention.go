@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"pragformer/internal/tensor"
+)
+
+// MultiHeadAttention is scaled dot-product self-attention with H heads over
+// model dimension D (D divisible by H).
+type MultiHeadAttention struct {
+	WQ, WK, WV, WO *Linear
+	Heads          int
+	D              int
+}
+
+// NewMultiHeadAttention builds the four projections.
+func NewMultiHeadAttention(name string, d, heads int, rng *rand.Rand) *MultiHeadAttention {
+	if d%heads != 0 {
+		panic("nn: model dim not divisible by heads")
+	}
+	return &MultiHeadAttention{
+		WQ:    NewLinear(name+".wq", d, d, rng),
+		WK:    NewLinear(name+".wk", d, d, rng),
+		WV:    NewLinear(name+".wv", d, d, rng),
+		WO:    NewLinear(name+".wo", d, d, rng),
+		Heads: heads,
+		D:     d,
+	}
+}
+
+// Params lists trainable parameters.
+func (m *MultiHeadAttention) Params() []*Param {
+	var ps []*Param
+	for _, l := range []*Linear{m.WQ, m.WK, m.WV, m.WO} {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// AttnCache stores per-head activations for backprop and explainability.
+type AttnCache struct {
+	q, k, v      *tensor.Matrix
+	cq, ck, cv   *LinearCache
+	co           *LinearCache
+	attn         []*tensor.Matrix // per head T×T post-softmax
+	concat       *tensor.Matrix
+	requireCache bool
+}
+
+// Attention returns the post-softmax attention matrices per head (for the
+// explainability study).
+func (c *AttnCache) Attention() []*tensor.Matrix { return c.attn }
+
+// head returns the column sub-slice view [h*dh, (h+1)*dh) of row i.
+func headSlice(m *tensor.Matrix, i, h, dh int) []float64 {
+	row := m.Row(i)
+	return row[h*dh : (h+1)*dh]
+}
+
+// Forward computes self-attention over x (T×D).
+func (m *MultiHeadAttention) Forward(x *tensor.Matrix) (*tensor.Matrix, *AttnCache) {
+	T := x.Rows
+	dh := m.D / m.Heads
+	c := &AttnCache{}
+	c.q, c.cq = m.WQ.Forward(x)
+	c.k, c.ck = m.WK.Forward(x)
+	c.v, c.cv = m.WV.Forward(x)
+	c.concat = tensor.New(T, m.D)
+	scale := 1 / math.Sqrt(float64(dh))
+
+	for h := 0; h < m.Heads; h++ {
+		scores := tensor.New(T, T)
+		for i := 0; i < T; i++ {
+			qi := headSlice(c.q, i, h, dh)
+			srow := scores.Row(i)
+			for j := 0; j < T; j++ {
+				srow[j] = tensor.Dot(qi, headSlice(c.k, j, h, dh)) * scale
+			}
+		}
+		tensor.RowSoftmax(scores)
+		c.attn = append(c.attn, scores)
+		for i := 0; i < T; i++ {
+			orow := headSlice(c.concat, i, h, dh)
+			arow := scores.Row(i)
+			for j := 0; j < T; j++ {
+				tensor.Axpy(arow[j], headSlice(c.v, j, h, dh), orow)
+			}
+		}
+	}
+	out, co := m.WO.Forward(c.concat)
+	c.co = co
+	return out, c
+}
+
+// Backward propagates through the attention block, returning dX.
+func (m *MultiHeadAttention) Backward(c *AttnCache, dOut *tensor.Matrix) *tensor.Matrix {
+	T := dOut.Rows
+	dh := m.D / m.Heads
+	scale := 1 / math.Sqrt(float64(dh))
+
+	dConcat := m.WO.Backward(c.co, dOut)
+	dQ := tensor.New(T, m.D)
+	dK := tensor.New(T, m.D)
+	dV := tensor.New(T, m.D)
+
+	for h := 0; h < m.Heads; h++ {
+		attn := c.attn[h]
+		// dV and dAttn from dConcat.
+		dAttn := tensor.New(T, T)
+		for i := 0; i < T; i++ {
+			dcRow := headSlice(dConcat, i, h, dh)
+			arow := attn.Row(i)
+			daRow := dAttn.Row(i)
+			for j := 0; j < T; j++ {
+				// dV[j] += attn[i][j] * dConcat[i]
+				tensor.Axpy(arow[j], dcRow, headSlice(dV, j, h, dh))
+				// dAttn[i][j] = dot(dConcat[i], V[j])
+				daRow[j] = tensor.Dot(dcRow, headSlice(c.v, j, h, dh))
+			}
+		}
+		// Softmax backward per row: dS = A ⊙ (dA - Σ_j dA_j A_j).
+		for i := 0; i < T; i++ {
+			arow := attn.Row(i)
+			daRow := dAttn.Row(i)
+			dot := tensor.Dot(daRow, arow)
+			for j := 0; j < T; j++ {
+				daRow[j] = arow[j] * (daRow[j] - dot)
+			}
+		}
+		// dQ, dK from dScores (still in dAttn, scaled).
+		for i := 0; i < T; i++ {
+			daRow := dAttn.Row(i)
+			dqRow := headSlice(dQ, i, h, dh)
+			for j := 0; j < T; j++ {
+				g := daRow[j] * scale
+				if g == 0 {
+					continue
+				}
+				tensor.Axpy(g, headSlice(c.k, j, h, dh), dqRow)
+				tensor.Axpy(g, headSlice(c.q, i, h, dh), headSlice(dK, j, h, dh))
+			}
+		}
+	}
+
+	dx := m.WQ.Backward(c.cq, dQ)
+	dx.AddInPlace(m.WK.Backward(c.ck, dK))
+	dx.AddInPlace(m.WV.Backward(c.cv, dV))
+	return dx
+}
+
+// ---------------------------------------------------------------------------
+// Feed-forward network
+// ---------------------------------------------------------------------------
+
+// FFN is the position-wise two-layer network with ReLU.
+type FFN struct {
+	L1, L2 *Linear
+}
+
+// NewFFN builds a d→hidden→d FFN.
+func NewFFN(name string, d, hidden int, rng *rand.Rand) *FFN {
+	return &FFN{
+		L1: NewLinear(name+".l1", d, hidden, rng),
+		L2: NewLinear(name+".l2", hidden, d, rng),
+	}
+}
+
+// Params lists trainable parameters.
+func (f *FFN) Params() []*Param { return append(f.L1.Params(), f.L2.Params()...) }
+
+// FFNCache stores intermediate activations.
+type FFNCache struct {
+	c1 *LinearCache
+	cr *ReLUCache
+	c2 *LinearCache
+}
+
+// Forward applies L2(ReLU(L1(x))).
+func (f *FFN) Forward(x *tensor.Matrix) (*tensor.Matrix, *FFNCache) {
+	h, c1 := f.L1.Forward(x)
+	a, cr := ReLU(h)
+	y, c2 := f.L2.Forward(a)
+	return y, &FFNCache{c1: c1, cr: cr, c2: c2}
+}
+
+// Backward returns dX.
+func (f *FFN) Backward(c *FFNCache, dOut *tensor.Matrix) *tensor.Matrix {
+	da := f.L2.Backward(c.c2, dOut)
+	dh := ReLUBackward(c.cr, da)
+	return f.L1.Backward(c.c1, dh)
+}
+
+// ---------------------------------------------------------------------------
+// Encoder block (pre-norm residual)
+// ---------------------------------------------------------------------------
+
+// EncoderBlock is x + Attn(LN1(x)) followed by x + FFN(LN2(x)).
+type EncoderBlock struct {
+	LN1  *LayerNorm
+	Attn *MultiHeadAttention
+	LN2  *LayerNorm
+	FF   *FFN
+	Drop float64
+}
+
+// NewEncoderBlock builds one transformer encoder layer.
+func NewEncoderBlock(name string, d, heads, ffHidden int, drop float64, rng *rand.Rand) *EncoderBlock {
+	return &EncoderBlock{
+		LN1:  NewLayerNorm(name+".ln1", d),
+		Attn: NewMultiHeadAttention(name+".attn", d, heads, rng),
+		LN2:  NewLayerNorm(name+".ln2", d),
+		FF:   NewFFN(name+".ffn", d, ffHidden, rng),
+		Drop: drop,
+	}
+}
+
+// Params lists trainable parameters.
+func (b *EncoderBlock) Params() []*Param {
+	var ps []*Param
+	ps = append(ps, b.LN1.Params()...)
+	ps = append(ps, b.Attn.Params()...)
+	ps = append(ps, b.LN2.Params()...)
+	ps = append(ps, b.FF.Params()...)
+	return ps
+}
+
+// BlockCache stores sub-layer caches.
+type BlockCache struct {
+	cn1 *LayerNormCache
+	ca  *AttnCache
+	cd1 *DropoutCache
+	cn2 *LayerNormCache
+	cf  *FFNCache
+	cd2 *DropoutCache
+}
+
+// Forward runs the block; train enables dropout using rng.
+func (b *EncoderBlock) Forward(x *tensor.Matrix, train bool, rng *rand.Rand) (*tensor.Matrix, *BlockCache) {
+	c := &BlockCache{}
+	n1, cn1 := b.LN1.Forward(x)
+	c.cn1 = cn1
+	a, ca := b.Attn.Forward(n1)
+	c.ca = ca
+	a, c.cd1 = Dropout(a, b.Drop, train, rng)
+	h := x.Clone()
+	h.AddInPlace(a)
+
+	n2, cn2 := b.LN2.Forward(h)
+	c.cn2 = cn2
+	f, cf := b.FF.Forward(n2)
+	c.cf = cf
+	f, c.cd2 = Dropout(f, b.Drop, train, rng)
+	out := h.Clone()
+	out.AddInPlace(f)
+	return out, c
+}
+
+// Backward returns dX.
+func (b *EncoderBlock) Backward(c *BlockCache, dOut *tensor.Matrix) *tensor.Matrix {
+	dF := DropoutBackward(c.cd2, dOut)
+	dN2 := b.FF.Backward(c.cf, dF)
+	dH := b.LN2.Backward(c.cn2, dN2)
+	dH.AddInPlace(dOut) // residual
+
+	dA := DropoutBackward(c.cd1, dH)
+	dN1 := b.Attn.Backward(c.ca, dA)
+	dX := b.LN1.Backward(c.cn1, dN1)
+	dX.AddInPlace(dH) // residual
+	return dX
+}

@@ -1,0 +1,299 @@
+// Package nn implements the neural building blocks of PragFormer with
+// explicit forward/backward passes: embeddings with positional encodings,
+// linear layers, layer normalization, multi-head self-attention, the
+// position-wise feed-forward network, dropout, and the composed transformer
+// encoder block (pre-norm residual form). Every layer returns a cache from
+// Forward that its Backward consumes, and gradients accumulate into Param
+// buffers consumed by the optimizer in internal/train.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"pragformer/internal/tensor"
+)
+
+// Param is one trainable weight matrix with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Matrix
+	Grad *tensor.Matrix
+	// NoDecay excludes the parameter from AdamW weight decay (biases,
+	// layer-norm gains, embeddings).
+	NoDecay bool
+}
+
+// NewParam allocates a rows×cols parameter initialized N(0, std²).
+func NewParam(name string, rows, cols int, rng *rand.Rand, std float64) *Param {
+	p := &Param{Name: name, W: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+	if std > 0 {
+		p.W.Randn(rng, std)
+	}
+	return p
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// ---------------------------------------------------------------------------
+// Embedding
+// ---------------------------------------------------------------------------
+
+// Embedding sums token and learned positional embeddings.
+type Embedding struct {
+	Tok *Param // vocab × d
+	Pos *Param // maxLen × d
+	D   int
+}
+
+// NewEmbedding builds token and positional tables.
+func NewEmbedding(vocab, maxLen, d int, rng *rand.Rand) *Embedding {
+	e := &Embedding{
+		Tok: NewParam("emb.tok", vocab, d, rng, 0.02),
+		Pos: NewParam("emb.pos", maxLen, d, rng, 0.02),
+		D:   d,
+	}
+	e.Tok.NoDecay = true
+	e.Pos.NoDecay = true
+	return e
+}
+
+// Params lists trainable parameters.
+func (e *Embedding) Params() []*Param { return []*Param{e.Tok, e.Pos} }
+
+// Forward embeds ids into a T×d matrix.
+func (e *Embedding) Forward(ids []int) *tensor.Matrix {
+	out := tensor.New(len(ids), e.D)
+	for t, idx := range ids {
+		row := out.Row(t)
+		copy(row, e.Tok.W.Row(idx))
+		tensor.Axpy(1, e.Pos.W.Row(t), row)
+	}
+	return out
+}
+
+// Backward accumulates gradients for the embedded ids.
+func (e *Embedding) Backward(ids []int, dOut *tensor.Matrix) {
+	for t, idx := range ids {
+		tensor.Axpy(1, dOut.Row(t), e.Tok.Grad.Row(idx))
+		tensor.Axpy(1, dOut.Row(t), e.Pos.Grad.Row(t))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+// Linear is y = x·W + b.
+type Linear struct {
+	W *Param // in × out
+	B *Param // 1 × out
+}
+
+// NewLinear builds a linear layer with scaled-normal init.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		W: NewParam(name+".W", in, out, rng, 1/math.Sqrt(float64(in))),
+		B: NewParam(name+".b", 1, out, rng, 0),
+	}
+	l.B.NoDecay = true
+	return l
+}
+
+// Params lists trainable parameters.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// LinearCache holds the forward input for backprop.
+type LinearCache struct{ x *tensor.Matrix }
+
+// Forward computes y = x·W + b.
+func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, *LinearCache) {
+	y := tensor.MatMul(x, l.W.W)
+	for i := 0; i < y.Rows; i++ {
+		tensor.Axpy(1, l.B.W.Row(0), y.Row(i))
+	}
+	return y, &LinearCache{x: x}
+}
+
+// Backward accumulates dW, db and returns dX.
+func (l *Linear) Backward(c *LinearCache, dOut *tensor.Matrix) *tensor.Matrix {
+	l.W.Grad.AddInPlace(tensor.MatMulAT(c.x, dOut))
+	bg := l.B.Grad.Row(0)
+	for i := 0; i < dOut.Rows; i++ {
+		tensor.Axpy(1, dOut.Row(i), bg)
+	}
+	return tensor.MatMulBT(dOut, l.W.W)
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+// LayerNorm normalizes each row to zero mean / unit variance with learned
+// gain and bias.
+type LayerNorm struct {
+	Gamma *Param
+	Beta  *Param
+	Eps   float64
+}
+
+// NewLayerNorm builds a layer norm over dimension d.
+func NewLayerNorm(name string, d int) *LayerNorm {
+	ln := &LayerNorm{
+		Gamma: &Param{Name: name + ".g", W: tensor.New(1, d), Grad: tensor.New(1, d), NoDecay: true},
+		Beta:  &Param{Name: name + ".b", W: tensor.New(1, d), Grad: tensor.New(1, d), NoDecay: true},
+		Eps:   1e-5,
+	}
+	for i := range ln.Gamma.W.Data {
+		ln.Gamma.W.Data[i] = 1
+	}
+	return ln
+}
+
+// Params lists trainable parameters.
+func (ln *LayerNorm) Params() []*Param { return []*Param{ln.Gamma, ln.Beta} }
+
+// LayerNormCache stores normalized activations and per-row inverse stddev.
+type LayerNormCache struct {
+	xhat   *tensor.Matrix
+	invStd []float64
+}
+
+// Forward normalizes x row-wise.
+func (ln *LayerNorm) Forward(x *tensor.Matrix) (*tensor.Matrix, *LayerNormCache) {
+	d := x.Cols
+	out := tensor.New(x.Rows, d)
+	cache := &LayerNormCache{xhat: tensor.New(x.Rows, d), invStd: make([]float64, x.Rows)}
+	g := ln.Gamma.W.Row(0)
+	b := ln.Beta.W.Row(0)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		vr := 0.0
+		for _, v := range row {
+			dv := v - mean
+			vr += dv * dv
+		}
+		vr /= float64(d)
+		inv := 1 / math.Sqrt(vr+ln.Eps)
+		cache.invStd[i] = inv
+		xh := cache.xhat.Row(i)
+		or := out.Row(i)
+		for j, v := range row {
+			xh[j] = (v - mean) * inv
+			or[j] = xh[j]*g[j] + b[j]
+		}
+	}
+	return out, cache
+}
+
+// Backward returns dX and accumulates dGamma, dBeta.
+func (ln *LayerNorm) Backward(c *LayerNormCache, dOut *tensor.Matrix) *tensor.Matrix {
+	d := dOut.Cols
+	dx := tensor.New(dOut.Rows, d)
+	g := ln.Gamma.W.Row(0)
+	gg := ln.Gamma.Grad.Row(0)
+	bg := ln.Beta.Grad.Row(0)
+	for i := 0; i < dOut.Rows; i++ {
+		drow := dOut.Row(i)
+		xh := c.xhat.Row(i)
+		// Accumulate parameter grads.
+		for j := 0; j < d; j++ {
+			gg[j] += drow[j] * xh[j]
+			bg[j] += drow[j]
+		}
+		// dxhat = dOut * gamma; dx via the standard layer-norm backward.
+		sumD, sumDX := 0.0, 0.0
+		for j := 0; j < d; j++ {
+			dxh := drow[j] * g[j]
+			sumD += dxh
+			sumDX += dxh * xh[j]
+		}
+		inv := c.invStd[i]
+		n := float64(d)
+		dxr := dx.Row(i)
+		for j := 0; j < d; j++ {
+			dxh := drow[j] * g[j]
+			dxr[j] = (dxh - sumD/n - xh[j]*sumDX/n) * inv
+		}
+	}
+	return dx
+}
+
+// ---------------------------------------------------------------------------
+// ReLU and dropout
+// ---------------------------------------------------------------------------
+
+// ReLUCache records the activation mask.
+type ReLUCache struct{ mask []bool }
+
+// ReLU applies max(0, x) elementwise, returning a new matrix.
+func ReLU(x *tensor.Matrix) (*tensor.Matrix, *ReLUCache) {
+	out := x.Clone()
+	c := &ReLUCache{mask: make([]bool, len(x.Data))}
+	for i, v := range out.Data {
+		if v > 0 {
+			c.mask[i] = true
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out, c
+}
+
+// ReLUBackward masks the upstream gradient.
+func ReLUBackward(c *ReLUCache, dOut *tensor.Matrix) *tensor.Matrix {
+	dx := dOut.Clone()
+	for i := range dx.Data {
+		if !c.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// DropoutCache records the kept-element mask and scale.
+type DropoutCache struct {
+	mask  []bool
+	scale float64
+}
+
+// Dropout zeroes elements with probability p and rescales survivors
+// (inverted dropout). In eval mode (train=false) it is the identity.
+func Dropout(x *tensor.Matrix, p float64, train bool, rng *rand.Rand) (*tensor.Matrix, *DropoutCache) {
+	if !train || p <= 0 {
+		return x, &DropoutCache{scale: 1}
+	}
+	out := x.Clone()
+	c := &DropoutCache{mask: make([]bool, len(x.Data)), scale: 1 / (1 - p)}
+	for i := range out.Data {
+		if rng.Float64() < p {
+			out.Data[i] = 0
+		} else {
+			c.mask[i] = true
+			out.Data[i] *= c.scale
+		}
+	}
+	return out, c
+}
+
+// DropoutBackward propagates gradients through the kept elements.
+func DropoutBackward(c *DropoutCache, dOut *tensor.Matrix) *tensor.Matrix {
+	if c.mask == nil {
+		return dOut
+	}
+	dx := dOut.Clone()
+	for i := range dx.Data {
+		if c.mask[i] {
+			dx.Data[i] *= c.scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}

@@ -1,0 +1,98 @@
+package pragma
+
+import (
+	"testing"
+)
+
+func TestTokenizeRejectsStrangeChars(t *testing.T) {
+	if _, err := Parse("#pragma omp parallel for private(i@j)"); err == nil {
+		t.Fatal("expected error for '@'")
+	}
+	if _, err := Parse("#pragma omp parallel for schedule(static;4)"); err == nil {
+		t.Fatal("expected error for ';'")
+	}
+}
+
+func TestParseIfAndNumThreadsSkipped(t *testing.T) {
+	d := mustParse(t, "#pragma omp parallel for if(n > 100) num_threads(4) private(i)")
+	if len(d.Private) != 1 {
+		t.Fatalf("private = %v", d.Private)
+	}
+}
+
+func TestParseNestedParensInIf(t *testing.T) {
+	d := mustParse(t, "#pragma omp parallel for if((n * (m + 1)) > 100)")
+	if !d.ParallelFor {
+		t.Fatal("not parsed")
+	}
+}
+
+func TestParseBitwiseReductions(t *testing.T) {
+	d := mustParse(t, "#pragma omp parallel for reduction(&:m1) reduction(|:m2) reduction(^:m3)")
+	if len(d.Reductions) != 3 {
+		t.Fatalf("reductions = %v", d.Reductions)
+	}
+	ops := map[string]bool{}
+	for _, r := range d.Reductions {
+		ops[r.Op] = true
+	}
+	for _, op := range []string{"&", "|", "^"} {
+		if !ops[op] {
+			t.Errorf("missing op %q", op)
+		}
+	}
+}
+
+func TestParseLogicalReductions(t *testing.T) {
+	d := mustParse(t, "#pragma omp parallel for reduction(&&:all_ok) reduction(||:any_hit)")
+	if len(d.Reductions) != 2 {
+		t.Fatalf("reductions = %v", d.Reductions)
+	}
+	if d.Reductions[0].Op != "&&" || d.Reductions[1].Op != "||" {
+		t.Errorf("ops = %v, %v", d.Reductions[0].Op, d.Reductions[1].Op)
+	}
+}
+
+func TestParseScheduleAutoRuntimeFolded(t *testing.T) {
+	for _, kind := range []string{"auto", "runtime"} {
+		d := mustParse(t, "#pragma omp parallel for schedule("+kind+")")
+		if d.Schedule != ScheduleStatic {
+			t.Errorf("schedule(%s) folded to %v, want static", kind, d.Schedule)
+		}
+	}
+}
+
+func TestUnterminatedReduction(t *testing.T) {
+	if _, err := Parse("#pragma omp parallel for reduction(+:"); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := Parse("#pragma omp parallel for reduction(+:a, b"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDirectiveStringChunkless(t *testing.T) {
+	d := &Directive{ParallelFor: true, Schedule: ScheduleDynamic}
+	if d.String() != "#pragma omp parallel for schedule(dynamic)" {
+		t.Errorf("got %q", d.String())
+	}
+}
+
+func TestStringWithCollapseAndNowait(t *testing.T) {
+	d := &Directive{ParallelFor: true, Collapse: 2, NoWait: true}
+	want := "#pragma omp parallel for collapse(2) nowait"
+	if d.String() != want {
+		t.Errorf("got %q want %q", d.String(), want)
+	}
+}
+
+func TestSharedClauseRoundTrip(t *testing.T) {
+	d := mustParse(t, "#pragma omp parallel for shared(a, b) private(i)")
+	d2 := mustParse(t, d.String())
+	if !Equal(d, d2) {
+		t.Errorf("round trip changed: %q vs %q", d, d2)
+	}
+	if len(d.Shared) != 2 {
+		t.Errorf("shared = %v", d.Shared)
+	}
+}

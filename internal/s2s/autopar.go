@@ -1,0 +1,61 @@
+package s2s
+
+import (
+	"fmt"
+
+	"pragformer/internal/dep"
+	"pragformer/internal/pragma"
+)
+
+// AutoPar models ROSE's AutoPar: sound dependence analysis but a frontend
+// that cannot digest typedef'd types, struct member access, or do-while
+// loops, and a clause generator that knows private but not reduction — any
+// reduction-shaped scalar makes the loop look like a carried dependence and
+// the directive is withheld.
+type AutoPar struct{}
+
+// Name implements Compiler.
+func (AutoPar) Name() string { return "AutoPar" }
+
+// Compile implements Compiler.
+func (c AutoPar) Compile(src string) (Result, error) {
+	src = stripPragmas(src)
+	if err := rejectTokens(src, c.Name(), map[string]bool{
+		"register": true, "restrict": true, "typedef": true, "goto": true,
+	}, true, true); err != nil {
+		return Result{}, err
+	}
+	if containsToken(src, "do") && containsToken(src, "while") && containsDoWhile(src) {
+		return Result{}, fmt.Errorf("%w: AutoPar: do-while not supported", ErrParse)
+	}
+	loop, funcs, err := parseSnippet(src)
+	if err != nil {
+		return Result{}, err
+	}
+	a := dep.AnalyzeLoop(loop, funcs)
+	res := Result{Source: src, Reasons: a.Reasons}
+	if !a.Parallelizable {
+		return res, nil
+	}
+	if len(a.Reductions) > 0 {
+		res.Reasons = append(res.Reasons, "reduction idiom treated as carried dependence")
+		return res, nil
+	}
+	d := &pragma.Directive{ParallelFor: true}
+	d.Private = append(d.Private, a.Header.Var)
+	d.Private = append(d.Private, a.Private...)
+	res.Directive = d
+	res.Source = annotate(d, src)
+	return res, nil
+}
+
+// containsDoWhile performs a crude textual check for a do { ... } while.
+func containsDoWhile(src string) bool {
+	for i := 0; i+2 < len(src); i++ {
+		if src[i] == 'd' && src[i+1] == 'o' &&
+			(i == 0 || !identChar(src[i-1])) && !identChar(src[i+2]) {
+			return true
+		}
+	}
+	return false
+}

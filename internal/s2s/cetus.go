@@ -1,0 +1,128 @@
+package s2s
+
+import (
+	"pragformer/internal/dep"
+	"pragformer/internal/pragma"
+)
+
+// Cetus models the Cetus S2S compiler: the most robust of the three (the
+// paper reports "only Cetus managed to compile the examples successfully"),
+// with real dependence analysis, but with documented pitfalls:
+//
+//   - explicit private(i) insertion for the loop variable, which developers
+//     rarely write (hurting private-clause precision, Table 9);
+//   - reduction recognition limited to compound-assignment forms (`s += e`),
+//     missing `s = s + e` and fmax/fmin idioms (hurting recall, Table 10);
+//   - a profitability threshold far below what developers apply, so tiny
+//     loops still get directives (hurting directive precision, Table 8);
+//   - always-static scheduling: unbalanced loops are never given
+//     schedule(dynamic) (§1.1 example #2);
+//   - a frontend that rejects `register`, `restrict` and unknown typedef
+//     names outright.
+type Cetus struct{}
+
+// Name implements Compiler.
+func (Cetus) Name() string { return "Cetus" }
+
+// minCetusTrip is the constant trip count below which Cetus declines to
+// parallelize; deliberately lower than the human/profitability threshold
+// used in corpus labeling, so Cetus still annotates unprofitable loops.
+const minCetusTrip = 4
+
+// Compile implements Compiler.
+func (c Cetus) Compile(src string) (Result, error) {
+	src = stripPragmas(src)
+	if err := rejectTokens(src, c.Name(), map[string]bool{
+		"register": true, "restrict": true, "union": true,
+	}, false, true); err != nil {
+		return Result{}, err
+	}
+	loop, funcs, err := parseSnippet(src)
+	if err != nil {
+		return Result{}, err
+	}
+	a := dep.AnalyzeLoop(loop, funcs)
+	res := Result{Source: src, Reasons: a.Reasons}
+	if !a.Parallelizable {
+		return res, nil
+	}
+	if tc := a.Header.TripCount(); tc >= 0 && tc < minCetusTrip {
+		res.Reasons = append(res.Reasons, "trip count below Cetus threshold")
+		return res, nil
+	}
+	d := &pragma.Directive{ParallelFor: true}
+	// Pitfall: explicit private for the loop variable.
+	d.Private = append(d.Private, a.Header.Var)
+	d.Private = append(d.Private, a.Private...)
+	// Pitfall: only compound-assignment reductions survive Cetus's pattern
+	// matcher; others make the loop look serial, so Cetus declines.
+	for _, r := range a.Reductions {
+		if compoundReductionOnly(src, r) {
+			d.Reductions = append(d.Reductions, r)
+		} else {
+			res.Reasons = append(res.Reasons, "reduction form not recognized; loop left serial")
+			return res, nil
+		}
+	}
+	// Pitfall: no schedule(dynamic) for unbalanced loops; the default
+	// static schedule is kept (printed explicitly like Cetus does).
+	d.Schedule = pragma.ScheduleStatic
+	res.Directive = d
+	res.Source = annotate(d, src)
+	return res, nil
+}
+
+// compoundReductionOnly reports whether the reduction for r.Vars appears
+// only in compound-assignment form in the source (a textual check mirroring
+// Cetus's syntactic pattern matcher).
+func compoundReductionOnly(src string, r pragma.Reduction) bool {
+	if r.Op == "max" || r.Op == "min" {
+		return false
+	}
+	for _, v := range r.Vars {
+		if !containsToken(src, v+" "+r.Op+"=") && !containsToken(src, v+" +=") {
+			// Accept any compound op spelled with the variable.
+			if !compoundAssignPresent(src, v, r.Op) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// compoundAssignPresent scans for `v op=` allowing arbitrary spacing.
+func compoundAssignPresent(src, v, op string) bool {
+	idx := 0
+	for {
+		j := indexFrom(src, v, idx)
+		if j < 0 {
+			return false
+		}
+		k := j + len(v)
+		for k < len(src) && (src[k] == ' ' || src[k] == '\t') {
+			k++
+		}
+		if k+len(op) < len(src) && src[k:k+len(op)] == op && src[k+len(op)] == '=' {
+			// Ensure v is a whole token.
+			if (j == 0 || !identChar(src[j-1])) && !identChar(src[j+len(v)]) {
+				return true
+			}
+		}
+		idx = j + 1
+	}
+}
+
+func containsToken(src, sub string) bool { return indexFrom(src, sub, 0) >= 0 }
+
+func indexFrom(s, sub string, from int) int {
+	for i := from; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func identChar(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

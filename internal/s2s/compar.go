@@ -1,0 +1,64 @@
+package s2s
+
+import (
+	"fmt"
+)
+
+// ComPar models the ComPar multi-compiler (Mosseri et al. 2020): it runs
+// Par4All, AutoPar and Cetus, and combines their outputs, choosing the
+// "best" directive — the one that parallelizes with the richest clause set.
+// A snippet fails to compile only when every member compiler fails, which
+// in practice means failure tracks Cetus's frontend (the paper: "only Cetus
+// managed to compile the examples successfully").
+type ComPar struct {
+	// Members are the combined compilers; NewComPar wires the default trio.
+	Members []Compiler
+}
+
+// NewComPar returns the default ComPar configuration.
+func NewComPar() *ComPar {
+	return &ComPar{Members: []Compiler{Par4All{}, AutoPar{}, Cetus{}}}
+}
+
+// Name implements Compiler.
+func (*ComPar) Name() string { return "ComPar" }
+
+// Compile implements Compiler: runs all members and keeps the best result.
+func (c *ComPar) Compile(src string) (Result, error) {
+	var (
+		best     Result
+		bestSet  bool
+		failures int
+		lastErr  error
+	)
+	for _, m := range c.Members {
+		res, err := m.Compile(src)
+		if err != nil {
+			failures++
+			lastErr = err
+			continue
+		}
+		if !bestSet || score(res) > score(best) {
+			best = res
+			bestSet = true
+		}
+	}
+	if !bestSet {
+		return Result{}, fmt.Errorf("%w: ComPar: all member compilers failed (%v)", ErrParse, lastErr)
+	}
+	return best, nil
+}
+
+// score ranks results: any directive beats none; richer clause sets win.
+func score(r Result) int {
+	if r.Directive == nil {
+		return 0
+	}
+	s := 10
+	s += len(r.Directive.Private)
+	s += 2 * len(r.Directive.Reductions)
+	if r.Directive.Schedule != 0 {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,61 @@
+package s2s
+
+import (
+	"fmt"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/dep"
+	"pragformer/internal/pragma"
+)
+
+// Par4All models the Par4All compiler as the paper observed it: on this
+// corpus it fails to compile nearly everything ("only Cetus managed to
+// compile the examples successfully"). Its frontend accepts only
+// self-contained array loops: no function calls of any kind, no structs,
+// no typedefs, no floating literals with suffixes, no nested declarations.
+type Par4All struct{}
+
+// Name implements Compiler.
+func (Par4All) Name() string { return "Par4All" }
+
+// Compile implements Compiler.
+func (c Par4All) Compile(src string) (Result, error) {
+	src = stripPragmas(src)
+	if err := rejectTokens(src, c.Name(), map[string]bool{
+		"register": true, "restrict": true, "typedef": true, "goto": true,
+		"switch": true, "do": true, "while": true, "static": true,
+	}, true, true); err != nil {
+		return Result{}, err
+	}
+	loop, funcs, err := parseSnippet(src)
+	if err != nil {
+		return Result{}, err
+	}
+	// Any call — even a math builtin — defeats Par4All's interprocedural
+	// phase on bare snippets.
+	var hasCall bool
+	cast.Walk(loop, func(n cast.Node) bool {
+		if _, ok := n.(*cast.FuncCall); ok {
+			hasCall = true
+			return false
+		}
+		return true
+	})
+	if hasCall || len(funcs) > 0 {
+		return Result{}, fmt.Errorf("%w: Par4All: unresolved call in region", ErrParse)
+	}
+	a := dep.AnalyzeLoop(loop, nil)
+	res := Result{Source: src, Reasons: a.Reasons}
+	if !a.Parallelizable {
+		return res, nil
+	}
+	if len(a.Reductions) > 0 || len(a.Private) > 0 {
+		// Par4All privatization on bare snippets is unreliable; it declines.
+		res.Reasons = append(res.Reasons, "privatization phase declined the loop")
+		return res, nil
+	}
+	d := &pragma.Directive{ParallelFor: true}
+	res.Directive = d
+	res.Source = annotate(d, src)
+	return res, nil
+}

@@ -1,0 +1,180 @@
+// Package s2s implements source-to-source automatic parallelization
+// compilers in the mold of Cetus, AutoPar and Par4All, plus the ComPar
+// multi-compiler combiner the paper evaluates against. Each personality
+// shares the real dependence analysis in internal/dep but exhibits the
+// pitfalls the paper documents for its namesake: fragile parsing (unknown
+// keywords such as `register`, typedef'd types, struct-heavy code),
+// conservative declines on unknown function bodies, explicit private(i)
+// insertion, missed reduction forms, and indifference to iteration-count
+// profitability and workload balance.
+package s2s
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/clex"
+	"pragformer/internal/cparse"
+	"pragformer/internal/pragma"
+)
+
+// Result is one compiler's output for a snippet.
+type Result struct {
+	// Directive is the inserted OpenMP directive, or nil when the compiler
+	// decided not to parallelize.
+	Directive *pragma.Directive
+	// Source is the annotated source text (directive line + original code).
+	Source string
+	// Reasons carries the compiler's explanation, for diagnostics.
+	Reasons []string
+}
+
+// Compiler is a source-to-source auto-parallelizer.
+type Compiler interface {
+	// Name identifies the compiler personality.
+	Name() string
+	// Compile parses src, analyzes its first for-loop, and returns the
+	// annotated result. A non-nil error models a hard compile failure
+	// (the paper's "failed completely to compile" cases).
+	Compile(src string) (Result, error)
+}
+
+// ErrParse marks hard parse/compile failures.
+var ErrParse = errors.New("s2s: compile failed")
+
+// stripPragmas removes existing pragma lines so compilers judge bare code.
+func stripPragmas(src string) string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "#pragma") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// parseSnippet parses a snippet and extracts the first loop and any function
+// bodies present in the snippet text itself. The paper notes S2S compilers
+// suffer from "the lack of association of functions, macros, and structure
+// definitions" — they only see what is in the segment.
+func parseSnippet(src string) (*cast.For, map[string]*cast.FuncDef, error) {
+	f, err := cparse.Parse(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	funcs := map[string]*cast.FuncDef{}
+	for _, it := range f.Items {
+		if fd, ok := it.(*cast.FuncDef); ok {
+			funcs[fd.Name] = fd
+		}
+	}
+	loop := FirstLoop(f)
+	if loop == nil {
+		return nil, nil, fmt.Errorf("%w: no for-loop in snippet", ErrParse)
+	}
+	return loop, funcs, nil
+}
+
+// FirstLoop returns the snippet's target loop: the first for-loop outside
+// any function definition (helper bodies may contain their own loops), or
+// the first loop anywhere as a fallback.
+func FirstLoop(f *cast.File) *cast.For {
+	var fallback *cast.For
+	for _, it := range f.Items {
+		if _, isFunc := it.(*cast.FuncDef); isFunc {
+			if fallback == nil {
+				cast.Walk(it, func(n cast.Node) bool {
+					if l, ok := n.(*cast.For); ok && fallback == nil {
+						fallback = l
+						return false
+					}
+					return true
+				})
+			}
+			continue
+		}
+		var loop *cast.For
+		cast.Walk(it, func(n cast.Node) bool {
+			if l, ok := n.(*cast.For); ok && loop == nil {
+				loop = l
+				return false
+			}
+			return true
+		})
+		if loop != nil {
+			return loop
+		}
+	}
+	return fallback
+}
+
+// rejectTokens scans the raw token stream for constructs a fragile frontend
+// chokes on and returns a hard error when one is found.
+func rejectTokens(src string, name string, rejects map[string]bool, rejectStruct, rejectTypedefed bool) error {
+	toks, err := clex.Lex(src)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrParse, name, err)
+	}
+	for i, t := range toks {
+		switch t.Kind {
+		case clex.Keyword:
+			if rejects[t.Text] {
+				return fmt.Errorf("%w: %s: unrecognized keyword %q", ErrParse, name, t.Text)
+			}
+			if rejectStruct && (t.Text == "struct" || t.Text == "union") {
+				return fmt.Errorf("%w: %s: unsupported construct %q", ErrParse, name, t.Text)
+			}
+		case clex.Ident:
+			if rejectTypedefed && nonStandardTypes[t.Text] {
+				return fmt.Errorf("%w: %s: unknown type %q", ErrParse, name, t.Text)
+			}
+			// Unexpanded function-like macros (POLYBENCH_LOOP_BOUND(...))
+			// defeat frontends that expect preprocessed input.
+			if looksLikeMacro(t.Text) && i+1 < len(toks) && toks[i+1].Text == "(" {
+				return fmt.Errorf("%w: %s: unexpanded macro %q", ErrParse, name, t.Text)
+			}
+		case clex.Punct:
+			if rejectStruct && (t.Text == "->" || t.Text == ".") {
+				return fmt.Errorf("%w: %s: unsupported member access", ErrParse, name)
+			}
+		}
+	}
+	return nil
+}
+
+// looksLikeMacro reports whether an identifier follows the ALL_CAPS macro
+// convention (≥4 chars, no lowercase).
+func looksLikeMacro(s string) bool {
+	if len(s) < 4 {
+		return false
+	}
+	hasAlpha := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' {
+			return false
+		}
+		if c >= 'A' && c <= 'Z' {
+			hasAlpha = true
+		}
+	}
+	return hasAlpha
+}
+
+// nonStandardTypes are typedef names that require headers the S2S frontends
+// do not consume (the paper's SPEC failures: ssize_t, IndexPacket, ...).
+var nonStandardTypes = map[string]bool{
+	"ssize_t": true, "IndexPacket": true, "PixelPacket": true,
+	"MagickBooleanType": true, "real_t": true,
+}
+
+// annotate renders the directive above the stripped source.
+func annotate(d *pragma.Directive, src string) string {
+	if d == nil {
+		return src
+	}
+	return d.String() + "\n" + src
+}

@@ -1,0 +1,306 @@
+// Package tensor provides the dense float64 matrix kernels behind the
+// transformer implementation: allocation, seeded random init, (parallel)
+// matrix products in the three orientations backpropagation needs, row-wise
+// softmax, and elementwise helpers. Parallel loops split rows across
+// GOMAXPROCS workers with disjoint output ranges, so results are exactly
+// deterministic regardless of scheduling.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (len rows*cols) without copying.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero clears all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Randn fills the matrix with N(0, std²) samples from rng.
+func (m *Matrix) Randn(rng *rand.Rand, std float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// AddInPlace adds b elementwise.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	checkSame(m, b)
+	for i := range m.Data {
+		m.Data[i] += b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies all elements by c.
+func (m *Matrix) ScaleInPlace(c float64) {
+	for i := range m.Data {
+		m.Data[i] *= c
+	}
+}
+
+func checkSame(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// parallelThreshold is the minimum row*col product before MatMul fans out
+// to goroutines; below it, the scheduling overhead dominates.
+const parallelThreshold = 64 * 64
+
+// ParallelFor runs fn over [0, n) split into contiguous chunks across
+// GOMAXPROCS goroutines. Chunks are disjoint, so writes to per-index state
+// race-free and the result is schedule-independent.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes out = a·b, allocating out. a is m×k, b is k×n.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", a.Cols, b.Rows))
+	}
+	out := New(a.Rows, b.Cols)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a·b into a preallocated out.
+func MatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			for x := range orow {
+				orow[x] = 0
+			}
+			arow := a.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if a.Rows*b.Cols >= parallelThreshold {
+		ParallelFor(a.Rows, body)
+	} else {
+		body(0, a.Rows)
+	}
+}
+
+// MatMulAT computes out = aᵀ·b. a is k×m, b is k×n, out m×n.
+func MatMulAT(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulAT outer dims %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Cols, b.Cols)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			for k := 0; k < a.Rows; k++ {
+				av := a.At(k, i)
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+	if out.Rows*out.Cols >= parallelThreshold {
+		ParallelFor(out.Rows, body)
+	} else {
+		body(0, out.Rows)
+	}
+	return out
+}
+
+// MatMulBT computes out = a·bᵀ. a is m×k, b is n×k, out m×n.
+func MatMulBT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulBT inner dims %d vs %d", a.Cols, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	body := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				s := 0.0
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				orow[j] = s
+			}
+		}
+	}
+	if a.Rows*b.Rows >= parallelThreshold {
+		ParallelFor(a.Rows, body)
+	} else {
+		body(0, a.Rows)
+	}
+	return out
+}
+
+// RowSoftmax applies softmax to each row in place, numerically stabilized.
+// Degenerate rows (all -Inf) become all-zero rather than NaN.
+func RowSoftmax(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		if math.IsInf(maxv, -1) {
+			for j := range row {
+				row[j] = 0
+			}
+			continue
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			row[j] = e
+			sum += e
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// SoftmaxVec computes softmax of a vector, returning a new slice.
+func SoftmaxVec(v []float64) []float64 {
+	out := make([]float64, len(v))
+	maxv := math.Inf(-1)
+	for _, x := range v {
+		if x > maxv {
+			maxv = x
+		}
+	}
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp(x - maxv)
+		out[i] = e
+		sum += e
+	}
+	if sum > 0 {
+		inv := 1 / sum
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha*x over vectors.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Norm2 returns the Euclidean norm of the matrix elements.
+func (m *Matrix) Norm2() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

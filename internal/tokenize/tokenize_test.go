@@ -1,0 +1,237 @@
+package tokenize
+
+import (
+	"strings"
+	"testing"
+
+	"pragformer/internal/corpus"
+)
+
+const table6Src = "for (i = 0; i < len; i++) a[i] = i;"
+
+func TestExtractText(t *testing.T) {
+	toks, err := Extract(table6Src, Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(toks, " ")
+	want := "for ( i = 0 ; i < len ; i ++ ) a [ i ] = i ;"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestExtractRText(t *testing.T) {
+	toks, err := Extract(table6Src, RText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(toks, " ")
+	// Table 6: for (var0 = 0; var0 < var1; var0++) arr0[var0] = var0;
+	want := "for ( var0 = 0 ; var0 < var1 ; var0 ++ ) arr0 [ var0 ] = var0 ;"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestExtractAST(t *testing.T) {
+	toks, err := Extract(table6Src, AST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(toks, " ")
+	want := "For: Assignment: = ID: i Constant: int, 0 BinaryOp: < ID: i ID: len UnaryOp: p++ ID: i Assignment: = ArrayRef: ID: a ID: i ID: i"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+}
+
+func TestExtractRAST(t *testing.T) {
+	toks, err := Extract(table6Src, RAST)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "var0") || !strings.Contains(joined, "arr0") {
+		t.Errorf("replaced AST missing canonical names: %q", joined)
+	}
+	if strings.Contains(joined, "ID: i") || strings.Contains(joined, "ID: len") {
+		t.Errorf("original names leaked: %q", joined)
+	}
+}
+
+func TestPragmaNeverLeaks(t *testing.T) {
+	src := "#pragma omp parallel for\nfor (i = 0; i < n; i++) a[i] = 0;"
+	for _, repr := range Representations {
+		toks, err := Extract(src, repr)
+		if err != nil {
+			t.Fatalf("%v: %v", repr, err)
+		}
+		for _, tok := range toks {
+			if strings.Contains(tok, "pragma") || strings.Contains(tok, "omp") {
+				t.Errorf("%v: label leaked via token %q", repr, tok)
+			}
+		}
+	}
+}
+
+func TestExtractParseError(t *testing.T) {
+	for _, repr := range []Representation{RText, AST, RAST} {
+		if _, err := Extract("for (i = 0; i <", repr); err == nil {
+			t.Errorf("%v: expected error", repr)
+		}
+	}
+}
+
+func TestRepresentationString(t *testing.T) {
+	names := map[Representation]string{Text: "Text", RText: "Replaced-Text", AST: "AST", RAST: "Replaced-AST"}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestBuildVocab(t *testing.T) {
+	seqs := [][]string{{"for", "(", "i"}, {"i", "=", "0"}}
+	v := BuildVocab(seqs, 1)
+	if v.Size() != NumSpecials+5 {
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.ID("for") < NumSpecials {
+		t.Error("token id collides with specials")
+	}
+	if v.ID("never_seen") != UNK {
+		t.Error("OOV should map to UNK")
+	}
+	if !v.Contains("i") || v.Contains("zzz") {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestBuildVocabMinFreq(t *testing.T) {
+	seqs := [][]string{{"a", "a", "b"}}
+	v := BuildVocab(seqs, 2)
+	if !v.Contains("a") || v.Contains("b") {
+		t.Errorf("minFreq filtering wrong")
+	}
+}
+
+func TestVocabDeterministic(t *testing.T) {
+	seqs := [][]string{{"x", "y"}, {"z", "x"}}
+	v1 := BuildVocab(seqs, 1)
+	v2 := BuildVocab(seqs, 1)
+	for _, tok := range []string{"x", "y", "z"} {
+		if v1.ID(tok) != v2.ID(tok) {
+			t.Fatalf("nondeterministic id for %q", tok)
+		}
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	v := BuildVocab([][]string{{"a", "b", "c"}}, 1)
+	ids := v.Encode([]string{"a", "b", "zzz"}, 10)
+	if ids[0] != CLS {
+		t.Fatal("first id must be CLS")
+	}
+	if len(ids) != 4 {
+		t.Fatalf("len = %d", len(ids))
+	}
+	if ids[3] != UNK {
+		t.Error("OOV not UNK")
+	}
+	dec := v.Decode(ids)
+	if dec[0] != "[CLS]" || dec[1] != "a" || dec[3] != "[UNK]" {
+		t.Errorf("decode = %v", dec)
+	}
+}
+
+func TestEncodeTruncation(t *testing.T) {
+	v := BuildVocab([][]string{{"a"}}, 1)
+	long := make([]string, 500)
+	for i := range long {
+		long[i] = "a"
+	}
+	ids := v.Encode(long, 110)
+	if len(ids) != 110 {
+		t.Fatalf("len = %d, want 110 (the paper's max input length)", len(ids))
+	}
+}
+
+func TestTokenOutOfRange(t *testing.T) {
+	v := BuildVocab(nil, 1)
+	if v.Token(-1) != "[UNK]" || v.Token(9999) != "[UNK]" {
+		t.Error("out-of-range Token should be [UNK]")
+	}
+	if v.Token(PAD) != "[PAD]" || v.Token(MASK) != "[MASK]" {
+		t.Error("special token strings wrong")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	train := [][]string{{"a", "b"}, {"a", "c"}}
+	vt := [][]string{{"a", "d"}, {"e"}}
+	s := ComputeStats(Text, train, vt)
+	if s.TrainVocab != 3 {
+		t.Errorf("train vocab = %d", s.TrainVocab)
+	}
+	if s.OOVTypes != 2 {
+		t.Errorf("oov = %d", s.OOVTypes)
+	}
+	if s.AvgLength != 7.0/4.0 {
+		t.Errorf("avg = %f", s.AvgLength)
+	}
+}
+
+// TestTable7Shape checks the representation-level vocabulary ordering the
+// paper reports: Text vocab > R-Text vocab, and AST serializations are
+// longer than Text on average.
+func TestTable7Shape(t *testing.T) {
+	c := corpus.Generate(corpus.Config{Seed: 11, Total: 600})
+	perRepr := map[Representation][][]string{}
+	for _, r := range c.Records {
+		for _, repr := range Representations {
+			toks, err := Extract(r.Code, repr)
+			if err != nil {
+				t.Fatalf("%v: %v", repr, err)
+			}
+			perRepr[repr] = append(perRepr[repr], toks)
+		}
+	}
+	stats := map[Representation]Stats{}
+	for repr, seqs := range perRepr {
+		n := len(seqs) * 8 / 10
+		stats[repr] = ComputeStats(repr, seqs[:n], seqs[n:])
+	}
+	if stats[Text].TrainVocab <= stats[RText].TrainVocab {
+		t.Errorf("Text vocab %d should exceed R-Text vocab %d (Table 7)",
+			stats[Text].TrainVocab, stats[RText].TrainVocab)
+	}
+	if stats[AST].TrainVocab <= stats[RAST].TrainVocab {
+		t.Errorf("AST vocab %d should exceed R-AST vocab %d", stats[AST].TrainVocab, stats[RAST].TrainVocab)
+	}
+	if stats[AST].AvgLength <= stats[Text].AvgLength {
+		t.Errorf("AST avg length %.1f should exceed Text %.1f (serializer adds structure words)",
+			stats[AST].AvgLength, stats[Text].AvgLength)
+	}
+}
+
+func BenchmarkExtractText(b *testing.B) {
+	src := strings.Repeat("for (i = 0; i < n; i++) { a[i] = b[i] * c[i]; }\n", 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(src, Text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtractAST(b *testing.B) {
+	src := strings.Repeat("for (i = 0; i < n; i++) { a[i] = b[i] * c[i]; }\n", 10)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(src, AST); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

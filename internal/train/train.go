@@ -1,0 +1,284 @@
+// Package train implements the optimization stack from the paper's §4.3:
+// the AdamW optimizer (Loshchilov & Hutter), gradient clipping, a linear
+// warmup learning-rate schedule, and an epoch-driven trainer that records
+// the train-loss / validation-loss / validation-accuracy curves of
+// Figures 4–6 and selects the best epoch by validation loss.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"pragformer/internal/nn"
+)
+
+// AdamW is the decoupled-weight-decay Adam optimizer.
+type AdamW struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	step int
+	m    map[*nn.Param][]float64
+	v    map[*nn.Param][]float64
+}
+
+// NewAdamW returns an optimizer with the usual defaults.
+func NewAdamW(lr float64) *AdamW {
+	return &AdamW{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 0.01,
+		m: map[*nn.Param][]float64{},
+		v: map[*nn.Param][]float64{},
+	}
+}
+
+// Step applies one update to params from their accumulated gradients,
+// then leaves gradients untouched (callers zero them per batch). lrScale
+// multiplies the base LR (warmup schedules).
+func (o *AdamW) Step(params []*nn.Param, lrScale float64) {
+	o.step++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.step))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.step))
+	lr := o.LR * lrScale
+	for _, p := range params {
+		m := o.m[p]
+		if m == nil {
+			m = make([]float64, len(p.W.Data))
+			o.m[p] = m
+			o.v[p] = make([]float64, len(p.W.Data))
+		}
+		v := o.v[p]
+		w := p.W.Data
+		g := p.Grad.Data
+		for i := range w {
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g[i]
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g[i]*g[i]
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			upd := mhat / (math.Sqrt(vhat) + o.Eps)
+			if !p.NoDecay {
+				upd += o.WeightDecay * w[i]
+			}
+			w[i] -= lr * upd
+		}
+	}
+}
+
+// ClipGradNorm scales gradients so their global L2 norm is at most maxNorm.
+// Returns the pre-clip norm.
+func ClipGradNorm(params []*nn.Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// ZeroGrads clears all gradient accumulators.
+func ZeroGrads(params []*nn.Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// WarmupScale returns the linear-warmup LR multiplier for a step.
+func WarmupScale(step, warmupSteps int) float64 {
+	if warmupSteps <= 0 || step >= warmupSteps {
+		return 1
+	}
+	return float64(step+1) / float64(warmupSteps)
+}
+
+// EpochStats is one row of the Figures 4–6 series.
+type EpochStats struct {
+	Epoch         int
+	TrainLoss     float64
+	ValidLoss     float64
+	ValidAccuracy float64
+}
+
+// History is the full learning curve.
+type History struct {
+	Epochs []EpochStats
+	// BestEpoch is the epoch index (0-based) with the lowest validation
+	// loss — the paper's model-selection rule (§5.1: "the validation loss
+	// curve converges after 7–9 epochs ... we choose the models trained up
+	// to those points").
+	BestEpoch int
+}
+
+// Best returns the stats of the selected epoch.
+func (h History) Best() EpochStats {
+	if len(h.Epochs) == 0 {
+		return EpochStats{}
+	}
+	return h.Epochs[h.BestEpoch]
+}
+
+// String renders the curve compactly.
+func (h History) String() string {
+	s := ""
+	for _, e := range h.Epochs {
+		s += fmt.Sprintf("epoch %d: train %.4f valid %.4f acc %.3f\n",
+			e.Epoch, e.TrainLoss, e.ValidLoss, e.ValidAccuracy)
+	}
+	return s
+}
+
+// Example is one training instance: encoded ids and a binary label.
+type Example struct {
+	IDs   []int
+	Label bool
+}
+
+// Model is the trainable-classifier surface the trainer needs; implemented
+// by core.PragFormer.
+type Model interface {
+	Params() []*nn.Param
+	LossAndBackward(ids []int, label bool) float64
+	Loss(ids []int, label bool) float64
+	PredictLabel(ids []int) bool
+}
+
+// Config controls a training run.
+type Config struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Warmup    int     // warmup steps
+	ClipNorm  float64 // 0 disables clipping
+	Seed      int64
+	// Snapshot, when set, is called at each epoch end so callers can keep
+	// the best weights (model selection).
+	Snapshot func(epoch int, stats EpochStats)
+	// Progress, when set, receives one line per epoch.
+	Progress func(string)
+}
+
+// Fit trains the model, returning the learning curve.
+func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 10
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 3e-4
+	}
+	opt := NewAdamW(cfg.LR)
+	params := m.Params()
+	order := make([]int, len(trainSet))
+	for i := range order {
+		order[i] = i
+	}
+	rng := newShuffler(cfg.Seed)
+
+	var h History
+	bestLoss := math.Inf(1)
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.shuffle(order)
+		totalLoss := 0.0
+		ZeroGrads(params)
+		inBatch := 0
+		for _, idx := range order {
+			ex := trainSet[idx]
+			totalLoss += m.LossAndBackward(ex.IDs, ex.Label)
+			inBatch++
+			if inBatch == cfg.BatchSize {
+				optStep(opt, params, cfg, inBatch, &step)
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			optStep(opt, params, cfg, inBatch, &step)
+		}
+
+		stats := EpochStats{Epoch: epoch, TrainLoss: totalLoss / float64(max(1, len(trainSet)))}
+		stats.ValidLoss, stats.ValidAccuracy = Evaluate(m, validSet)
+		h.Epochs = append(h.Epochs, stats)
+		if stats.ValidLoss < bestLoss {
+			bestLoss = stats.ValidLoss
+			h.BestEpoch = epoch
+		}
+		if cfg.Snapshot != nil {
+			cfg.Snapshot(epoch, stats)
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("epoch %d/%d: train %.4f valid %.4f acc %.3f",
+				epoch+1, cfg.Epochs, stats.TrainLoss, stats.ValidLoss, stats.ValidAccuracy))
+		}
+	}
+	return h
+}
+
+// optStep normalizes accumulated gradients by batch size, clips, and steps.
+func optStep(opt *AdamW, params []*nn.Param, cfg Config, batch int, step *int) {
+	inv := 1 / float64(batch)
+	for _, p := range params {
+		p.Grad.ScaleInPlace(inv)
+	}
+	if cfg.ClipNorm > 0 {
+		ClipGradNorm(params, cfg.ClipNorm)
+	}
+	opt.Step(params, WarmupScale(*step, cfg.Warmup))
+	*step++
+	ZeroGrads(params)
+}
+
+// Evaluate computes mean loss and accuracy over a set.
+func Evaluate(m Model, set []Example) (loss, acc float64) {
+	if len(set) == 0 {
+		return 0, 0
+	}
+	correct := 0
+	for _, ex := range set {
+		loss += m.Loss(ex.IDs, ex.Label)
+		if m.PredictLabel(ex.IDs) == ex.Label {
+			correct++
+		}
+	}
+	return loss / float64(len(set)), float64(correct) / float64(len(set))
+}
+
+// shuffler is a tiny deterministic Fisher-Yates source.
+type shuffler struct{ state uint64 }
+
+func newShuffler(seed int64) *shuffler {
+	return &shuffler{state: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+func (s *shuffler) next() uint64 {
+	s.state ^= s.state << 13
+	s.state ^= s.state >> 7
+	s.state ^= s.state << 17
+	return s.state
+}
+
+func (s *shuffler) shuffle(xs []int) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := int(s.next() % uint64(i+1))
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
