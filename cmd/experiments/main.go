@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		mode  = flag.String("mode", "fast", "scale: fast|full")
-		exp   = flag.String("exp", "all", "experiment name, comma-separated list, or 'all'")
-		seed  = flag.Int64("seed", 1, "pipeline seed")
-		quiet = flag.Bool("q", false, "suppress progress output")
-		list  = flag.Bool("list", false, "list experiment names and exit")
+		mode    = flag.String("mode", "fast", "scale: fast|full")
+		exp     = flag.String("exp", "all", "experiment name, comma-separated list, or 'all'")
+		seed    = flag.Int64("seed", 1, "pipeline seed")
+		workers = flag.Int("workers", 1, "data-parallel training workers (<=1 sequential)")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+		list    = flag.Bool("list", false, "list experiment names and exit")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed}
+	cfg := experiments.Config{Seed: *seed, Workers: *workers}
 	switch *mode {
 	case "fast":
 		cfg.Mode = experiments.Fast

@@ -96,6 +96,7 @@ func cmdTrain(args []string) {
 		lr         = fs.Float64("lr", 5e-4, "learning rate")
 		seed       = fs.Int64("seed", 1, "seed")
 		maxTrain   = fs.Int("max-train", 0, "cap training examples (0 = all)")
+		workers    = fs.Int("workers", 1, "data-parallel training workers (<=1 sequential)")
 	)
 	_ = fs.Parse(args)
 
@@ -133,6 +134,7 @@ func cmdTrain(args []string) {
 		task, len(trainSet), len(validSet), v.Size())
 	hist := train.Fit(m, trainSet, validSet, train.Config{
 		Epochs: *epochs, BatchSize: 16, LR: *lr, ClipNorm: 1, Seed: *seed,
+		Workers:  *workers,
 		Progress: func(s string) { fmt.Println(" ", s) },
 	})
 	fmt.Printf("best epoch %d: valid accuracy %.3f\n",
@@ -155,6 +157,7 @@ func cmdEval(args []string) {
 		modelPath  = fs.String("model", "pragformer.gob", "model path")
 		vocabPath  = fs.String("vocab", "vocab.txt", "vocabulary path")
 		seed       = fs.Int64("seed", 1, "split seed (must match training)")
+		workers    = fs.Int("workers", 1, "parallel evaluation workers")
 	)
 	_ = fs.Parse(args)
 
@@ -172,7 +175,7 @@ func cmdEval(args []string) {
 	}
 	split := splitFor(c, taskFromName(*taskName), *seed)
 	testSet := encodeAll(split.Test, v, m.Cfg.MaxLen)
-	loss, acc := train.Evaluate(m, testSet)
+	loss, acc := train.EvaluateParallel(m, testSet, *workers)
 	fmt.Printf("test: %d examples, loss %.4f, accuracy %.3f\n", len(testSet), loss, acc)
 }
 

@@ -1,0 +1,3 @@
+module pragformer
+
+go 1.24

@@ -99,7 +99,7 @@ func (m *Model) Train(examples []Example, cfg TrainConfig) []float64 {
 			}
 			m.Bias -= cfg.LR * g
 		}
-		losses = append(losses, total/float64(maxInt(1, len(examples))))
+		losses = append(losses, total/float64(max(1, len(examples))))
 	}
 	return losses
 }
@@ -149,11 +149,4 @@ func sigmoid(x float64) float64 {
 func bceLoss(p, y float64) float64 {
 	p = math.Min(math.Max(p, 1e-12), 1-1e-12)
 	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -17,6 +17,7 @@ import (
 	"pragformer/internal/nn"
 	"pragformer/internal/tensor"
 	"pragformer/internal/tokenize"
+	"pragformer/internal/train"
 )
 
 // Config describes a PragFormer architecture.
@@ -119,6 +120,29 @@ func (m *PragFormer) MLMParams() []*nn.Param {
 	return append(m.EncoderParams(), m.MLMHead.Params()...)
 }
 
+// allParams returns every parameter tensor, in the Save/Load wire order.
+func (m *PragFormer) allParams() []*nn.Param {
+	return append(m.MLMParams(), m.FC1.W, m.FC1.B, m.FC2.W, m.FC2.B)
+}
+
+// Clone deep-copies the model: identical architecture and weights in fresh
+// buffers, with gradient accumulators zeroed and the dropout stream
+// reseeded from seed so each replica draws independent noise. New's random
+// initialization is overwritten by the copy — accepted dead work, since
+// cloning happens once per Fit, not per batch.
+func (m *PragFormer) Clone(seed int64) *PragFormer {
+	c, err := New(m.Cfg, seed)
+	if err != nil {
+		panic(err) // m.Cfg was validated when m was built
+	}
+	nn.CopyWeights(c.allParams(), m.allParams())
+	return c
+}
+
+// Replicate implements train.Replicable, letting train.Fit shard batches
+// across deep copies of the model.
+func (m *PragFormer) Replicate(seed int64) train.Model { return m.Clone(seed) }
+
 // encCache stores every sub-cache of one encoder pass.
 type encCache struct {
 	ids    []int
@@ -173,8 +197,9 @@ func (m *PragFormer) forwardCls(ids []int, train bool) *clsCache {
 	a, c.cd = nn.Dropout(a, m.Cfg.Dropout, train, m.rng)
 	logits, c2 := m.FC2.Forward(a)
 	c.c2 = c2
-	p := tensor.SoftmaxVec(logits.Row(0))
-	c.prob[0], c.prob[1] = p[0], p[1]
+	var p [2]float64
+	tensor.SoftmaxVecInto(p[:], logits.Row(0))
+	c.prob = p
 	return c
 }
 
@@ -260,8 +285,10 @@ func (m *PragFormer) MLMLossAndBackward(ids []int, rng *rand.Rand) (float64, int
 	dLogits := tensor.New(logits.Rows, logits.Cols)
 	total := 0.0
 	inv := 1 / float64(len(targets))
+	p := tensor.GetVecDirty(logits.Cols) // SoftmaxVecInto fully assigns it
+	defer tensor.PutVec(p)
 	for _, t := range targets {
-		p := tensor.SoftmaxVec(logits.Row(t))
+		tensor.SoftmaxVecInto(p, logits.Row(t))
 		gold := ids[t]
 		total += -math.Log(math.Max(p[gold], 1e-12))
 		drow := dLogits.Row(t)
@@ -291,12 +318,7 @@ type modelFile struct {
 // Save writes the model (including the MLM head) to w.
 func (m *PragFormer) Save(w io.Writer) error {
 	mf := modelFile{Cfg: m.Cfg}
-	for _, p := range m.MLMParams() {
-		mf.Names = append(mf.Names, p.Name)
-		mf.Shapes = append(mf.Shapes, [2]int{p.W.Rows, p.W.Cols})
-		mf.Data = append(mf.Data, p.W.Data)
-	}
-	for _, p := range []*nn.Param{m.FC1.W, m.FC1.B, m.FC2.W, m.FC2.B} {
+	for _, p := range m.allParams() {
 		mf.Names = append(mf.Names, p.Name)
 		mf.Shapes = append(mf.Shapes, [2]int{p.W.Rows, p.W.Cols})
 		mf.Data = append(mf.Data, p.W.Data)
@@ -324,7 +346,7 @@ func Load(r io.Reader) (*PragFormer, error) {
 	if err != nil {
 		return nil, err
 	}
-	params := append(m.MLMParams(), m.FC1.W, m.FC1.B, m.FC2.W, m.FC2.B)
+	params := m.allParams()
 	if len(params) != len(mf.Data) {
 		return nil, fmt.Errorf("core: model file has %d tensors, want %d", len(mf.Data), len(params))
 	}

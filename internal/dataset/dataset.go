@@ -138,10 +138,3 @@ func PositiveFraction(ins []Instance) float64 {
 	}
 	return float64(n) / float64(len(ins))
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

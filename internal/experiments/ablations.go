@@ -50,7 +50,7 @@ func ablationParams(base Params) Params {
 func (p *Pipeline) RunAblationPretraining() Ablation {
 	base := ablationParams(p.P)
 	withPre := base
-	withPre.PretrainEpochs = maxInt(1, base.PretrainEpochs)
+	withPre.PretrainEpochs = max(1, base.PretrainEpochs)
 	if withPre.PretrainMax == 0 {
 		withPre.PretrainMax = 300
 	}
@@ -92,11 +92,4 @@ func (p *Pipeline) RunAblationSeqLen() Ablation {
 		a.Rows = append(a.Rows, AblationRow{fmt.Sprintf("max %d tokens", maxLen), t.History.Best().ValidAccuracy})
 	}
 	return a
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -37,6 +37,9 @@ const (
 type Config struct {
 	Mode Mode
 	Seed int64
+	// Workers is the data-parallel training width handed to train.Fit;
+	// <=1 trains sequentially. The speedup experiment overrides it per row.
+	Workers int
 	// Progress, when set, receives status lines during long stages.
 	Progress func(string)
 }
@@ -285,6 +288,7 @@ func (p *Pipeline) trainModel(task dataset.Task, repr tokenize.Representation, p
 	hist := train.Fit(m, trainSet, validSet, train.Config{
 		Epochs: prm.Epochs, BatchSize: prm.Batch, LR: prm.LR,
 		Warmup: len(trainSet) / max(1, prm.Batch), ClipNorm: 1.0, Seed: seed,
+		Workers: p.Cfg.Workers,
 		Snapshot: func(epoch int, stats train.EpochStats) {
 			if bestLoss < 0 || stats.ValidLoss < bestLoss {
 				bestLoss = stats.ValidLoss
@@ -435,11 +439,4 @@ func sortedReprs() []tokenize.Representation {
 	rs := append([]tokenize.Representation{}, tokenize.Representations...)
 	sort.Slice(rs, func(i, j int) bool { return rs[i] < rs[j] })
 	return rs
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

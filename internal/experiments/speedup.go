@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pragformer/internal/core"
+	"pragformer/internal/tokenize"
+	"pragformer/internal/train"
+)
+
+// The speedup study is repo infrastructure rather than a paper artifact: it
+// times an identical PragFormer training workload at data-parallel widths
+// 1, 2 and 4 and reports throughput plus the final train loss of each run,
+// making the engine's scaling (and its determinism contract — the losses
+// agree to ≈1e-9 with dropout disabled) measurable from the experiment CLI.
+
+// SpeedupRow is one worker-width measurement.
+type SpeedupRow struct {
+	Workers   int
+	Seconds   float64
+	Speedup   float64 // versus the Workers=1 row
+	TrainLoss float64 // final-epoch training loss
+	ValidLoss float64
+}
+
+// SpeedupTable reports the data-parallel scaling study.
+type SpeedupTable struct {
+	Examples int
+	Epochs   int
+	Rows     []SpeedupRow
+}
+
+// speedupWidths are the worker counts the study compares.
+var speedupWidths = []int{1, 2, 4}
+
+// RunSpeedup trains the directive-task model on a fixed reduced workload at
+// each width. Dropout is zeroed so every row optimizes the identical
+// deterministic objective and the loss columns double as a cross-width
+// determinism check.
+func (p *Pipeline) RunSpeedup() SpeedupTable {
+	repr := tokenize.Text
+	v := p.Vocab(repr)
+	split := p.DirectiveSplit()
+	trainSet := p.Examples(split.Train, repr)
+	validSet := p.Examples(split.Valid, repr)
+	if len(trainSet) > 192 {
+		trainSet = trainSet[:192]
+	}
+	if len(validSet) > 64 {
+		validSet = validSet[:64]
+	}
+
+	prm := p.P
+	out := SpeedupTable{Examples: len(trainSet), Epochs: 2}
+	for _, w := range speedupWidths {
+		cfg := core.Config{
+			Vocab: v.Size(), MaxLen: prm.MaxLen, D: prm.D, Heads: prm.Heads,
+			Layers: prm.Layers, FFHidden: prm.FFHidden, Dropout: 0,
+		}
+		m, err := core.New(cfg, p.Cfg.Seed+9000)
+		if err != nil {
+			panic(err) // config bugs are programmer errors
+		}
+		p.progress("speedup study: training with %d workers", w)
+		start := time.Now()
+		h := train.Fit(m, trainSet, validSet, train.Config{
+			Epochs: out.Epochs, BatchSize: prm.Batch, LR: prm.LR,
+			ClipNorm: 1.0, Seed: p.Cfg.Seed + 9001, Workers: w,
+		})
+		sec := time.Since(start).Seconds()
+		last := h.Epochs[len(h.Epochs)-1]
+		row := SpeedupRow{Workers: w, Seconds: sec, TrainLoss: last.TrainLoss, ValidLoss: last.ValidLoss}
+		if len(out.Rows) > 0 && sec > 0 {
+			row.Speedup = out.Rows[0].Seconds / sec
+		} else {
+			row.Speedup = 1
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Print renders the table.
+func (t SpeedupTable) Print(w io.Writer) {
+	fmt.Fprintf(w, "Speedup: data-parallel training, %d examples × %d epochs\n", t.Examples, t.Epochs)
+	fmt.Fprintf(w, "  %-8s %10s %9s %12s %12s\n", "workers", "seconds", "speedup", "train loss", "valid loss")
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "  %-8d %10.3f %8.2fx %12.6f %12.6f\n",
+			r.Workers, r.Seconds, r.Speedup, r.TrainLoss, r.ValidLoss)
+	}
+}

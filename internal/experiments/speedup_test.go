@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpeedupTable(t *testing.T) {
+	p := testPipeline(t)
+	tab := p.RunSpeedup()
+	if len(tab.Rows) != len(speedupWidths) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for i, r := range tab.Rows {
+		if r.Workers != speedupWidths[i] {
+			t.Errorf("row %d workers = %d", i, r.Workers)
+		}
+		if r.Seconds <= 0 || r.Speedup <= 0 {
+			t.Errorf("row %d has non-positive timing: %+v", i, r)
+		}
+		// The determinism contract: every width optimizes the identical
+		// objective (dropout off), so final losses agree across widths.
+		if d := math.Abs(r.TrainLoss - tab.Rows[0].TrainLoss); d > 1e-9 {
+			t.Errorf("workers=%d train loss drifts %.3g from sequential", r.Workers, d)
+		}
+		if d := math.Abs(r.ValidLoss - tab.Rows[0].ValidLoss); d > 1e-9 {
+			t.Errorf("workers=%d valid loss drifts %.3g from sequential", r.Workers, d)
+		}
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Speedup", "workers", "speedup", "train loss"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("print output missing %q:\n%s", want, out)
+		}
+	}
+}

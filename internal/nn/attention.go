@@ -101,14 +101,15 @@ func (m *MultiHeadAttention) Backward(c *AttnCache, dOut *tensor.Matrix) *tensor
 	scale := 1 / math.Sqrt(float64(dh))
 
 	dConcat := m.WO.Backward(c.co, dOut)
-	dQ := tensor.New(T, m.D)
-	dK := tensor.New(T, m.D)
-	dV := tensor.New(T, m.D)
+	dQ := tensor.GetMatrix(T, m.D)
+	dK := tensor.GetMatrix(T, m.D)
+	dV := tensor.GetMatrix(T, m.D)
+	dAttn := tensor.GetMatrixDirty(T, T)
 
 	for h := 0; h < m.Heads; h++ {
 		attn := c.attn[h]
-		// dV and dAttn from dConcat.
-		dAttn := tensor.New(T, T)
+		// dV and dAttn from dConcat. Every dAttn element is assigned below
+		// before it is read, so the buffer can be reused dirty across heads.
 		for i := 0; i < T; i++ {
 			dcRow := headSlice(dConcat, i, h, dh)
 			arow := attn.Row(i)
@@ -147,6 +148,10 @@ func (m *MultiHeadAttention) Backward(c *AttnCache, dOut *tensor.Matrix) *tensor
 	dx := m.WQ.Backward(c.cq, dQ)
 	dx.AddInPlace(m.WK.Backward(c.ck, dK))
 	dx.AddInPlace(m.WV.Backward(c.cv, dV))
+	tensor.PutMatrix(dAttn)
+	tensor.PutMatrix(dQ)
+	tensor.PutMatrix(dK)
+	tensor.PutMatrix(dV)
 	return dx
 }
 

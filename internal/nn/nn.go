@@ -118,7 +118,10 @@ func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, *LinearCache) {
 
 // Backward accumulates dW, db and returns dX.
 func (l *Linear) Backward(c *LinearCache, dOut *tensor.Matrix) *tensor.Matrix {
-	l.W.Grad.AddInPlace(tensor.MatMulAT(c.x, dOut))
+	dw := tensor.GetMatrixDirty(c.x.Cols, dOut.Cols) // MatMulATInto zeroes it
+	tensor.MatMulATInto(dw, c.x, dOut)
+	l.W.Grad.AddInPlace(dw)
+	tensor.PutMatrix(dw)
 	bg := l.B.Grad.Row(0)
 	for i := 0; i < dOut.Rows; i++ {
 		tensor.Axpy(1, dOut.Row(i), bg)

@@ -1,0 +1,133 @@
+package tensor
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file holds the two pools behind the hot kernels:
+//
+//   - a persistent goroutine worker pool that executes ParallelFor chunks,
+//     replacing the per-call goroutine spawning the package started with
+//     (one training step issues hundreds of parallel matmuls, so spawn
+//     overhead was paid hundreds of times per step), and
+//   - a []float64 buffer pool that backs scratch matrices and softmax
+//     outputs in the matmul/backprop hot path.
+//
+// The worker pool is lazily started on the first parallel call and sized by
+// GOMAXPROCS at that moment; later calls grow it if GOMAXPROCS was raised.
+// Workers never exit — they block on the task channel between calls, which
+// is the entire point: steady-state parallel sections cost one channel send
+// per chunk instead of one goroutine spawn per chunk.
+
+// poolTask is one contiguous chunk of a ParallelFor body.
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// poolCh is deliberately unbuffered: a non-blocking send succeeds only
+// while an idle worker is parked on the receive, so a chunk is either
+// handed straight to a free worker or run inline by the submitter. Nothing
+// ever queues behind busy workers, which is what makes nested or heavily
+// contended ParallelFor calls (a pool worker's body itself calling
+// ParallelFor) deadlock-free by construction. The channel itself is cheap,
+// so it exists from init; only the worker goroutines start lazily.
+var (
+	poolCh   = make(chan poolTask)
+	poolSize atomic.Int64
+	poolMu   sync.Mutex // serializes worker spawning only
+)
+
+// ensurePool guarantees at least want resident workers and returns the
+// shared task channel. The steady-state path is a single atomic load; the
+// mutex is taken only while the pool still needs to grow.
+func ensurePool(want int) chan poolTask {
+	if poolSize.Load() >= int64(want) {
+		return poolCh
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	for poolSize.Load() < int64(want) {
+		go poolWorker(poolCh)
+		poolSize.Add(1)
+	}
+	return poolCh
+}
+
+func poolWorker(ch chan poolTask) {
+	for t := range ch {
+		t.fn(t.lo, t.hi)
+		t.wg.Done()
+	}
+}
+
+// PoolWorkers reports how many resident workers the pool has started.
+func PoolWorkers() int { return int(poolSize.Load()) }
+
+// ---------------------------------------------------------------------------
+// []float64 buffer pool
+// ---------------------------------------------------------------------------
+
+var vecPool sync.Pool
+
+// GetVec returns a zeroed []float64 of length n, reusing pooled capacity
+// when possible. Pair with PutVec once the buffer is dead; the scratch
+// matrices of one backward pass then stop hitting the allocator entirely.
+func GetVec(n int) []float64 {
+	v := GetVecDirty(n)
+	clear(v)
+	return v
+}
+
+// GetVecDirty is GetVec without the clear, for callers that fully assign
+// the buffer before reading it — skipping one O(n) memory pass per use.
+func GetVecDirty(n int) []float64 {
+	if p, _ := vecPool.Get().(*[]float64); p != nil {
+		if cap(*p) >= n {
+			return (*p)[:n]
+		}
+		// Too small for this caller but fine for another size class —
+		// return it rather than letting the GC eat a reusable buffer.
+		vecPool.Put(p)
+	}
+	return make([]float64, n)
+}
+
+// minPooledCap keeps tiny buffers out of the pool: the pool is a LIFO, so a
+// just-Put 2-element softmax output would be the first candidate for the
+// next matrix-sized Get, fail its capacity check, and turn the pool into a
+// miss machine. Small buffers are cheap to allocate; let the GC have them.
+const minPooledCap = 64
+
+// PutVec recycles a buffer obtained from GetVec (or any slice the caller no
+// longer references — the pool only cares about capacity). Buffers smaller
+// than minPooledCap are dropped.
+func PutVec(v []float64) {
+	if cap(v) < minPooledCap {
+		return
+	}
+	v = v[:0]
+	vecPool.Put(&v)
+}
+
+// GetMatrix returns a zeroed rows×cols matrix backed by pooled storage.
+// Release it with PutMatrix when its lifetime ends; matrices that escape
+// into long-lived caches must use New instead.
+func GetMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: GetVec(rows * cols)}
+}
+
+// GetMatrixDirty is GetMatrix without the clear, for outputs every element
+// of which is assigned before being read (MatMulATInto, attention dAttn).
+func GetMatrixDirty(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: GetVecDirty(rows * cols)}
+}
+
+// PutMatrix recycles a matrix obtained from GetMatrix. The matrix must not
+// be used afterwards.
+func PutMatrix(m *Matrix) {
+	PutVec(m.Data)
+	m.Data = nil
+}

@@ -1,0 +1,184 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// withGOMAXPROCS runs fn with GOMAXPROCS raised to n so the pool engages
+// even on single-core runners, restoring the old value afterwards.
+func withGOMAXPROCS(t *testing.T, n int, fn func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// TestParallelForConcurrentStress hammers the shared worker pool from many
+// goroutines at once (the shape of data-parallel training: W trainers each
+// issuing parallel matmuls) and checks every result. Run under -race this
+// is the PR's pool soundness test.
+func TestParallelForConcurrentStress(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		const (
+			callers = 8
+			iters   = 200
+			n       = 512
+		)
+		var wg sync.WaitGroup
+		errs := make(chan string, callers)
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				out := make([]int, n)
+				for it := 0; it < iters; it++ {
+					for i := range out {
+						out[i] = 0
+					}
+					ParallelFor(n, func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							out[i] = c + i*i
+						}
+					})
+					for i := range out {
+						if out[i] != c+i*i {
+							errs <- "wrong element after ParallelFor"
+							return
+						}
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+		if PoolWorkers() == 0 {
+			t.Fatal("worker pool never started under GOMAXPROCS=4")
+		}
+	})
+}
+
+// TestParallelForNested: a parallel body that itself calls ParallelFor must
+// complete (overflow chunks run inline on the caller, so the pool cannot
+// deadlock on itself).
+func TestParallelForNested(t *testing.T) {
+	withGOMAXPROCS(t, 4, func() {
+		const n = 64
+		out := make([][]int, n)
+		ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := make([]int, n)
+				ParallelFor(n, func(jlo, jhi int) {
+					for j := jlo; j < jhi; j++ {
+						row[j] = i + j
+					}
+				})
+				out[i] = row
+			}
+		})
+		for i := range out {
+			for j := range out[i] {
+				if out[i][j] != i+j {
+					t.Fatalf("out[%d][%d] = %d", i, j, out[i][j])
+				}
+			}
+		}
+	})
+}
+
+// TestMatMulDeterministicAcrossGOMAXPROCS: chunked results must be
+// bit-identical whether the pool runs wide, narrow, or not at all.
+func TestMatMulDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(130, 70).Randn(rng, 1)
+	b := New(70, 90).Randn(rng, 1)
+	var ref *Matrix
+	for _, procs := range []int{1, 2, 4} {
+		withGOMAXPROCS(t, procs, func() {
+			got := MatMul(a, b)
+			if ref == nil {
+				ref = got
+				return
+			}
+			for i, v := range got.Data {
+				if v != ref.Data[i] {
+					t.Fatalf("GOMAXPROCS=%d: element %d differs", procs, i)
+				}
+			}
+		})
+	}
+}
+
+func TestGetVecZeroedAndReused(t *testing.T) {
+	v := GetVec(64)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	PutVec(v)
+	w := GetVec(32) // smaller request may reuse the dirty buffer
+	for i, x := range w {
+		if x != 0 {
+			t.Fatalf("GetVec returned dirty element %d = %g", i, x)
+		}
+	}
+	PutVec(w)
+	if got := GetVec(128); len(got) != 128 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got := GetVecDirty(96); len(got) != 96 {
+		t.Fatalf("dirty len = %d", len(got))
+	}
+	PutVec(nil) // must not panic
+}
+
+func TestGetMatrixShape(t *testing.T) {
+	m := GetMatrix(3, 5)
+	if m.Rows != 3 || m.Cols != 5 || len(m.Data) != 15 {
+		t.Fatalf("bad pooled matrix %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(2, 4, 1)
+	if m.At(2, 4) != 1 {
+		t.Fatal("pooled matrix not addressable")
+	}
+	PutMatrix(m)
+	if m.Data != nil {
+		t.Fatal("PutMatrix must sever the data reference")
+	}
+}
+
+func TestMatMulATIntoReusesDirtyOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := New(8, 6).Randn(rng, 1)
+	b := New(8, 7).Randn(rng, 1)
+	want := MatMulAT(a, b)
+	dirty := New(6, 7)
+	for i := range dirty.Data {
+		dirty.Data[i] = 99
+	}
+	MatMulATInto(dirty, a, b)
+	for i := range want.Data {
+		if dirty.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: %g vs %g", i, dirty.Data[i], want.Data[i])
+		}
+	}
+}
+
+// BenchmarkMatMulParallel measures the pooled parallel matmul on a
+// transformer-shaped product; compare across -cpu settings for the
+// worker-pool speedup.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(256, 256).Randn(rng, 1)
+	y := New(256, 256).Randn(rng, 1)
+	out := New(256, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, y)
+	}
+}

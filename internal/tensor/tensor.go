@@ -1,9 +1,10 @@
 // Package tensor provides the dense float64 matrix kernels behind the
 // transformer implementation: allocation, seeded random init, (parallel)
 // matrix products in the three orientations backpropagation needs, row-wise
-// softmax, and elementwise helpers. Parallel loops split rows across
-// GOMAXPROCS workers with disjoint output ranges, so results are exactly
-// deterministic regardless of scheduling.
+// softmax, and elementwise helpers. Parallel loops split rows across a
+// persistent GOMAXPROCS-sized worker pool (pool.go) with disjoint output
+// ranges, so results are exactly deterministic regardless of scheduling,
+// and a []float64 buffer pool recycles hot-path scratch storage.
 package tensor
 
 import (
@@ -93,8 +94,13 @@ func checkSame(a, b *Matrix) {
 const parallelThreshold = 64 * 64
 
 // ParallelFor runs fn over [0, n) split into contiguous chunks across
-// GOMAXPROCS goroutines. Chunks are disjoint, so writes to per-index state
-// race-free and the result is schedule-independent.
+// GOMAXPROCS workers. Chunks are disjoint, so writes to per-index state are
+// race-free and the result is schedule-independent. Chunks beyond the first
+// are handed to idle workers of the persistent pool (see pool.go); the
+// caller runs the first chunk itself, and any chunk no worker is free to
+// take immediately (nested or heavily contended parallel sections) runs
+// inline on the caller, so the call always makes progress and can never
+// deadlock.
 func ParallelFor(n int, fn func(lo, hi int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers <= 1 || n < 2 {
@@ -105,18 +111,22 @@ func ParallelFor(n int, fn func(lo, hi int)) {
 		workers = n
 	}
 	chunk := (n + workers - 1) / workers
+	ch := ensurePool(workers - 1)
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	for lo := chunk; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
+		select {
+		case ch <- poolTask{fn: fn, lo: lo, hi: hi, wg: &wg}:
+		default:
 			fn(lo, hi)
-		}(lo, hi)
+			wg.Done()
+		}
 	}
+	fn(0, chunk)
 	wg.Wait()
 }
 
@@ -160,15 +170,25 @@ func MatMulInto(out, a, b *Matrix) {
 	}
 }
 
-// MatMulAT computes out = aᵀ·b. a is k×m, b is k×n, out m×n.
+// MatMulAT computes out = aᵀ·b, allocating out. a is k×m, b is k×n, out m×n.
 func MatMulAT(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: MatMulAT outer dims %d vs %d", a.Rows, b.Rows))
-	}
 	out := New(a.Cols, b.Cols)
+	MatMulATInto(out, a, b)
+	return out
+}
+
+// MatMulATInto computes out = aᵀ·b into a preallocated (possibly dirty) out.
+func MatMulATInto(out, a, b *Matrix) {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATInto shape %dx%d = (%dx%d)ᵀ·%dx%d",
+			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			orow := out.Row(i)
+			for x := range orow {
+				orow[x] = 0
+			}
 			for k := 0; k < a.Rows; k++ {
 				av := a.At(k, i)
 				if av == 0 {
@@ -186,7 +206,6 @@ func MatMulAT(a, b *Matrix) *Matrix {
 	} else {
 		body(0, out.Rows)
 	}
-	return out
 }
 
 // MatMulBT computes out = a·bᵀ. a is m×k, b is n×k, out m×n.
@@ -252,7 +271,15 @@ func RowSoftmax(m *Matrix) {
 
 // SoftmaxVec computes softmax of a vector, returning a new slice.
 func SoftmaxVec(v []float64) []float64 {
-	out := make([]float64, len(v))
+	return SoftmaxVecInto(make([]float64, len(v)), v)
+}
+
+// SoftmaxVecInto computes softmax of v into out (len(out) == len(v)) and
+// returns out. Callers on the hot path pair it with GetVec/PutVec.
+func SoftmaxVecInto(out, v []float64) []float64 {
+	if len(out) != len(v) {
+		panic("tensor: SoftmaxVecInto length mismatch")
+	}
 	maxv := math.Inf(-1)
 	for _, x := range v {
 		if x > maxv {

@@ -253,10 +253,3 @@ func ComputeStats(repr Representation, train, validtest [][]string) Stats {
 		AvgLength:      avg,
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,163 @@
+package train
+
+import (
+	"math"
+	"sync"
+
+	"pragformer/internal/nn"
+)
+
+// Data-parallel training: the batch loop of Fit with each batch sharded
+// across W model replicas. Replica r owns a contiguous shard of the batch,
+// accumulates gradients locally, and after the barrier the primary sums
+// replica gradients in replica order (fixed reduction order), steps the
+// optimizer on the primary parameters only, and broadcasts the updated
+// weights back out. Optimizer state therefore lives only on the primary,
+// exactly as in the sequential path, and every floating-point reduction has
+// a schedule-independent association order — two runs with the same worker
+// count are bit-identical, and different worker counts agree up to
+// summation-order rounding (≪1e-9 on the scales this repo trains).
+
+// fitParallel is the Workers>1 body of Fit; cfg defaults are already filled.
+func fitParallel(m Replicable, trainSet, validSet []Example, cfg Config) History {
+	// Replicas beyond the batch size (or dataset size) can never receive a
+	// shard, so clamping is free: it changes the replica count but not one
+	// bit of the result.
+	w := min(cfg.Workers, cfg.BatchSize)
+	if len(trainSet) > 0 {
+		w = min(w, len(trainSet))
+	}
+	replicas := make([]Model, w)
+	paramSets := make([][]*nn.Param, w)
+	replicas[0] = m
+	paramSets[0] = m.Params()
+	for r := 1; r < w; r++ {
+		replicas[r] = m.Replicate(cfg.Seed + int64(1000*r))
+		paramSets[r] = replicas[r].Params()
+	}
+	primary := paramSets[0]
+
+	opt := NewAdamW(cfg.LR)
+	order := make([]int, len(trainSet))
+	for i := range order {
+		order[i] = i
+	}
+	rng := newShuffler(cfg.Seed)
+
+	var h History
+	bestLoss := math.Inf(1)
+	step := 0
+	shardLoss := make([]float64, w)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.shuffle(order)
+		totalLoss := 0.0
+		for r := range paramSets {
+			ZeroGrads(paramSets[r])
+		}
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := min(start+cfg.BatchSize, len(order))
+			batch := order[start:end]
+			runShards(replicas, batch, trainSet, shardLoss)
+			for r := 1; r < w; r++ {
+				nn.AccumGrads(primary, paramSets[r])
+				ZeroGrads(paramSets[r])
+			}
+			for _, l := range shardLoss {
+				totalLoss += l
+			}
+			optStep(opt, primary, cfg, len(batch), &step)
+			for r := 1; r < w; r++ {
+				nn.CopyWeights(paramSets[r], primary)
+			}
+		}
+
+		stats := EpochStats{Epoch: epoch, TrainLoss: totalLoss / float64(max(1, len(trainSet)))}
+		stats.ValidLoss, stats.ValidAccuracy = evaluateModels(replicas, validSet)
+		finishEpoch(&h, &bestLoss, cfg, stats, w)
+	}
+	return h
+}
+
+// runShards splits batch into one contiguous shard per replica and runs
+// LossAndBackward over each shard concurrently. shardLoss[r] receives the
+// in-shard loss sum, folded left-to-right so it is schedule-independent.
+func runShards(replicas []Model, batch []int, set []Example, shardLoss []float64) {
+	w := len(replicas)
+	per := (len(batch) + w - 1) / w
+	var wg sync.WaitGroup
+	for r := 0; r < w; r++ {
+		shardLoss[r] = 0
+		lo := min(r*per, len(batch))
+		hi := min(lo+per, len(batch))
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(r, lo, hi int) {
+			defer wg.Done()
+			sum := 0.0
+			for _, idx := range batch[lo:hi] {
+				sum += replicas[r].LossAndBackward(set[idx].IDs, set[idx].Label)
+			}
+			shardLoss[r] = sum
+		}(r, lo, hi)
+	}
+	wg.Wait()
+}
+
+// evaluateModels computes mean loss and accuracy over set, sharding the work
+// across the given models. All models must hold identical weights (replicas
+// after a broadcast); per-shard sums are reduced in shard order, so the
+// result is deterministic for a fixed model count.
+func evaluateModels(models []Model, set []Example) (loss, acc float64) {
+	if len(set) == 0 {
+		return 0, 0
+	}
+	w := min(len(models), len(set))
+	if w == 1 {
+		return Evaluate(models[0], set)
+	}
+	per := (len(set) + w - 1) / w
+	losses := make([]float64, w)
+	correct := make([]int, w)
+	var wg sync.WaitGroup
+	for r := 0; r < w; r++ {
+		lo := min(r*per, len(set))
+		hi := min(lo+per, len(set))
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(r, lo, hi int) {
+			defer wg.Done()
+			for _, ex := range set[lo:hi] {
+				losses[r] += models[r].Loss(ex.IDs, ex.Label)
+				if models[r].PredictLabel(ex.IDs) == ex.Label {
+					correct[r]++
+				}
+			}
+		}(r, lo, hi)
+	}
+	wg.Wait()
+	n := 0
+	for r := 0; r < w; r++ {
+		loss += losses[r]
+		n += correct[r]
+	}
+	return loss / float64(len(set)), float64(n) / float64(len(set))
+}
+
+// EvaluateParallel computes mean loss and accuracy with the set sharded
+// across workers goroutines that all call the same model concurrently. The
+// model's Loss and PredictLabel must be safe for concurrent use — true for
+// core.PragFormer, whose inference path is read-only over the weights.
+func EvaluateParallel(m Model, set []Example, workers int) (loss, acc float64) {
+	if workers <= 1 || len(set) < 2 {
+		return Evaluate(m, set)
+	}
+	models := make([]Model, workers)
+	for i := range models {
+		models[i] = m
+	}
+	return evaluateModels(models, set)
+}

@@ -153,6 +153,15 @@ type Model interface {
 	PredictLabel(ids []int) bool
 }
 
+// Replicable is the optional Model capability data-parallel training needs:
+// a deep copy whose Params() align one-to-one with the original's (same
+// order and shapes). seed reseeds any internal randomness (dropout) so
+// replicas draw independent streams.
+type Replicable interface {
+	Model
+	Replicate(seed int64) Model
+}
+
 // Config controls a training run.
 type Config struct {
 	Epochs    int
@@ -161,6 +170,11 @@ type Config struct {
 	Warmup    int     // warmup steps
 	ClipNorm  float64 // 0 disables clipping
 	Seed      int64
+	// Workers is the data-parallel width: each batch is sharded across this
+	// many model replicas whose gradients are all-reduced into the primary
+	// in fixed replica order. <=1 (or a non-Replicable model) trains
+	// sequentially on the exact code path the package started with.
+	Workers int
 	// Snapshot, when set, is called at each epoch end so callers can keep
 	// the best weights (model selection).
 	Snapshot func(epoch int, stats EpochStats)
@@ -168,7 +182,11 @@ type Config struct {
 	Progress func(string)
 }
 
-// Fit trains the model, returning the learning curve.
+// Fit trains the model, returning the learning curve. With cfg.Workers > 1
+// and a Replicable model, batches are sharded across replicas; gradient
+// reduction order is fixed, so a run is deterministic for a given worker
+// count, and (dropout aside) agrees with the sequential run up to
+// floating-point summation order.
 func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 10
@@ -178,6 +196,11 @@ func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
 	}
 	if cfg.LR == 0 {
 		cfg.LR = 3e-4
+	}
+	if cfg.Workers > 1 {
+		if rm, ok := m.(Replicable); ok {
+			return fitParallel(rm, trainSet, validSet, cfg)
+		}
 	}
 	opt := NewAdamW(cfg.LR)
 	params := m.Params()
@@ -210,20 +233,32 @@ func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
 
 		stats := EpochStats{Epoch: epoch, TrainLoss: totalLoss / float64(max(1, len(trainSet)))}
 		stats.ValidLoss, stats.ValidAccuracy = Evaluate(m, validSet)
-		h.Epochs = append(h.Epochs, stats)
-		if stats.ValidLoss < bestLoss {
-			bestLoss = stats.ValidLoss
-			h.BestEpoch = epoch
-		}
-		if cfg.Snapshot != nil {
-			cfg.Snapshot(epoch, stats)
-		}
-		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("epoch %d/%d: train %.4f valid %.4f acc %.3f",
-				epoch+1, cfg.Epochs, stats.TrainLoss, stats.ValidLoss, stats.ValidAccuracy))
-		}
+		finishEpoch(&h, &bestLoss, cfg, stats, 1)
 	}
 	return h
+}
+
+// finishEpoch records one epoch's stats, applies the best-validation-loss
+// model-selection rule, and fires the Snapshot/Progress callbacks. Shared by
+// the sequential and data-parallel paths so the selection semantics cannot
+// silently diverge between them.
+func finishEpoch(h *History, bestLoss *float64, cfg Config, stats EpochStats, workers int) {
+	h.Epochs = append(h.Epochs, stats)
+	if stats.ValidLoss < *bestLoss {
+		*bestLoss = stats.ValidLoss
+		h.BestEpoch = stats.Epoch
+	}
+	if cfg.Snapshot != nil {
+		cfg.Snapshot(stats.Epoch, stats)
+	}
+	if cfg.Progress != nil {
+		tag := ""
+		if workers > 1 {
+			tag = fmt.Sprintf(" [%d workers]", workers)
+		}
+		cfg.Progress(fmt.Sprintf("epoch %d/%d: train %.4f valid %.4f acc %.3f%s",
+			stats.Epoch+1, cfg.Epochs, stats.TrainLoss, stats.ValidLoss, stats.ValidAccuracy, tag))
+	}
 }
 
 // optStep normalizes accumulated gradients by batch size, clips, and steps.
@@ -274,11 +309,4 @@ func (s *shuffler) shuffle(xs []int) {
 		j := int(s.next() % uint64(i+1))
 		xs[i], xs[j] = xs[j], xs[i]
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
