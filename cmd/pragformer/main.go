@@ -11,11 +11,9 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
@@ -117,14 +115,14 @@ func cmdTrain(args []string) {
 	}
 	v := tokenize.BuildVocab(seqs, 1)
 
-	trainSet := encodeAll(split.Train, v, 110)
-	validSet := encodeAll(split.Valid, v, 110)
+	trainSet := encodeAll(split.Train, v, core.DefaultMaxLen)
+	validSet := encodeAll(split.Valid, v, core.DefaultMaxLen)
 	if *maxTrain > 0 && len(trainSet) > *maxTrain {
 		trainSet = trainSet[:*maxTrain]
 	}
 
 	m, err := core.New(core.Config{
-		Vocab: v.Size(), MaxLen: 110, D: *d, Heads: *heads, Layers: *layers, Dropout: 0.1,
+		Vocab: v.Size(), MaxLen: core.DefaultMaxLen, D: *d, Heads: *heads, Layers: *layers, Dropout: 0.1,
 	}, *seed)
 	if err != nil {
 		fatal(err)
@@ -143,7 +141,7 @@ func cmdTrain(args []string) {
 	if err := m.SaveFile(*modelPath); err != nil {
 		fatal(err)
 	}
-	if err := saveVocab(v, *vocabPath); err != nil {
+	if err := v.SaveFile(*vocabPath); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s and %s\n", *modelPath, *vocabPath)
@@ -169,7 +167,7 @@ func cmdEval(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	v, err := loadVocab(*vocabPath)
+	v, err := tokenize.LoadVocabFile(*vocabPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -197,7 +195,7 @@ func cmdPredict(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	v, err := loadVocab(*vocabPath)
+	v, err := tokenize.LoadVocabFile(*vocabPath)
 	if err != nil {
 		fatal(err)
 	}
@@ -211,32 +209,4 @@ func cmdPredict(args []string) {
 		verdict = "suggest #pragma omp parallel for"
 	}
 	fmt.Printf("p(parallelizable) = %.3f → %s\n", p, verdict)
-}
-
-func saveVocab(v *tokenize.Vocab, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	for i := 0; i < v.Size(); i++ {
-		fmt.Fprintln(w, v.Token(i))
-	}
-	return w.Flush()
-}
-
-func loadVocab(path string) (*tokenize.Vocab, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
-	if len(lines) <= tokenize.NumSpecials {
-		return nil, fmt.Errorf("vocab file too short")
-	}
-	// Rebuild through BuildVocab to preserve id assignment: specials are
-	// emitted first by saveVocab, so skip them here.
-	seq := lines[tokenize.NumSpecials:]
-	return tokenize.BuildVocab([][]string{seq}, 1), nil
 }

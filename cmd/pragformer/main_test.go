@@ -9,10 +9,10 @@ import (
 func TestVocabSaveLoadRoundTrip(t *testing.T) {
 	v := tokenize.BuildVocab([][]string{{"for", "(", "i", "=", "0", ")"}}, 1)
 	path := t.TempDir() + "/vocab.txt"
-	if err := saveVocab(v, path); err != nil {
+	if err := v.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	v2, err := loadVocab(path)
+	v2, err := tokenize.LoadVocabFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestLoadVocabRejectsShortFile(t *testing.T) {
 	if err := writeFile(path, "[PAD]\n"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loadVocab(path); err == nil {
+	if _, err := tokenize.LoadVocabFile(path); err == nil {
 		t.Fatal("expected error")
 	}
 }

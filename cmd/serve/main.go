@@ -1,0 +1,198 @@
+// Command serve runs the PragFormer advisor as an HTTP JSON service over
+// the micro-batching inference engine in internal/serve.
+//
+// Models are either loaded from files written by `pragformer train`
+// (-directive/-private/-reduction plus -vocab) or, when -directive is
+// empty, trained at startup on a generated Open-OMP corpus — the
+// zero-setup demo mode.
+//
+// Endpoints:
+//
+//	POST /predict {"code": "..."} | {"codes": [...]} | {"ids": [[...]]}
+//	POST /suggest {"code": "..."} | {"codes": [...]}
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pragformer/internal/advisor"
+	"pragformer/internal/core"
+	"pragformer/internal/corpus"
+	"pragformer/internal/dataset"
+	"pragformer/internal/serve"
+	"pragformer/internal/tokenize"
+	"pragformer/internal/train"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		directive = flag.String("directive", "", "directive model path (empty: self-train a demo model)")
+		private   = flag.String("private", "", "private-clause model path (optional)")
+		reduction = flag.String("reduction", "", "reduction-clause model path (optional)")
+		vocabPath = flag.String("vocab", "", "vocabulary path (required with -directive)")
+		maxBatch  = flag.Int("max-batch", 16, "max coalesced batch size")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max time to hold a batch open")
+		replicas  = flag.Int("replicas", 1, "model replicas (concurrent batches in flight)")
+		cacheSize = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		noCompar  = flag.Bool("no-compar", false, "skip S2S corroboration in /suggest")
+		seed      = flag.Int64("seed", 1, "seed for demo training and replica cloning")
+		total     = flag.Int("train-total", 1000, "demo mode: generated corpus size")
+		epochs    = flag.Int("train-epochs", 5, "demo mode: training epochs per classifier")
+		workers   = flag.Int("train-workers", 1, "demo mode: data-parallel training workers")
+	)
+	flag.Parse()
+
+	models, err := buildModels(*directive, *private, *reduction, *vocabPath,
+		*seed, *total, *epochs, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	models.NoCorroborate = *noCompar
+
+	engine, err := serve.New(models, serve.Config{
+		MaxBatch: *maxBatch, MaxWait: *maxWait, Replicas: *replicas,
+		CacheSize: *cacheSize, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("serving on %s (max-batch %d, max-wait %s, replicas %d, cache %d)\n",
+		*addr, *maxBatch, *maxWait, *replicas, *cacheSize)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("\n%s: draining...\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+		}
+	}
+	st := engine.Stats()
+	fmt.Printf("served %d predicts (%.1f avg batch, %d cache hits), %d suggests (%.1f avg batch, %d cache hits)\n",
+		st.Predict.Requests, st.Predict.AvgBatch(), st.Predict.CacheHits,
+		st.Suggest.Requests, st.Suggest.AvgBatch(), st.Suggest.CacheHits)
+}
+
+// buildModels loads classifier files, or trains demo models when no
+// directive path is given.
+func buildModels(directive, private, reduction, vocabPath string,
+	seed int64, total, epochs, workers int) (*advisor.Models, error) {
+	if directive == "" {
+		return trainDemo(seed, total, epochs, workers)
+	}
+	if vocabPath == "" {
+		return nil, fmt.Errorf("-vocab is required with -directive")
+	}
+	v, err := tokenize.LoadVocabFile(vocabPath)
+	if err != nil {
+		return nil, err
+	}
+	m := &advisor.Models{Vocab: v}
+	if m.Directive, err = core.LoadFile(directive); err != nil {
+		return nil, err
+	}
+	m.MaxLen = m.Directive.Cfg.MaxLen
+	if private != "" {
+		if m.Private, err = core.LoadFile(private); err != nil {
+			return nil, err
+		}
+	}
+	if reduction != "" {
+		if m.Reduction, err = core.LoadFile(reduction); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// trainDemo fits the three classifiers on a generated corpus, sharing one
+// vocabulary — the same recipe as the advisor example, batch-evaluated.
+func trainDemo(seed int64, total, epochs, workers int) (*advisor.Models, error) {
+	fmt.Printf("no -directive model given; training demo classifiers (corpus %d, %d epochs)\n", total, epochs)
+	c := corpus.Generate(corpus.Config{Seed: seed, Total: total})
+	dirSplit := dataset.Directive(c, dataset.Options{Seed: seed})
+
+	var seqs [][]string
+	for _, in := range dirSplit.Train {
+		toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
+		if err != nil {
+			return nil, err
+		}
+		seqs = append(seqs, toks)
+	}
+	v := tokenize.BuildVocab(seqs, 1)
+
+	fit := func(task dataset.Task, taskSeed int64) (*core.PragFormer, error) {
+		split := dirSplit
+		if task != dataset.TaskDirective {
+			split = dataset.Clause(c, task, dataset.Options{Seed: seed, Balance: true})
+		}
+		encode := func(ins []dataset.Instance) ([]train.Example, error) {
+			out := make([]train.Example, len(ins))
+			for i, in := range ins {
+				toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = train.Example{IDs: v.Encode(toks, core.DefaultMaxLen), Label: in.Label}
+			}
+			return out, nil
+		}
+		m, err := core.New(core.Config{Vocab: v.Size(), D: 32, Heads: 4, Layers: 1}, taskSeed)
+		if err != nil {
+			return nil, err
+		}
+		trainSet, err := encode(split.Train)
+		if err != nil {
+			return nil, err
+		}
+		validSet, err := encode(split.Valid)
+		if err != nil {
+			return nil, err
+		}
+		hist := train.Fit(m, trainSet, validSet, train.Config{
+			Epochs: epochs, BatchSize: 16, LR: 1.5e-3, ClipNorm: 1,
+			Seed: taskSeed, Workers: workers,
+		})
+		fmt.Printf("  %s: valid accuracy %.3f\n", task, hist.Best().ValidAccuracy)
+		return m, nil
+	}
+
+	models := &advisor.Models{Vocab: v, MaxLen: core.DefaultMaxLen}
+	var err error
+	if models.Directive, err = fit(dataset.TaskDirective, seed+10); err != nil {
+		return nil, err
+	}
+	if models.Private, err = fit(dataset.TaskPrivate, seed+11); err != nil {
+		return nil, err
+	}
+	if models.Reduction, err = fit(dataset.TaskReduction, seed+12); err != nil {
+		return nil, err
+	}
+	return models, nil
+}

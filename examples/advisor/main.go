@@ -4,6 +4,11 @@
 // deserves an OpenMP directive, which clauses the dependence analysis
 // supports, what ComPar (the S2S baseline) would do, and which tokens drove
 // the model's decision (LIME).
+//
+// The whole editor buffer goes through advisor.Models.SuggestBatch in one
+// call: the directive classifier runs once over all loops (a batched
+// forward), clause analysis and S2S corroboration stay per-loop. See
+// README.md in this directory for the API walkthrough.
 package main
 
 import (
@@ -11,12 +16,11 @@ import (
 	"math"
 	"strings"
 
+	"pragformer/internal/advisor"
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
 	"pragformer/internal/dataset"
-	"pragformer/internal/dep"
 	"pragformer/internal/lime"
-	"pragformer/internal/s2s"
 	"pragformer/internal/tokenize"
 	"pragformer/internal/train"
 )
@@ -35,44 +39,39 @@ var workInProgress = []string{
 }
 
 func main() {
-	model, vocab := trainAdvisor()
+	models := trainAdvisor()
 	explainer := lime.New(7)
 	explainer.Samples = 150
-	compar := s2s.NewComPar()
+
+	// One batched pass over the whole buffer.
+	items, err := models.SuggestBatch(workInProgress)
+	if err != nil {
+		panic(err)
+	}
 
 	for k, src := range workInProgress {
 		fmt.Printf("── loop %d %s\n%s\n", k+1, strings.Repeat("─", 40), strings.TrimSpace(src))
+		if items[k].Err != nil {
+			fmt.Println("  parse error:", items[k].Err)
+			continue
+		}
+		s := items[k].Suggestion
+		verdict := "leave serial"
+		if s.Parallelize {
+			verdict = "add " + s.Directive.String()
+		}
+		fmt.Printf("  PragFormer: p=%.2f → %s [%s]\n", s.Probability, verdict, s.Confidence)
+		for _, note := range s.Notes {
+			fmt.Printf("  note:       %s\n", note)
+		}
 
 		toks, err := tokenize.Extract(src, tokenize.Text)
 		if err != nil {
-			fmt.Println("  parse error:", err)
 			continue
 		}
-		p := model.Predict(vocab.Encode(toks, 64))
-		verdict := "leave serial"
-		if p > 0.5 {
-			verdict = "add #pragma omp parallel for"
-		}
-		fmt.Printf("  PragFormer: p=%.2f → %s\n", p, verdict)
-
-		// Clause advice from the dependence analysis, like the combined
-		// model+S2S workflow the paper proposes.
-		if a := analyzeFirstLoop(src); a != nil && a.Parallelizable {
-			if d := a.Directive(); d != nil {
-				fmt.Printf("  analysis:   %s\n", d)
-			}
-		}
-
-		if res, err := compar.Compile(src); err != nil {
-			fmt.Printf("  ComPar:     compile failed (%v)\n", err)
-		} else if res.Directive == nil {
-			fmt.Println("  ComPar:     declines to parallelize")
-		} else {
-			fmt.Printf("  ComPar:     %s\n", res.Directive)
-		}
-
 		logit := func(tokens []string) float64 {
-			pr := math.Min(math.Max(model.Predict(vocab.Encode(tokens, 64)), 1e-6), 1-1e-6)
+			pr := models.Directive.Predict(models.Vocab.Encode(tokens, models.MaxLen))
+			pr = math.Min(math.Max(pr, 1e-6), 1-1e-6)
 			return math.Log(pr / (1 - pr))
 		}
 		var parts []string
@@ -83,8 +82,10 @@ func main() {
 	}
 }
 
-// trainAdvisor fits a small directive classifier on a generated corpus.
-func trainAdvisor() (*core.PragFormer, *tokenize.Vocab) {
+// trainAdvisor fits a small directive classifier on a generated corpus and
+// wraps it in the advisor bundle (clause classifiers omitted: the
+// dependence analysis decides clauses on its own).
+func trainAdvisor() *advisor.Models {
 	c := corpus.Generate(corpus.Config{Seed: 2, Total: 1000})
 	split := dataset.Directive(c, dataset.Options{Seed: 2})
 	var seqs [][]string
@@ -113,14 +114,5 @@ func trainAdvisor() (*core.PragFormer, *tokenize.Vocab) {
 		Epochs: 6, BatchSize: 16, LR: 1.5e-3, ClipNorm: 1, Seed: 2,
 	})
 	fmt.Printf("advisor ready (valid accuracy %.3f)\n\n", hist.Best().ValidAccuracy)
-	return model, vocab
-}
-
-// analyzeFirstLoop runs the dependence analysis over the snippet's loop.
-func analyzeFirstLoop(src string) *dep.Analysis {
-	loop, funcs, err := parseLoop(src)
-	if err != nil {
-		return nil
-	}
-	return dep.AnalyzeLoop(loop, funcs)
+	return &advisor.Models{Directive: model, Vocab: vocab, MaxLen: 64}
 }

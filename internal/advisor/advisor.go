@@ -4,10 +4,17 @@
 // needed; the dependence analysis supplies the *variable names* for the
 // clauses; and, following the paper's ComPar-combination proposal, an S2S
 // result can be used to corroborate the suggestion.
+//
+// The pipeline is batch-first: SuggestBatch tokenizes every snippet, then
+// runs each classifier exactly once over the whole batch through
+// core.PredictBatch (three batched forwards instead of 3·N single ones),
+// while the per-snippet dependence analysis and corroboration stay
+// per-item. Suggest is the single-snippet convenience wrapper.
 package advisor
 
 import (
 	"fmt"
+	"sync"
 
 	"pragformer/internal/cast"
 	"pragformer/internal/core"
@@ -20,13 +27,46 @@ import (
 
 // Models bundles the three task classifiers with their shared vocabulary.
 // Private and Reduction may be nil, in which case clause decisions fall back
-// to the dependence analysis alone.
+// to the dependence analysis alone. The zero MaxLen means
+// core.DefaultMaxLen. Models is safe for concurrent use by multiple
+// goroutines once constructed: suggestions only read the classifiers.
 type Models struct {
 	Directive *core.PragFormer
 	Private   *core.PragFormer
 	Reduction *core.PragFormer
 	Vocab     *tokenize.Vocab
 	MaxLen    int
+
+	// ComPar is the S2S compiler consulted to corroborate positive
+	// suggestions. Nil wires the default s2s.NewComPar trio on first use —
+	// once per Models, not once per call.
+	ComPar s2s.Compiler
+	// NoCorroborate skips the S2S corroboration entirely; Confidence then
+	// never reaches ComParAgrees. Serving paths that cannot afford the
+	// member-compiler passes set this.
+	NoCorroborate bool
+
+	comparOnce sync.Once
+}
+
+// comparator returns the corroborating compiler, wiring the default lazily.
+func (m *Models) comparator() s2s.Compiler {
+	m.comparOnce.Do(func() {
+		if m.ComPar == nil {
+			m.ComPar = s2s.NewComPar()
+		}
+	})
+	return m.ComPar
+}
+
+// EffectiveMaxLen returns the sequence cap suggestions encode with: MaxLen
+// when set, core.DefaultMaxLen otherwise. Serving layers that encode
+// snippets themselves must use the same cap.
+func (m *Models) EffectiveMaxLen() int {
+	if m.MaxLen > 0 {
+		return m.MaxLen
+	}
+	return core.DefaultMaxLen
 }
 
 // Confidence grades how strongly a suggestion is corroborated.
@@ -69,33 +109,94 @@ type Suggestion struct {
 	Notes []string
 }
 
-// Suggest runs the full pipeline over a code snippet.
+// BatchItem is one snippet's outcome within a SuggestBatch call: either a
+// suggestion or a per-snippet error (unlexable input), never both.
+type BatchItem struct {
+	Suggestion *Suggestion
+	Err        error
+}
+
+// Suggest runs the full pipeline over a single code snippet.
 func (m *Models) Suggest(code string) (*Suggestion, error) {
+	items, err := m.SuggestBatch([]string{code})
+	if err != nil {
+		return nil, err
+	}
+	return items[0].Suggestion, items[0].Err
+}
+
+// SuggestBatch runs the pipeline over a batch of snippets. Tokenization
+// failures surface as per-item errors; the returned error is non-nil only
+// when the Models themselves are unusable. Each classifier runs once over
+// the whole batch, so the per-call model overhead is amortized across
+// snippets; results are identical to calling Suggest per snippet.
+func (m *Models) SuggestBatch(codes []string) ([]BatchItem, error) {
 	if m.Directive == nil || m.Vocab == nil {
 		return nil, fmt.Errorf("advisor: directive model and vocabulary are required")
 	}
-	maxLen := m.MaxLen
-	if maxLen == 0 {
-		maxLen = 110
-	}
-	toks, err := tokenize.Extract(code, tokenize.Text)
-	if err != nil {
-		return nil, fmt.Errorf("advisor: %w", err)
-	}
-	ids := m.Vocab.Encode(toks, maxLen)
+	maxLen := m.EffectiveMaxLen()
+	items := make([]BatchItem, len(codes))
 
-	s := &Suggestion{Probability: m.Directive.Predict(ids)}
-	s.Parallelize = s.Probability > 0.5
-	if !s.Parallelize {
-		s.Notes = append(s.Notes, "directive classifier below threshold")
-		return s, nil
+	// Tokenize everything up front; the encodable snippets form the batch.
+	var (
+		idsBatch [][]int // encoded id sequences, one per encodable snippet
+		at       []int   // items index of each batch position
+	)
+	for i, code := range codes {
+		toks, err := tokenize.Extract(code, tokenize.Text)
+		if err != nil {
+			items[i].Err = fmt.Errorf("advisor: %w", err)
+			continue
+		}
+		idsBatch = append(idsBatch, m.Vocab.Encode(toks, maxLen))
+		at = append(at, i)
+	}
+	if len(idsBatch) == 0 {
+		return items, nil
 	}
 
+	// One batched forward for the directive verdicts, then one per clause
+	// classifier over the positive subset only.
+	probs := m.Directive.PredictBatch(idsBatch)
+	var (
+		posIDs [][]int
+		posAt  []int // items index of each positive
+	)
+	for j, i := range at {
+		s := &Suggestion{Probability: probs[j], Parallelize: probs[j] > 0.5}
+		items[i].Suggestion = s
+		if s.Parallelize {
+			posIDs = append(posIDs, idsBatch[j])
+			posAt = append(posAt, i)
+		} else {
+			s.Notes = append(s.Notes, "directive classifier below threshold")
+		}
+	}
+	if len(posIDs) == 0 {
+		return items, nil
+	}
+	wantPrivate := make([]bool, len(posIDs))
+	wantReduction := make([]bool, len(posIDs))
+	if m.Private != nil {
+		wantPrivate = m.Private.PredictLabelBatch(posIDs)
+	}
+	if m.Reduction != nil {
+		wantReduction = m.Reduction.PredictLabelBatch(posIDs)
+	}
+	for k, i := range posAt {
+		m.finish(items[i].Suggestion, codes[i], wantPrivate[k], wantReduction[k])
+	}
+	return items, nil
+}
+
+// finish completes a positive suggestion: dependence analysis, clause
+// assembly, schedule hint, and confidence grading. wantPrivate and
+// wantReduction carry the clause classifiers' verdicts (false when the
+// classifier is absent — the analysis then decides).
+func (m *Models) finish(s *Suggestion, code string, wantPrivate, wantReduction bool) {
 	d := &pragma.Directive{ParallelFor: true}
 	analysis := analyze(code)
 
-	wantPrivate := m.Private != nil && m.Private.PredictLabel(ids)
-	wantReduction := m.Reduction != nil && m.Reduction.PredictLabel(ids)
 	if analysis != nil {
 		if m.Private == nil {
 			wantPrivate = len(analysis.Private) > 0
@@ -134,10 +235,11 @@ func (m *Models) Suggest(code string) (*Suggestion, error) {
 	if analysis != nil && analysis.Parallelizable {
 		s.Confidence = AnalysisAgrees
 	}
-	if res, err := s2s.NewComPar().Compile(code); err == nil && res.Directive != nil {
-		s.Confidence = ComParAgrees
+	if !m.NoCorroborate {
+		if res, err := m.comparator().Compile(code); err == nil && res.Directive != nil {
+			s.Confidence = ComParAgrees
+		}
 	}
-	return s, nil
 }
 
 // analyze parses the snippet and runs the dependence analysis over its

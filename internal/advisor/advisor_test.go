@@ -7,6 +7,7 @@ import (
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
 	"pragformer/internal/dataset"
+	"pragformer/internal/s2s"
 	"pragformer/internal/tokenize"
 	"pragformer/internal/train"
 )
@@ -146,6 +147,85 @@ func TestSuggestErrors(t *testing.T) {
 	if _, err := m.Suggest("for (i = 0; i < `n`"); err == nil {
 		t.Fatal("expected error on unlexable input")
 	}
+}
+
+// TestSuggestBatchMatchesSuggest asserts that batching changes nothing: a
+// mixed batch (positives, negatives, an unlexable snippet) must reproduce
+// the per-snippet Suggest results exactly.
+func TestSuggestBatchMatchesSuggest(t *testing.T) {
+	m := models(t)
+	codes := []string{
+		"for (i = 0; i < n; i++) sum += a[i] * b[i];",
+		"for (i = 1; i < n; i++) a[i] = a[i-1] + 1;",
+		"for (i = 0; i < `n`", // unlexable
+		"for (i = 0; i < n; i++) for (j = 0; j < n; j++) x[i] = x[i] + A[i][j] * y[j];",
+		`for (i = 0; i < n; i++) printf("%d", a[i]);`,
+	}
+	items, err := m.SuggestBatch(codes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(codes) {
+		t.Fatalf("got %d items for %d codes", len(items), len(codes))
+	}
+	for i, code := range codes {
+		want, wantErr := m.Suggest(code)
+		got, gotErr := items[i].Suggestion, items[i].Err
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("snippet %d: err %v vs single %v", i, gotErr, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		if got.Parallelize != want.Parallelize || got.Probability != want.Probability ||
+			got.Confidence != want.Confidence {
+			t.Errorf("snippet %d: batch %+v != single %+v", i, got, want)
+		}
+		if (got.Directive == nil) != (want.Directive == nil) {
+			t.Errorf("snippet %d: directive presence mismatch", i)
+		} else if got.Directive != nil && got.Directive.String() != want.Directive.String() {
+			t.Errorf("snippet %d: directive %q != %q", i, got.Directive, want.Directive)
+		}
+		if strings.Join(got.Notes, "|") != strings.Join(want.Notes, "|") {
+			t.Errorf("snippet %d: notes %v != %v", i, got.Notes, want.Notes)
+		}
+	}
+}
+
+// TestSuggestBatchEmpty covers the degenerate batch.
+func TestSuggestBatchEmpty(t *testing.T) {
+	m := models(t)
+	items, err := m.SuggestBatch(nil)
+	if err != nil || len(items) != 0 {
+		t.Fatalf("SuggestBatch(nil) = %v, %v", items, err)
+	}
+}
+
+// TestNoCorroborate asserts the S2S pass can be disabled: confidence stays
+// below ComParAgrees and the stub comparator is never consulted.
+func TestNoCorroborate(t *testing.T) {
+	base := models(t)
+	m := &Models{
+		Directive: base.Directive, Private: base.Private, Reduction: base.Reduction,
+		Vocab: base.Vocab, MaxLen: base.MaxLen,
+		NoCorroborate: true,
+		ComPar:        panicCompiler{},
+	}
+	s, err := m.Suggest("for (i = 0; i < n; i++) sum += a[i] * b[i];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Confidence == ComParAgrees {
+		t.Error("corroboration ran despite NoCorroborate")
+	}
+}
+
+// panicCompiler fails the test if the advisor consults it.
+type panicCompiler struct{}
+
+func (panicCompiler) Name() string { return "panic" }
+func (panicCompiler) Compile(string) (s2s.Result, error) {
+	panic("advisor consulted the comparator with NoCorroborate set")
 }
 
 func TestConfidenceString(t *testing.T) {

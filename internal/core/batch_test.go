@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// batchTestModel builds a randomly initialized model — parity holds for any
+// weights, so no training is needed.
+func batchTestModel(t testing.TB, layers, maxLen int) *PragFormer {
+	t.Helper()
+	m, err := New(Config{Vocab: 200, MaxLen: maxLen, D: 32, Heads: 4, Layers: layers, Dropout: 0.1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// raggedIDs generates n id sequences with lengths in [minLen, maxLen].
+func raggedIDs(rng *rand.Rand, n, minLen, maxLen, vocab int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		T := minLen + rng.Intn(maxLen-minLen+1)
+		ids := make([]int, T)
+		ids[0] = 2 // [CLS], as tokenize.Vocab.Encode emits
+		for t := 1; t < T; t++ {
+			ids[t] = 4 + rng.Intn(vocab-4)
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// TestPredictBatchParity asserts bit-exact agreement between PredictBatch
+// and looped Predict across batch sizes, ragged lengths, and layer counts.
+func TestPredictBatchParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, layers := range []int{1, 2} {
+		m := batchTestModel(t, layers, 64)
+		for _, B := range []int{1, 3, 16} {
+			batch := raggedIDs(rng, B, 1, 64, m.Cfg.Vocab)
+			got := m.PredictBatch(batch)
+			probs := m.PredictBatchProbs(batch)
+			labels := m.PredictLabelBatch(batch)
+			if len(got) != B {
+				t.Fatalf("layers=%d B=%d: got %d results", layers, B, len(got))
+			}
+			for i, ids := range batch {
+				want := m.Predict(ids)
+				if got[i] != want {
+					t.Errorf("layers=%d B=%d seq %d (len %d): batch %v != single %v",
+						layers, B, i, len(ids), got[i], want)
+				}
+				if probs[i][1] != want {
+					t.Errorf("layers=%d B=%d seq %d: probs[1] %v != %v", layers, B, i, probs[i][1], want)
+				}
+				if labels[i] != m.PredictLabel(ids) {
+					t.Errorf("layers=%d B=%d seq %d: label mismatch", layers, B, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchProbsLoss asserts that both class probabilities match the
+// single-example path bit-for-bit (the batched evaluator derives losses
+// from them).
+func TestPredictBatchProbsLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := batchTestModel(t, 1, 64)
+	batch := raggedIDs(rng, 5, 2, 40, m.Cfg.Vocab)
+	probs := m.PredictBatchProbs(batch)
+	for i, ids := range batch {
+		c := m.forwardCls(ids, false)
+		if probs[i] != c.prob {
+			t.Errorf("seq %d: batch probs %v != single %v", i, probs[i], c.prob)
+		}
+	}
+}
+
+// TestPredictBatchTruncation asserts over-long sequences are truncated to
+// MaxLen exactly as the single path does.
+func TestPredictBatchTruncation(t *testing.T) {
+	m := batchTestModel(t, 1, 16)
+	long := make([]int, 40)
+	long[0] = 2
+	for i := 1; i < len(long); i++ {
+		long[i] = 4 + i%100
+	}
+	got := m.PredictBatch([][]int{long})
+	if want := m.Predict(long); got[0] != want {
+		t.Errorf("truncated batch %v != single %v", got[0], want)
+	}
+}
+
+// TestPredictBatchEmpty covers the degenerate shapes.
+func TestPredictBatchEmpty(t *testing.T) {
+	m := batchTestModel(t, 1, 16)
+	if got := m.PredictBatch(nil); len(got) != 0 {
+		t.Errorf("PredictBatch(nil) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("PredictBatch with an empty sequence should panic")
+		}
+	}()
+	m.PredictBatch([][]int{{}})
+}
+
+// TestPredictBatchConcurrent hammers one model from several goroutines so
+// the race detector can see the forward path is read-only.
+func TestPredictBatchConcurrent(t *testing.T) {
+	m := batchTestModel(t, 2, 32)
+	batch := raggedIDs(rand.New(rand.NewSource(9)), 8, 2, 32, m.Cfg.Vocab)
+	want := m.PredictBatch(batch)
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func() {
+			ok := true
+			for rep := 0; rep < 10; rep++ {
+				got := m.PredictBatch(batch)
+				for i := range got {
+					if got[i] != want[i] {
+						ok = false
+					}
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		if !<-done {
+			t.Error("concurrent PredictBatch diverged from sequential result")
+		}
+	}
+}
+
+// benchBatch is the fixed 16-sequence workload shared by the two
+// benchmarks below, at the Fast-pipeline model scale.
+func benchBatch(b *testing.B) (*PragFormer, [][]int) {
+	m := batchTestModel(b, 1, 64)
+	return m, raggedIDs(rand.New(rand.NewSource(3)), 16, 12, 64, m.Cfg.Vocab)
+}
+
+// BenchmarkPredictSequential16 is the baseline: 16 snippets through the
+// per-example Predict path.
+func BenchmarkPredictSequential16(b *testing.B) {
+	m, batch := benchBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ids := range batch {
+			m.Predict(ids)
+		}
+	}
+}
+
+// BenchmarkPredictBatch measures the same 16 snippets through one
+// PredictBatch call; the acceptance target is ≥2× the sequential baseline
+// (see BENCH_SERVE.json).
+func BenchmarkPredictBatch(b *testing.B) {
+	m, batch := benchBatch(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(batch)
+	}
+}

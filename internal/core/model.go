@@ -20,10 +20,16 @@ import (
 	"pragformer/internal/train"
 )
 
+// DefaultMaxLen is the paper's input budget: 110 token positions (§4.2).
+// Every layer that needs a fallback sequence cap — model configs, the
+// advisor, the serving engine, the experiment pipeline — derives it from
+// this constant rather than repeating the magic number.
+const DefaultMaxLen = 110
+
 // Config describes a PragFormer architecture.
 type Config struct {
 	Vocab    int     // vocabulary size (from tokenize.Vocab)
-	MaxLen   int     // maximum input positions; the paper uses 110
+	MaxLen   int     // maximum input positions; DefaultMaxLen when zero
 	D        int     // model dimension
 	Heads    int     // attention heads
 	Layers   int     // encoder blocks
@@ -35,7 +41,7 @@ type Config struct {
 // Validate fills defaults and checks consistency.
 func (c *Config) Validate() error {
 	if c.MaxLen == 0 {
-		c.MaxLen = 110
+		c.MaxLen = DefaultMaxLen
 	}
 	if c.FFHidden == 0 {
 		c.FFHidden = 2 * c.D

@@ -94,10 +94,14 @@ func (p *Pipeline) RunFigure7() Figure7 {
 	for i, e := range edges {
 		buckets[i].MaxTokens = e
 	}
-	for _, in := range split.Test {
+	ids := make([][]int, len(split.Test))
+	for i, in := range split.Test {
+		ids[i] = v.Encode(p.Tokens(in.Rec, tokenize.Text), p.P.MaxLen)
+	}
+	labels := predictLabels(trained.Model, ids)
+	for k, in := range split.Test {
 		toks := p.Tokens(in.Rec, tokenize.Text)
-		ids := v.Encode(toks, p.P.MaxLen)
-		wrong := trained.Model.PredictLabel(ids) != in.Label
+		wrong := labels[k] != in.Label
 		for i, e := range edges {
 			if len(toks) <= e {
 				buckets[i].Count++

@@ -69,7 +69,7 @@ func ParamsFor(mode Mode) Params {
 		return Params{
 			CorpusTotal: corpus.DefaultTotal, MaxTrain: 2500,
 			D: 64, Heads: 4, Layers: 2, FFHidden: 128,
-			Epochs: 6, MaxLen: 110, Batch: 16, LR: 5e-4, Dropout: 0.1,
+			Epochs: 6, MaxLen: core.DefaultMaxLen, Batch: 16, LR: 5e-4, Dropout: 0.1,
 			PretrainEpochs: 1, PretrainMax: 500,
 			BoWEpochs: 30, LimeSamples: 300,
 		}
@@ -365,15 +365,35 @@ func (p *Pipeline) BoW(task dataset.Task) *bow.Model {
 	return m
 }
 
-// EvalModel scores a trained PragFormer on instances.
+// EvalModel scores a trained PragFormer on instances through the batched
+// forward path.
 func (p *Pipeline) EvalModel(t *Trained, ins []dataset.Instance, repr tokenize.Representation) metrics.Confusion {
 	v := p.Vocab(repr)
+	ids := make([][]int, len(ins))
+	for i, in := range ins {
+		ids[i] = v.Encode(p.Tokens(in.Rec, repr), p.P.MaxLen)
+	}
+	labels := predictLabels(t.Model, ids)
 	var c metrics.Confusion
-	for _, in := range ins {
-		ids := v.Encode(p.Tokens(in.Rec, repr), p.P.MaxLen)
-		c.Add(t.Model.PredictLabel(ids), in.Label)
+	for i, in := range ins {
+		c.Add(labels[i], in.Label)
 	}
 	return c
+}
+
+// evalBatch bounds how many sequences one batched forward stacks so the
+// pooled activation matrices stay a bounded size on paper-scale test sets.
+const evalBatch = 64
+
+// predictLabels runs PredictLabelBatch in bounded chunks, preserving input
+// order.
+func predictLabels(m *core.PragFormer, ids [][]int) []bool {
+	out := make([]bool, 0, len(ids))
+	for start := 0; start < len(ids); start += evalBatch {
+		end := min(start+evalBatch, len(ids))
+		out = append(out, m.PredictLabelBatch(ids[start:end])...)
+	}
+	return out
 }
 
 // EvalBoW scores the BoW baseline on instances.

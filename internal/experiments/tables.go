@@ -240,11 +240,15 @@ func (p *Pipeline) RunTable11() Table11 {
 
 	evalSuite := func(c *corpus.Corpus, name string) (int, int) {
 		ins := InstancesOf(c, dataset.TaskDirective)
-		var pragC metrics.Confusion
 		v := p.Vocab(tokenize.Text)
-		for _, in := range ins {
-			ids := v.Encode(p.TokensFor(in.Rec, tokenize.Text), p.P.MaxLen)
-			pragC.Add(trained.Model.PredictLabel(ids), in.Label)
+		ids := make([][]int, len(ins))
+		for i, in := range ins {
+			ids[i] = v.Encode(p.TokensFor(in.Rec, tokenize.Text), p.P.MaxLen)
+		}
+		labels := predictLabels(trained.Model, ids)
+		var pragC metrics.Confusion
+		for i, in := range ins {
+			pragC.Add(labels[i], in.Label)
 		}
 		cpr := p.EvalComPar(ins, dataset.TaskDirective)
 		t.Rows = append(t.Rows,

@@ -1,0 +1,347 @@
+// Package serve is the inference serving layer: a micro-batching engine
+// over the batch-first advisor/core forward paths, plus the HTTP JSON API
+// in http.go that cmd/serve exposes.
+//
+// Concurrent callers enqueue requests; a dispatcher goroutine per request
+// kind coalesces up to MaxBatch requests (or whatever arrived within
+// MaxWait of the first) into one batch and hands it to a replica worker,
+// so N near-simultaneous callers cost one batched forward instead of N
+// single ones. Batches in flight fan out across Replicas model replicas
+// (deep copies via core.PragFormer.Clone, the same mechanism
+// core.Replicate exposes to the trainer). An LRU cache keyed by the
+// encoded id sequence (predictions) or the raw snippet (suggestions)
+// short-circuits repeats before they reach the queue.
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pragformer/internal/advisor"
+)
+
+// ErrClosed is returned by engine calls after Close.
+var ErrClosed = errors.New("serve: engine closed")
+
+// Config tunes the engine. Zero values take the documented defaults.
+type Config struct {
+	// MaxBatch is the largest coalesced batch (default 16).
+	MaxBatch int
+	// MaxWait bounds how long the dispatcher holds the first request of a
+	// batch while more arrive (default 2ms). Latency floor under light
+	// load, amortization ceiling under heavy load.
+	MaxWait time.Duration
+	// Replicas is how many model replicas batches fan out across, i.e. how
+	// many batches can be in flight at once (default 1). Replica 0 is the
+	// caller's model; further replicas are deep copies.
+	Replicas int
+	// CacheSize is the per-path LRU capacity in entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// Seed derives replica clone seeds (inference never draws from them,
+	// but clones reseed their dropout streams).
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+}
+
+// PathStats counts one request kind's traffic.
+type PathStats struct {
+	Requests  uint64 // calls accepted
+	CacheHits uint64 // answered from the LRU without queueing
+	Batches   uint64 // coalesced batches executed
+	Items     uint64 // requests carried by those batches
+}
+
+// AvgBatch is the mean coalesced batch size.
+func (s PathStats) AvgBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.Items) / float64(s.Batches)
+}
+
+// Stats is a point-in-time snapshot of engine counters.
+type Stats struct {
+	Predict PathStats
+	Suggest PathStats
+}
+
+// call is one queued request.
+type call[P any, K comparable, R any] struct {
+	payload P
+	key     K
+	res     chan R // buffered(1): the worker never blocks delivering
+}
+
+// batcher coalesces calls of one kind and fans batches across workers.
+type batcher[P any, K comparable, R any] struct {
+	queue    chan *call[P, K, R]
+	work     chan []*call[P, K, R]
+	cache    *lru[K, R]
+	maxBatch int
+	maxWait  time.Duration
+	done     chan struct{}
+	wg       *sync.WaitGroup
+
+	requests  atomic.Uint64
+	cacheHits atomic.Uint64
+	batches   atomic.Uint64
+	items     atomic.Uint64
+}
+
+// newBatcher starts one dispatcher plus one worker per run function; all
+// goroutines exit when done closes.
+func newBatcher[P any, K comparable, R any](
+	maxBatch int, maxWait time.Duration, cacheSize int,
+	runs []func([]P) []R, done chan struct{}, wg *sync.WaitGroup,
+) *batcher[P, K, R] {
+	b := &batcher[P, K, R]{
+		queue:    make(chan *call[P, K, R], maxBatch*len(runs)),
+		work:     make(chan []*call[P, K, R]),
+		cache:    newLRU[K, R](cacheSize),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		done:     done,
+		wg:       wg,
+	}
+	wg.Add(1 + len(runs))
+	go b.dispatch()
+	for _, run := range runs {
+		go b.worker(run)
+	}
+	return b
+}
+
+// dispatch coalesces queued calls into batches: the first call opens a
+// window that closes at MaxBatch calls or after MaxWait, whichever first.
+func (b *batcher[P, K, R]) dispatch() {
+	defer b.wg.Done()
+	for {
+		var first *call[P, K, R]
+		select {
+		case first = <-b.queue:
+		case <-b.done:
+			return
+		}
+		batch := append(make([]*call[P, K, R], 0, b.maxBatch), first)
+		timer := time.NewTimer(b.maxWait)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case c := <-b.queue:
+				batch = append(batch, c)
+			case <-timer.C:
+				break fill
+			case <-b.done:
+				timer.Stop()
+				return
+			}
+		}
+		timer.Stop()
+		select {
+		case b.work <- batch:
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// worker executes batches with its replica's run function and delivers
+// per-call results.
+func (b *batcher[P, K, R]) worker(run func([]P) []R) {
+	defer b.wg.Done()
+	for {
+		select {
+		case batch := <-b.work:
+			payloads := make([]P, len(batch))
+			for i, c := range batch {
+				payloads[i] = c.payload
+			}
+			results := run(payloads)
+			b.batches.Add(1)
+			b.items.Add(uint64(len(batch)))
+			for i, c := range batch {
+				b.cache.put(c.key, results[i])
+				c.res <- results[i]
+			}
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// do submits one request and blocks for its result, the cache, ctx
+// cancellation, or engine close.
+func (b *batcher[P, K, R]) do(ctx context.Context, payload P, key K) (R, error) {
+	var zero R
+	b.requests.Add(1)
+	if r, ok := b.cache.get(key); ok {
+		b.cacheHits.Add(1)
+		return r, nil
+	}
+	c := &call[P, K, R]{payload: payload, key: key, res: make(chan R, 1)}
+	select {
+	case b.queue <- c:
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.done:
+		return zero, ErrClosed
+	}
+	select {
+	case r := <-c.res:
+		return r, nil
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.done:
+		// A worker may have delivered concurrently with Close.
+		select {
+		case r := <-c.res:
+			return r, nil
+		default:
+			return zero, ErrClosed
+		}
+	}
+}
+
+func (b *batcher[P, K, R]) stats() PathStats {
+	return PathStats{
+		Requests:  b.requests.Load(),
+		CacheHits: b.cacheHits.Load(),
+		Batches:   b.batches.Load(),
+		Items:     b.items.Load(),
+	}
+}
+
+// suggestOut is the per-snippet suggest outcome carried through the
+// batcher (and cached — errors are deterministic, so caching them is
+// sound).
+type suggestOut struct {
+	s   *advisor.Suggestion
+	err error
+}
+
+// Engine is the serving front end over one advisor.Models bundle.
+type Engine struct {
+	models  *advisor.Models
+	cfg     Config
+	predict *batcher[[]int, string, float64]
+	suggest *batcher[string, string, suggestOut]
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds and starts an engine. The directive classifier and vocabulary
+// are required; clause classifiers are optional, exactly as for
+// advisor.Suggest.
+func New(models *advisor.Models, cfg Config) (*Engine, error) {
+	if models == nil || models.Directive == nil || models.Vocab == nil {
+		return nil, fmt.Errorf("serve: directive model and vocabulary are required")
+	}
+	cfg.fillDefaults()
+	e := &Engine{models: models, cfg: cfg, done: make(chan struct{})}
+
+	// Predict replicas: replica 0 serves from the caller's model, the rest
+	// from deep copies, so Replicas batches can run truly concurrently.
+	predictRuns := make([]func([][]int) []float64, cfg.Replicas)
+	predictRuns[0] = models.Directive.PredictBatch
+	for r := 1; r < cfg.Replicas; r++ {
+		replica := models.Directive.Clone(cfg.Seed + int64(r))
+		predictRuns[r] = replica.PredictBatch
+	}
+	e.predict = newBatcher[[]int, string, float64](
+		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, predictRuns, e.done, &e.wg)
+
+	// Suggest workers share the Models: the advisor pipeline is read-only
+	// over its classifiers, so concurrency needs no replicas — the workers
+	// exist to let batches overlap.
+	suggestRun := func(codes []string) []suggestOut {
+		items, err := models.SuggestBatch(codes)
+		out := make([]suggestOut, len(codes))
+		if err != nil {
+			for i := range out {
+				out[i] = suggestOut{err: err}
+			}
+			return out
+		}
+		for i, it := range items {
+			out[i] = suggestOut{s: it.Suggestion, err: it.Err}
+		}
+		return out
+	}
+	suggestRuns := make([]func([]string) []suggestOut, cfg.Replicas)
+	for r := range suggestRuns {
+		suggestRuns[r] = suggestRun
+	}
+	e.suggest = newBatcher[string, string, suggestOut](
+		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, suggestRuns, e.done, &e.wg)
+	return e, nil
+}
+
+// idKey packs an id sequence into a compact string cache key.
+func idKey(ids []int) string {
+	buf := make([]byte, 0, 2*len(ids))
+	var tmp [binary.MaxVarintLen64]byte
+	for _, id := range ids {
+		n := binary.PutUvarint(tmp[:], uint64(id))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// Predict returns the directive classifier's positive probability for an
+// encoded id sequence, coalescing concurrent callers into batched
+// forwards. ids is copied before it is enqueued: a caller that abandons a
+// queued request (ctx cancellation) may freely reuse its slice even though
+// a worker can still drain and cache the request later.
+func (e *Engine) Predict(ctx context.Context, ids []int) (float64, error) {
+	owned := make([]int, len(ids))
+	copy(owned, ids)
+	return e.predict.do(ctx, owned, idKey(owned))
+}
+
+// Suggest runs the full advisor pipeline for one snippet, coalescing
+// concurrent callers into SuggestBatch calls. The returned Suggestion may
+// be shared with other callers (cache hits) and must not be mutated.
+func (e *Engine) Suggest(ctx context.Context, code string) (*advisor.Suggestion, error) {
+	out, err := e.suggest.do(ctx, code, code)
+	if err != nil {
+		return nil, err
+	}
+	return out.s, out.err
+}
+
+// Models exposes the served bundle (the HTTP layer needs the vocabulary).
+func (e *Engine) Models() *advisor.Models { return e.models }
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{Predict: e.predict.stats(), Suggest: e.suggest.stats()}
+}
+
+// Close stops the dispatchers and workers and waits for them to exit.
+// Pending calls return ErrClosed; Close is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.done) })
+	e.wg.Wait()
+}

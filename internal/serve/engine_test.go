@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pragformer/internal/advisor"
+	"pragformer/internal/core"
+	"pragformer/internal/tokenize"
+)
+
+// testModels builds an advisor bundle around a randomly initialized
+// directive classifier — parity and engine mechanics don't need training.
+func testModels(t testing.TB) *advisor.Models {
+	t.Helper()
+	v := tokenize.BuildVocab([][]string{{"for", "(", "i", "=", "0", ";", "<", "n", "+", ")", "a", "[", "]", "*", "b"}}, 1)
+	m, err := core.New(core.Config{Vocab: v.Size() + 100, MaxLen: 64, D: 32, Heads: 4, Layers: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &advisor.Models{Directive: m, Vocab: v, MaxLen: 64}
+}
+
+// randIDs builds n id sequences like tokenize.Vocab.Encode would: [CLS]
+// followed by in-vocabulary ids.
+func randIDs(rng *rand.Rand, n, maxLen, vocab int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		T := 2 + rng.Intn(maxLen-2)
+		ids := make([]int, T)
+		ids[0] = tokenize.CLS
+		for t := 1; t < T; t++ {
+			ids[t] = tokenize.NumSpecials + rng.Intn(vocab-tokenize.NumSpecials)
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// TestEnginePredictParity hammers the engine from concurrent clients and
+// checks every answer bit-exactly against the direct single-model path.
+func TestEnginePredictParity(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{MaxBatch: 8, MaxWait: 5 * time.Millisecond, Replicas: 2, CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	pool := randIDs(rand.New(rand.NewSource(13)), 30, 64, models.Directive.Cfg.Vocab)
+	want := make([]float64, len(pool))
+	for i, ids := range pool {
+		want[i] = models.Directive.Predict(ids)
+	}
+
+	const clients, perClient = 8, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + c)))
+			for r := 0; r < perClient; r++ {
+				i := rng.Intn(len(pool))
+				got, err := e.Predict(context.Background(), pool[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want[i] {
+					errs <- fmt.Errorf("seq %d: engine %v != direct %v", i, got, want[i])
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	s := e.Stats().Predict
+	if s.Requests != clients*perClient {
+		t.Errorf("requests = %d, want %d", s.Requests, clients*perClient)
+	}
+	if s.Items+s.CacheHits != s.Requests {
+		t.Errorf("items %d + hits %d != requests %d", s.Items, s.CacheHits, s.Requests)
+	}
+}
+
+// TestEngineCoalesces opens a wide batching window and checks that
+// near-simultaneous requests share batches.
+func TestEngineCoalesces(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{MaxBatch: 16, MaxWait: 200 * time.Millisecond, CacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	pool := randIDs(rand.New(rand.NewSource(14)), 6, 32, models.Directive.Cfg.Vocab)
+	var wg sync.WaitGroup
+	for _, ids := range pool {
+		wg.Add(1)
+		go func(ids []int) {
+			defer wg.Done()
+			if _, err := e.Predict(context.Background(), ids); err != nil {
+				t.Error(err)
+			}
+		}(ids)
+	}
+	wg.Wait()
+	s := e.Stats().Predict
+	if s.Batches >= uint64(len(pool)) {
+		t.Errorf("no coalescing: %d batches for %d requests", s.Batches, len(pool))
+	}
+	if s.AvgBatch() < 2 {
+		t.Errorf("avg batch %v, want >= 2", s.AvgBatch())
+	}
+}
+
+// TestEngineCache checks the LRU short-circuits repeats.
+func TestEngineCache(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ids := randIDs(rand.New(rand.NewSource(15)), 1, 32, models.Directive.Cfg.Vocab)[0]
+	first, err := e.Predict(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := e.Predict(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("cached %v != computed %v", second, first)
+	}
+	if s := e.Stats().Predict; s.CacheHits != 1 {
+		t.Errorf("cache hits = %d, want 1", s.CacheHits)
+	}
+}
+
+// TestEngineSuggest checks the suggest path against the direct advisor and
+// the per-item error contract.
+func TestEngineSuggest(t *testing.T) {
+	models := testModels(t)
+	models.NoCorroborate = true // keep the test focused on the engine
+	e, err := New(models, Config{MaxWait: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	code := "for (i = 0; i < n; i++) a[i] = 0;"
+	want, err := models.Suggest(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Suggest(context.Background(), code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Probability != want.Probability || got.Parallelize != want.Parallelize {
+		t.Errorf("engine %+v != direct %+v", got, want)
+	}
+
+	if _, err := e.Suggest(context.Background(), "for (i = 0; i < `n`"); err == nil {
+		t.Error("unlexable snippet should surface its tokenize error")
+	}
+}
+
+// TestEngineClose checks calls after Close fail fast and Close is
+// idempotent.
+func TestEngineClose(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	if _, err := e.Predict(context.Background(), []int{tokenize.CLS, 5}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Predict after Close = %v, want ErrClosed", err)
+	}
+	if _, err := e.Suggest(context.Background(), "x"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Suggest after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineContextCancel checks a caller can abandon a request stuck in a
+// long batching window.
+func TestEngineContextCancel(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{MaxBatch: 64, MaxWait: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = e.Predict(ctx, []int{tokenize.CLS, 5, 6})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancelled request waited for the full batching window")
+	}
+}
+
+// BenchmarkServeThroughput measures coalesced predict throughput with
+// concurrent clients and the cache disabled (so every op pays a forward).
+func BenchmarkServeThroughput(b *testing.B) {
+	models := testModels(b)
+	e, err := New(models, Config{MaxBatch: 16, MaxWait: 500 * time.Microsecond, CacheSize: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+
+	pool := randIDs(rand.New(rand.NewSource(16)), 256, 64, models.Directive.Cfg.Vocab)
+	b.ReportAllocs()
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(17))
+		for pb.Next() {
+			if _, err := e.Predict(context.Background(), pool[rng.Intn(len(pool))]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"pragformer/internal/tokenize"
+)
+
+// HTTP JSON API over the engine:
+//
+//	POST /predict {"code": "..."} | {"codes": [...]} | {"ids": [[...]]}
+//	POST /suggest {"code": "..."} | {"codes": [...]}
+//	GET  /healthz
+//
+// Multi-item requests fan out concurrently into the engine, so one HTTP
+// batch coalesces into batched forwards the same way concurrent clients
+// do. Per-item failures (unlexable snippets) are reported inline; the
+// request itself fails only on malformed JSON or transport-level problems.
+
+// predictRequest is the /predict body. Exactly one field population makes
+// sense: code, codes, or ids.
+type predictRequest struct {
+	Code  string   `json:"code,omitempty"`
+	Codes []string `json:"codes,omitempty"`
+	IDs   [][]int  `json:"ids,omitempty"`
+}
+
+// predictResult is one /predict outcome.
+type predictResult struct {
+	Probability float64 `json:"probability"`
+	Parallelize bool    `json:"parallelize"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// suggestRequest is the /suggest body.
+type suggestRequest struct {
+	Code  string   `json:"code,omitempty"`
+	Codes []string `json:"codes,omitempty"`
+}
+
+// suggestResult is one /suggest outcome.
+type suggestResult struct {
+	Parallelize bool     `json:"parallelize"`
+	Probability float64  `json:"probability"`
+	Directive   string   `json:"directive,omitempty"`
+	Confidence  string   `json:"confidence,omitempty"`
+	Notes       []string `json:"notes,omitempty"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// healthzResponse is the /healthz body.
+type healthzResponse struct {
+	Status string `json:"status"`
+	Stats  Stats  `json:"stats"`
+}
+
+// Handler returns the engine's HTTP API.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", e.handlePredict)
+	mux.HandleFunc("POST /suggest", e.handleSuggest)
+	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	return mux
+}
+
+// encode tokenizes and encodes one snippet.
+func (e *Engine) encode(code string) ([]int, error) {
+	toks, err := tokenize.Extract(code, tokenize.Text)
+	if err != nil {
+		return nil, err
+	}
+	return e.models.Vocab.Encode(toks, e.models.EffectiveMaxLen()), nil
+}
+
+// validateIDs rejects raw id sequences the model cannot embed — this is
+// the untrusted-input boundary, and an out-of-range id would panic a batch
+// worker.
+func (e *Engine) validateIDs(ids []int) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("empty id sequence")
+	}
+	vocab := e.models.Directive.Cfg.Vocab
+	for _, id := range ids {
+		if id < 0 || id >= vocab {
+			return fmt.Errorf("id %d out of vocabulary range [0, %d)", id, vocab)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	codes := req.Codes
+	if req.Code != "" {
+		codes = append(codes, req.Code)
+	}
+	results := make([]predictResult, len(codes)+len(req.IDs))
+	var wg sync.WaitGroup
+	predictIDs := func(out *predictResult, ids []int) {
+		defer wg.Done()
+		p, err := e.Predict(r.Context(), ids)
+		if err != nil {
+			out.Error = err.Error()
+			return
+		}
+		out.Probability = p
+		out.Parallelize = p > 0.5
+	}
+	for i, code := range codes {
+		ids, err := e.encode(code)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		wg.Add(1)
+		go predictIDs(&results[i], ids)
+	}
+	for j, ids := range req.IDs {
+		if err := e.validateIDs(ids); err != nil {
+			results[len(codes)+j].Error = err.Error()
+			continue
+		}
+		wg.Add(1)
+		go predictIDs(&results[len(codes)+j], ids)
+	}
+	wg.Wait()
+	writeJSON(w, map[string]any{"results": results})
+}
+
+func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req suggestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	codes := req.Codes
+	if req.Code != "" {
+		codes = append(codes, req.Code)
+	}
+	results := make([]suggestResult, len(codes))
+	var wg sync.WaitGroup
+	for i, code := range codes {
+		wg.Add(1)
+		go func(out *suggestResult, code string) {
+			defer wg.Done()
+			s, err := e.Suggest(r.Context(), code)
+			if err != nil {
+				out.Error = err.Error()
+				return
+			}
+			out.Parallelize = s.Parallelize
+			out.Probability = s.Probability
+			out.Confidence = s.Confidence.String()
+			out.Notes = s.Notes
+			if s.Directive != nil {
+				out.Directive = s.Directive.String()
+			}
+		}(&results[i], code)
+	}
+	wg.Wait()
+	writeJSON(w, map[string]any{"results": results})
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, healthzResponse{Status: "ok", Stats: e.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

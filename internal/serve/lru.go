@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded fixed-capacity LRU map. The engine keys predict
+// results by the encoded id sequence and suggest results by the raw
+// snippet, so repeat traffic short-circuits before ever reaching the
+// dispatcher queue.
+type lru[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry[K, V]
+	items map[K]*list.Element
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRU returns a cache holding up to capacity entries; capacity <= 0
+// returns nil, and a nil *lru is a valid always-miss cache.
+func newLRU[K comparable, V any](capacity int) *lru[K, V] {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lru[K, V]{cap: capacity, order: list.New(), items: make(map[K]*list.Element)}
+}
+
+// get returns the cached value and promotes the entry.
+func (c *lru[K, V]) get(key K) (V, bool) {
+	if c == nil {
+		var zero V
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry[K, V]).val, true
+}
+
+// put inserts or refreshes an entry, evicting the least recently used one
+// past capacity.
+func (c *lru[K, V]) put(key K, val V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry[K, V]{key: key, val: val})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+	}
+}
+
+// len reports the resident entry count.
+func (c *lru[K, V]) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -323,6 +323,15 @@ func Axpy(alpha float64, x, y []float64) {
 	}
 }
 
+// AddInto computes dst = a + b elementwise. dst may alias a or b.
+func AddInto(dst, a, b *Matrix) {
+	checkSame(a, b)
+	checkSame(dst, a)
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
 // Norm2 returns the Euclidean norm of the matrix elements.
 func (m *Matrix) Norm2() float64 {
 	s := 0.0

@@ -1,0 +1,71 @@
+package tokenize
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Vocabulary persistence: one token per line, specials first, so the file
+// doubles as a human-readable token inventory. Both cmd/pragformer (which
+// writes vocabularies next to trained models) and cmd/serve (which loads
+// them back) go through these helpers, keeping the format in one place.
+
+// Save writes the vocabulary one token per line in id order.
+func (v *Vocab) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < v.Size(); i++ {
+		if _, err := fmt.Fprintln(bw, v.Token(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the vocabulary to a file path.
+func (v *Vocab) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return v.Save(f)
+}
+
+// LoadVocab reads a vocabulary written by Save, restoring the exact id
+// assignment.
+func LoadVocab(r io.Reader) (*Vocab, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) <= NumSpecials {
+		return nil, fmt.Errorf("tokenize: vocabulary file too short (%d lines)", len(lines))
+	}
+	for i, want := range []string{"[PAD]", "[UNK]", "[CLS]", "[MASK]"} {
+		if lines[i] != want {
+			return nil, fmt.Errorf("tokenize: vocabulary line %d is %q, want special %q", i, lines[i], want)
+		}
+	}
+	v := &Vocab{byToken: make(map[string]int, len(lines)), tokens: lines}
+	for i := NumSpecials; i < len(lines); i++ {
+		if _, dup := v.byToken[lines[i]]; dup {
+			return nil, fmt.Errorf("tokenize: duplicate vocabulary token %q", lines[i])
+		}
+		v.byToken[lines[i]] = i
+	}
+	return v, nil
+}
+
+// LoadVocabFile reads a vocabulary from a file path.
+func LoadVocabFile(path string) (*Vocab, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadVocab(f)
+}

@@ -1,0 +1,43 @@
+package tokenize
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestVocabPersistRoundTrip(t *testing.T) {
+	v := BuildVocab([][]string{{"for", "(", "i", "=", "0", ")"}}, 1)
+	var buf bytes.Buffer
+	if err := v.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := LoadVocab(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Size() != v.Size() {
+		t.Fatalf("size %d want %d", v2.Size(), v.Size())
+	}
+	for _, tok := range []string{"for", "(", "i", "=", "0", ")"} {
+		if v2.ID(tok) != v.ID(tok) {
+			t.Errorf("id(%q) = %d want %d", tok, v2.ID(tok), v.ID(tok))
+		}
+	}
+	if v2.Token(PAD) != "[PAD]" || v2.Token(CLS) != "[CLS]" {
+		t.Error("specials not restored")
+	}
+}
+
+func TestLoadVocabRejectsCorruptFiles(t *testing.T) {
+	cases := map[string]string{
+		"too short":      "[PAD]\n",
+		"wrong specials": "[PAD]\n[UNK]\n[MASK]\n[CLS]\nfor\n",
+		"duplicate":      "[PAD]\n[UNK]\n[CLS]\n[MASK]\nfor\nfor\n",
+	}
+	for name, content := range cases {
+		if _, err := LoadVocab(strings.NewReader(content)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

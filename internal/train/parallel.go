@@ -106,7 +106,8 @@ func runShards(replicas []Model, batch []int, set []Example, shardLoss []float64
 }
 
 // evaluateModels computes mean loss and accuracy over set, sharding the work
-// across the given models. All models must hold identical weights (replicas
+// across the given models. Each shard runs batch-first when its model
+// supports BatchPredictor. All models must hold identical weights (replicas
 // after a broadcast); per-shard sums are reduced in shard order, so the
 // result is deterministic for a fixed model count.
 func evaluateModels(models []Model, set []Example) (loss, acc float64) {
@@ -130,12 +131,7 @@ func evaluateModels(models []Model, set []Example) (loss, acc float64) {
 		wg.Add(1)
 		go func(r, lo, hi int) {
 			defer wg.Done()
-			for _, ex := range set[lo:hi] {
-				losses[r] += models[r].Loss(ex.IDs, ex.Label)
-				if models[r].PredictLabel(ex.IDs) == ex.Label {
-					correct[r]++
-				}
-			}
+			losses[r], correct[r] = evalSums(models[r], set[lo:hi])
 		}(r, lo, hi)
 	}
 	wg.Wait()
@@ -149,8 +145,9 @@ func evaluateModels(models []Model, set []Example) (loss, acc float64) {
 
 // EvaluateParallel computes mean loss and accuracy with the set sharded
 // across workers goroutines that all call the same model concurrently. The
-// model's Loss and PredictLabel must be safe for concurrent use — true for
-// core.PragFormer, whose inference path is read-only over the weights.
+// model's inference methods (Loss, PredictLabel, PredictBatchProbs) must be
+// safe for concurrent use — true for core.PragFormer, whose inference path
+// is read-only over the weights.
 func EvaluateParallel(m Model, set []Example, workers int) (loss, acc float64) {
 	if workers <= 1 || len(set) < 2 {
 		return Evaluate(m, set)

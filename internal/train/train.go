@@ -275,19 +275,65 @@ func optStep(opt *AdamW, params []*nn.Param, cfg Config, batch int, step *int) {
 	ZeroGrads(params)
 }
 
-// Evaluate computes mean loss and accuracy over a set.
+// BatchPredictor is the optional batch-inference capability of a Model:
+// class probabilities for a whole batch in one forward pass. Implemented by
+// core.PragFormer; Evaluate and its parallel variants use it to amortize
+// per-example forward overhead, falling back to Loss/PredictLabel loops for
+// models without it.
+type BatchPredictor interface {
+	PredictBatchProbs(ids [][]int) [][2]float64
+}
+
+// evalChunk bounds how many examples one batched forward stacks, keeping
+// the pooled activation matrices a bounded size on large validation sets.
+const evalChunk = 64
+
+// Evaluate computes mean loss and accuracy over a set, batch-first when the
+// model supports it (bit-identical to the per-example path: same
+// probabilities, same accumulation order).
 func Evaluate(m Model, set []Example) (loss, acc float64) {
 	if len(set) == 0 {
 		return 0, 0
 	}
-	correct := 0
-	for _, ex := range set {
-		loss += m.Loss(ex.IDs, ex.Label)
-		if m.PredictLabel(ex.IDs) == ex.Label {
-			correct++
+	lossSum, correct := evalSums(m, set)
+	return lossSum / float64(len(set)), float64(correct) / float64(len(set))
+}
+
+// evalSums returns the loss sum and correct count over set, the shared body
+// of Evaluate and the sharded evaluators in parallel.go.
+func evalSums(m Model, set []Example) (lossSum float64, correct int) {
+	bp, ok := m.(BatchPredictor)
+	if !ok {
+		for _, ex := range set {
+			lossSum += m.Loss(ex.IDs, ex.Label)
+			if m.PredictLabel(ex.IDs) == ex.Label {
+				correct++
+			}
+		}
+		return lossSum, correct
+	}
+	ids := make([][]int, 0, evalChunk)
+	for start := 0; start < len(set); start += evalChunk {
+		chunk := set[start:min(start+evalChunk, len(set))]
+		ids = ids[:0]
+		for _, ex := range chunk {
+			ids = append(ids, ex.IDs)
+		}
+		probs := bp.PredictBatchProbs(ids)
+		for i, ex := range chunk {
+			y := 0
+			if ex.Label {
+				y = 1
+			}
+			// Same arithmetic as PragFormer.Loss / PredictLabel over
+			// bit-identical probabilities.
+			lossSum += -math.Log(math.Max(probs[i][y], 1e-12))
+			if (probs[i][1] > 0.5) == ex.Label {
+				correct++
+			}
 		}
 	}
-	return loss / float64(len(set)), float64(correct) / float64(len(set))
+	return lossSum, correct
 }
 
 // shuffler is a tiny deterministic Fisher-Yates source.
