@@ -5,7 +5,13 @@
 //	experiments -mode fast                  # all experiments, small scale
 //	experiments -mode full                  # paper-scale corpus and model
 //	experiments -mode full -exp table8      # one experiment
+//	experiments -mode full -checkpoint-dir ck/  # durable: survives restarts
 //	experiments -list                       # list experiment names
+//
+// With -checkpoint-dir, every model training run checkpoints per epoch;
+// rerunning the same command after a crash or kill resumes each model
+// where it stopped and loads already-finished ones, so regenerating the
+// paper tables is restartable end to end.
 package main
 
 import (
@@ -24,6 +30,7 @@ func main() {
 		exp     = flag.String("exp", "all", "experiment name, comma-separated list, or 'all'")
 		seed    = flag.Int64("seed", 1, "pipeline seed")
 		workers = flag.Int("workers", 1, "data-parallel training workers (<=1 sequential)")
+		ckDir   = flag.String("checkpoint-dir", "", "checkpoint each model training here; reruns resume/restore")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		list    = flag.Bool("list", false, "list experiment names and exit")
 	)
@@ -36,7 +43,13 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, CheckpointDir: *ckDir}
+	if *ckDir != "" {
+		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 	switch *mode {
 	case "fast":
 		cfg.Mode = experiments.Fast

@@ -7,13 +7,23 @@
 //	pragformer predict -model model.gob -vocab vocab.txt file.c
 //
 // Train writes both the model weights and the vocabulary (one token per
-// line) so predict can re-encode inputs identically.
+// line) so predict can re-encode inputs identically; both artifacts are
+// written atomically (temp file + rename), so a crash mid-save never
+// corrupts an existing file.
+//
+// Long runs are crash-safe: `train -checkpoint run.ckpt` writes a resumable
+// snapshot at every epoch end (tune with -checkpoint-every), SIGINT
+// checkpoints and exits cleanly, and rerunning the same command with
+// -resume continues the run — the resumed training is bit-identical to an
+// uninterrupted one at the same -seed and -workers.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
@@ -46,6 +56,24 @@ func usage() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "pragformer:", err)
 	os.Exit(1)
+}
+
+// checkpointFailure extracts the non-interrupt component of a (possibly
+// joined) Run/Resume error: the checkpoint write failure that rode along
+// with ErrInterrupted, or nil if the interrupt was clean.
+func checkpointFailure(err error) error {
+	if u, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, e := range u.Unwrap() {
+			if !errors.Is(e, train.ErrInterrupted) {
+				return e
+			}
+		}
+		return nil
+	}
+	if errors.Is(err, train.ErrInterrupted) {
+		return nil
+	}
+	return err
 }
 
 func taskFromName(name string) dataset.Task {
@@ -95,8 +123,14 @@ func cmdTrain(args []string) {
 		seed       = fs.Int64("seed", 1, "seed")
 		maxTrain   = fs.Int("max-train", 0, "cap training examples (0 = all)")
 		workers    = fs.Int("workers", 1, "data-parallel training workers (<=1 sequential)")
+		ckptPath   = fs.String("checkpoint", "", "write a resumable checkpoint here at epoch ends (SIGINT checkpoints then exits)")
+		ckptEvery  = fs.Int("checkpoint-every", 1, "epochs between checkpoint writes")
+		resume     = fs.Bool("resume", false, "resume the run captured in -checkpoint")
 	)
 	_ = fs.Parse(args)
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	c, err := corpus.LoadFile(*corpusPath)
 	if err != nil {
@@ -128,13 +162,50 @@ func cmdTrain(args []string) {
 		fatal(err)
 	}
 
+	cfg := train.Config{
+		Epochs: *epochs, BatchSize: 16, LR: *lr, ClipNorm: 1, Seed: *seed,
+		Workers:         *workers,
+		CheckpointPath:  *ckptPath,
+		CheckpointEvery: *ckptEvery,
+		Progress:        func(s string) { fmt.Println(" ", s) },
+	}
+	if *ckptPath != "" {
+		// SIGINT is a request to checkpoint at the next epoch boundary and
+		// exit; a second SIGINT falls through to the default hard kill.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		interrupt := make(chan struct{})
+		cfg.Interrupt = interrupt
+		go func() {
+			<-sig
+			signal.Stop(sig)
+			fmt.Println("\ninterrupt: writing checkpoint at epoch end, then exiting (^C again to kill)")
+			close(interrupt)
+		}()
+	}
+
 	fmt.Printf("training %s task: %d train / %d valid, vocab %d\n",
 		task, len(trainSet), len(validSet), v.Size())
-	hist := train.Fit(m, trainSet, validSet, train.Config{
-		Epochs: *epochs, BatchSize: 16, LR: *lr, ClipNorm: 1, Seed: *seed,
-		Workers:  *workers,
-		Progress: func(s string) { fmt.Println(" ", s) },
-	})
+	var hist train.History
+	if *resume {
+		hist, err = train.Resume(m, trainSet, validSet, cfg)
+	} else {
+		hist, err = train.Run(m, trainSet, validSet, cfg)
+	}
+	if errors.Is(err, train.ErrInterrupted) {
+		// The interrupt error may carry a joined checkpoint-write failure;
+		// claiming "checkpoint saved" would then be exactly the silent data
+		// loss this subsystem exists to prevent.
+		if werr := checkpointFailure(err); werr != nil {
+			fatal(fmt.Errorf("interrupted, but the final checkpoint write failed: %w (an earlier checkpoint at %s may still be resumable)", werr, *ckptPath))
+		}
+		fmt.Printf("interrupted after epoch %d/%d; checkpoint saved to %s — rerun with -resume to continue\n",
+			len(hist.Epochs), *epochs, *ckptPath)
+		os.Exit(130)
+	}
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("best epoch %d: valid accuracy %.3f\n",
 		hist.BestEpoch+1, hist.Best().ValidAccuracy)
 

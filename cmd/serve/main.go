@@ -6,10 +6,17 @@
 // empty, trained at startup on a generated Open-OMP corpus — the
 // zero-setup demo mode.
 //
+// When models come from files, a retrained artifact can be shipped to the
+// running server with zero downtime: POST /reload (or send SIGHUP) re-reads
+// the model paths and hot-swaps the bundle without dropping in-flight or
+// queued requests. Combined with the atomic artifact writes of `pragformer
+// train`, the server never observes a torn model file.
+//
 // Endpoints:
 //
 //	POST /predict {"code": "..."} | {"codes": [...]} | {"ids": [[...]]}
 //	POST /suggest {"code": "..."} | {"codes": [...]}
+//	POST /reload  (hot-swap models from the -directive/... paths)
 //	GET  /healthz
 package main
 
@@ -60,9 +67,25 @@ func main() {
 	}
 	models.NoCorroborate = *noCompar
 
+	// File-backed models can be hot-reloaded (POST /reload, SIGHUP) by
+	// re-reading the same paths; demo-trained models have no source to
+	// reload from.
+	var source func() (*advisor.Models, error)
+	if *directive != "" {
+		source = func() (*advisor.Models, error) {
+			ms, err := buildModels(*directive, *private, *reduction, *vocabPath,
+				*seed, *total, *epochs, *workers)
+			if err != nil {
+				return nil, err
+			}
+			ms.NoCorroborate = *noCompar
+			return ms, nil
+		}
+	}
+
 	engine, err := serve.New(models, serve.Config{
 		MaxBatch: *maxBatch, MaxWait: *maxWait, Replicas: *replicas,
-		CacheSize: *cacheSize, Seed: *seed,
+		CacheSize: *cacheSize, Seed: *seed, Source: source,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -77,19 +100,32 @@ func main() {
 		*addr, *maxBatch, *maxWait, *replicas, *cacheSize)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		if !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "serve:", err)
-			os.Exit(1)
-		}
-	case s := <-sig:
-		fmt.Printf("\n%s: draining...\n", s)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+			break loop
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				if err := engine.ReloadFromSource(); err != nil {
+					fmt.Fprintln(os.Stderr, "serve: reload:", err)
+				} else {
+					fmt.Println("SIGHUP: models hot-reloaded")
+				}
+				continue
+			}
+			fmt.Printf("\n%s: draining...\n", s)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+			}
+			break loop
 		}
 	}
 	st := engine.Stats()

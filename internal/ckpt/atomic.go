@@ -1,0 +1,61 @@
+// Package ckpt is the crash-safe artifact layer: an atomic file writer
+// shared by every persistence path in the repo (models, vocabularies,
+// checkpoints), and a versioned, CRC-guarded training snapshot format that
+// lets an interrupted run resume bit-identically (see internal/train).
+//
+// The durability contract of WriteFileAtomic is the strongest a single
+// POSIX file can give: the destination path always holds either the
+// previous complete artifact or the new complete artifact, never a torn
+// mix — an ENOSPC, a crash, or a SIGKILL mid-save cannot clobber the only
+// copy of a model the serving layer depends on.
+package ckpt
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the output of write to path atomically: the bytes
+// land in a temporary file in the same directory, are fsynced, and the file
+// is renamed over path only after every prior step (including Close)
+// succeeded. On any failure the temporary file is removed and an existing
+// file at path is left untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: create temp for %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           // no-op if already closed
+			os.Remove(tmp.Name()) // best effort; the artifact at path is intact
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("ckpt: write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("ckpt: sync %s: %w", path, err)
+	}
+	// Close errors are real write errors on some filesystems (NFS, quota
+	// enforcement) — swallowing them is exactly the bug this package fixes.
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("ckpt: close %s: %w", path, err)
+	}
+	if err = os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("ckpt: chmod %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ckpt: rename %s: %w", path, err)
+	}
+	// Persist the rename itself. Directory fsync is advisory on some
+	// platforms; failure here does not un-publish the rename.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pragformer/internal/nn"
+	"pragformer/internal/tensor"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := &Snapshot{
+		Seed: 7, Workers: 2, NextEpoch: 3,
+		Shuffler: 0xdeadbeef, RNG: []uint64{1, 2},
+		OptStep:  42,
+		OptM:     [][]float64{{0.1, 0.2}, {0.3}},
+		OptV:     [][]float64{{0.4, 0.5}, {0.6}},
+		BestLoss: 0.25, BestEpoch: 1,
+		Epochs: []EpochRecord{
+			{Epoch: 0, TrainLoss: 1, ValidLoss: 0.5, ValidAccuracy: 0.7},
+			{Epoch: 1, TrainLoss: 0.8, ValidLoss: 0.25, ValidAccuracy: 0.8},
+			{Epoch: 2, TrainLoss: 0.7, ValidLoss: 0.3, ValidAccuracy: 0.8},
+		},
+	}
+	params := []*nn.Param{
+		{Name: "a", W: tensor.FromSlice(1, 2, []float64{1.5, -2.5}), Grad: tensor.New(1, 2)},
+		{Name: "b", W: tensor.FromSlice(1, 1, []float64{3.25}), Grad: tensor.New(1, 1)},
+	}
+	s.CaptureParams(params)
+	s.BestWeights = CopyWeights(params)
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != s.Seed || got.Workers != s.Workers || got.NextEpoch != s.NextEpoch ||
+		got.Shuffler != s.Shuffler || got.OptStep != s.OptStep || got.BestEpoch != s.BestEpoch {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, s)
+	}
+	if len(got.Epochs) != 3 || got.Epochs[1].ValidLoss != 0.25 {
+		t.Fatalf("epochs mismatch: %+v", got.Epochs)
+	}
+	if got.Weights[0][1] != -2.5 || got.BestWeights[1][0] != 3.25 {
+		t.Fatalf("weights mismatch: %+v", got.Weights)
+	}
+
+	// Applying the weights back restores bit-identical values.
+	params := []*nn.Param{
+		{Name: "a", W: tensor.New(1, 2), Grad: tensor.New(1, 2)},
+		{Name: "b", W: tensor.New(1, 1), Grad: tensor.New(1, 1)},
+	}
+	if err := got.ApplyWeights(params, got.Weights); err != nil {
+		t.Fatal(err)
+	}
+	if params[0].W.Data[0] != 1.5 || params[1].W.Data[0] != 3.25 {
+		t.Fatalf("applied weights wrong: %+v", params[0].W.Data)
+	}
+}
+
+// TestCorruptCheckpoints is the corrupt/truncated-artifact table test for
+// the checkpoint format: every mutilation must fail loudly, never panic or
+// silently load partial state.
+func TestCorruptCheckpoints(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleSnapshot().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	futureVersion := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(futureVersion[6:10], FormatVersion+1)
+
+	bitFlip := append([]byte(nil), good...)
+	bitFlip[len(bitFlip)-3] ^= 0x40
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+
+	// A corrupted length field must error descriptively, not attempt the
+	// allocation it advertises.
+	hugeLength := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(hugeLength[10:18], 1<<60)
+	lyingLength := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(lyingLength[10:18], uint64(len(good)+1000))
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated header"},
+		{"short header", good[:10], "truncated header"},
+		{"truncated payload", good[:len(good)-5], "truncated payload"},
+		{"header only", good[:22], "truncated payload"},
+		{"bad magic", badMagic, "not a checkpoint"},
+		{"newer version", futureVersion, "newer format"},
+		{"payload bit flip", bitFlip, "CRC mismatch"},
+		{"implausible length", hugeLength, "implausible payload length"},
+		{"length past EOF", lyingLength, "truncated payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt checkpoint loaded without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestApplyWeightsValidates(t *testing.T) {
+	s := sampleSnapshot()
+	mk := func(names []string, shapes [][2]int) []*nn.Param {
+		out := make([]*nn.Param, len(names))
+		for i := range names {
+			out[i] = &nn.Param{Name: names[i], W: tensor.New(shapes[i][0], shapes[i][1])}
+		}
+		return out
+	}
+	if err := s.ApplyWeights(mk([]string{"a"}, [][2]int{{1, 2}}), s.Weights); err == nil {
+		t.Error("tensor count mismatch accepted")
+	}
+	if err := s.ApplyWeights(mk([]string{"a", "z"}, [][2]int{{1, 2}, {1, 1}}), s.Weights); err == nil {
+		t.Error("tensor name mismatch accepted")
+	}
+	if err := s.ApplyWeights(mk([]string{"a", "b"}, [][2]int{{1, 2}, {2, 1}}), s.Weights); err == nil {
+		t.Error("tensor shape mismatch accepted")
+	}
+	short := CopyWeights(mk([]string{"a", "b"}, [][2]int{{1, 2}, {1, 1}}))
+	short[1] = short[1][:0]
+	if err := s.ApplyWeights(mk([]string{"a", "b"}, [][2]int{{1, 2}, {1, 1}}), short); err == nil {
+		t.Error("short weight vector accepted")
+	}
+}
+
+func TestWriteFileAtomicKeepsOldArtifactOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.gob")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("good artifact"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed write must leave the existing artifact untouched and no
+	// temp file behind.
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, werr := w.Write([]byte("torn")); werr != nil {
+			return werr
+		}
+		return fmt.Errorf("disk full")
+	})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("write error not propagated: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "good artifact" {
+		t.Fatalf("artifact clobbered: %q, %v", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.txt")
+	for _, content := range []string{"one", "two"} {
+		if err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "two" {
+		t.Fatalf("got %q", data)
+	}
+}
+
+func TestWriteFileAtomicMissingDir(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "nope", "x.gob"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}

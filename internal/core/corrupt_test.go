@@ -1,0 +1,94 @@
+package core
+
+// Corrupt/truncated model-artifact table tests: every mutilation of the
+// gob wire format must produce a descriptive error — never a panic and
+// never a silently partial load.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+// wireFile dumps a model into its modelFile form for mutilation.
+func wireFile(t *testing.T, m *PragFormer) modelFile {
+	t.Helper()
+	mf := modelFile{Version: modelFormatVersion, Cfg: m.Cfg}
+	for _, p := range m.allParams() {
+		mf.Names = append(mf.Names, p.Name)
+		mf.Shapes = append(mf.Shapes, [2]int{p.W.Rows, p.W.Cols})
+		mf.Data = append(mf.Data, append([]float64(nil), p.W.Data...))
+	}
+	return mf
+}
+
+func encodeWire(t *testing.T, mf modelFile) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(mf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadRejectsCorruptModelFiles(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 17)
+
+	cases := []struct {
+		name   string
+		mutate func(*modelFile)
+		want   string // substring the error must carry
+	}{
+		{"missing data tensor", func(mf *modelFile) { mf.Data = mf.Data[:len(mf.Data)-1] }, "names"},
+		{"missing name", func(mf *modelFile) { mf.Names = mf.Names[:len(mf.Names)-1] }, "names"},
+		{"missing shape", func(mf *modelFile) { mf.Shapes = mf.Shapes[:len(mf.Shapes)-1] }, "shapes"},
+		{"renamed tensor", func(mf *modelFile) { mf.Names[2] = "bogus" }, "name"},
+		{"wrong shape", func(mf *modelFile) { mf.Shapes[1] = [2]int{1, 1} }, "shape"},
+		{"truncated weight vector", func(mf *modelFile) { mf.Data[3] = mf.Data[3][:1] }, "truncated"},
+		{"newer format version", func(mf *modelFile) { mf.Version = modelFormatVersion + 7 }, "newer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mf := wireFile(t, m)
+			tc.mutate(&mf)
+			_, err := Load(bytes.NewReader(encodeWire(t, mf)))
+			if err == nil {
+				t.Fatal("corrupt model file loaded without error")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsTruncatedStream(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 18)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{2, 4, 10} {
+		if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/frac])); err == nil {
+			t.Fatalf("stream truncated to 1/%d loaded without error", frac)
+		}
+	}
+}
+
+// TestLoadVersionZeroCompat pins backward compatibility: files written by
+// the pre-versioning format (no Version field — gob decodes it as 0) must
+// keep loading.
+func TestLoadVersionZeroCompat(t *testing.T) {
+	m := mustNew(t, tinyConfig(), 19)
+	mf := wireFile(t, m)
+	mf.Version = 0 // gob omits zero fields: byte-identical to the old format
+	m2, err := Load(bytes.NewReader(encodeWire(t, mf)))
+	if err != nil {
+		t.Fatalf("version-0 file rejected: %v", err)
+	}
+	ids := []int{2, 9, 8, 7}
+	if m.Predict(ids) != m2.Predict(ids) {
+		t.Fatal("version-0 load changed predictions")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"pragformer/internal/ckpt"
 	"pragformer/internal/nn"
 	"pragformer/internal/tensor"
 	"pragformer/internal/tokenize"
@@ -71,7 +72,7 @@ type PragFormer struct {
 	FC2     *nn.Linear
 	MLMHead *nn.Linear // vocab projection for pretraining
 
-	rng *rand.Rand // dropout randomness (training only)
+	rng *nn.RNG // dropout randomness (training only); serializable for resume
 }
 
 // New builds a PragFormer with seeded initialization.
@@ -87,7 +88,7 @@ func New(cfg Config, seed int64) (*PragFormer, error) {
 		FC1:     nn.NewLinear("fc1", cfg.D, cfg.FCHidden, rng),
 		FC2:     nn.NewLinear("fc2", cfg.FCHidden, 2, rng),
 		MLMHead: nn.NewLinear("mlm", cfg.D, cfg.Vocab, rng),
-		rng:     rand.New(rand.NewSource(seed + 1)),
+		rng:     nn.NewRNG(seed + 1),
 	}
 	for l := 0; l < cfg.Layers; l++ {
 		m.Blocks = append(m.Blocks, nn.NewEncoderBlock(
@@ -148,6 +149,13 @@ func (m *PragFormer) Clone(seed int64) *PragFormer {
 // Replicate implements train.Replicable, letting train.Fit shard batches
 // across deep copies of the model.
 func (m *PragFormer) Replicate(seed int64) train.Model { return m.Clone(seed) }
+
+// RNGState exports the dropout stream position (train.RNGStateful) so a
+// checkpoint can resume the exact noise sequence.
+func (m *PragFormer) RNGState() uint64 { return m.rng.State() }
+
+// SetRNGState restores a dropout stream position captured by RNGState.
+func (m *PragFormer) SetRNGState(s uint64) { m.rng.SetState(s) }
 
 // encCache stores every sub-cache of one encoder pass.
 type encCache struct {
@@ -313,17 +321,24 @@ func (m *PragFormer) MLMLossAndBackward(ids []int, rng *rand.Rand) (float64, int
 // Persistence
 // ---------------------------------------------------------------------------
 
+// modelFormatVersion is the current gob wire-format version. Version 0 is
+// the historical format without the Version field (gob decodes a missing
+// field as zero, so version-0 files keep loading); bump this when the
+// layout changes incompatibly.
+const modelFormatVersion = 1
+
 // modelFile is the gob wire format.
 type modelFile struct {
-	Cfg    Config
-	Names  []string
-	Shapes [][2]int
-	Data   [][]float64
+	Version int
+	Cfg     Config
+	Names   []string
+	Shapes  [][2]int
+	Data    [][]float64
 }
 
 // Save writes the model (including the MLM head) to w.
 func (m *PragFormer) Save(w io.Writer) error {
-	mf := modelFile{Cfg: m.Cfg}
+	mf := modelFile{Version: modelFormatVersion, Cfg: m.Cfg}
 	for _, p := range m.allParams() {
 		mf.Names = append(mf.Names, p.Name)
 		mf.Shapes = append(mf.Shapes, [2]int{p.W.Rows, p.W.Cols})
@@ -332,21 +347,29 @@ func (m *PragFormer) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(mf)
 }
 
-// SaveFile writes the model to a file path.
+// SaveFile writes the model to a file path atomically: a crash or full
+// disk mid-save never clobbers an existing artifact, and close errors are
+// propagated instead of swallowed.
 func (m *PragFormer) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return m.Save(f)
+	return ckpt.WriteFileAtomic(path, m.Save)
 }
 
-// Load reads a model written by Save.
+// Load reads a model written by Save, validating the format version and
+// every tensor manifest entry so a truncated or hand-corrupted file fails
+// with a descriptive error instead of panicking or silently loading
+// partial weights.
 func Load(r io.Reader) (*PragFormer, error) {
 	var mf modelFile
 	if err := gob.NewDecoder(r).Decode(&mf); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: decode model file: %w", err)
+	}
+	if mf.Version > modelFormatVersion {
+		return nil, fmt.Errorf("core: model file written by a newer/unknown format (version %d, this build reads <= %d)",
+			mf.Version, modelFormatVersion)
+	}
+	if len(mf.Names) != len(mf.Data) || len(mf.Shapes) != len(mf.Data) {
+		return nil, fmt.Errorf("core: corrupt model file: %d names / %d shapes / %d data tensors",
+			len(mf.Names), len(mf.Shapes), len(mf.Data))
 	}
 	m, err := New(mf.Cfg, 0)
 	if err != nil {
@@ -363,6 +386,12 @@ func Load(r io.Reader) (*PragFormer, error) {
 		if p.W.Rows != mf.Shapes[i][0] || p.W.Cols != mf.Shapes[i][1] {
 			return nil, fmt.Errorf("core: tensor %q shape mismatch", p.Name)
 		}
+		if len(mf.Data[i]) != p.W.Rows*p.W.Cols {
+			return nil, fmt.Errorf("core: tensor %q has %d values, want %d (truncated model file)",
+				p.Name, len(mf.Data[i]), p.W.Rows*p.W.Cols)
+		}
+	}
+	for i, p := range params {
 		copy(p.W.Data, mf.Data[i])
 	}
 	return m, nil

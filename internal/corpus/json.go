@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"pragformer/internal/ckpt"
 	"pragformer/internal/pragma"
 )
 
@@ -35,14 +36,11 @@ func (c *Corpus) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes the corpus to a file path.
+// SaveFile writes the corpus to a file path atomically (temp file +
+// rename), propagating close errors like every artifact writer in the
+// repo.
 func (c *Corpus) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return c.Save(f)
+	return ckpt.WriteFileAtomic(path, c.Save)
 }
 
 // Load reads a corpus written by Save.

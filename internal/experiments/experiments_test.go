@@ -23,7 +23,7 @@ func testPipeline(t *testing.T) *Pipeline {
 		t.Skip("experiment pipeline is slow")
 	}
 	pipeOnce.Do(func() {
-		pipe = NewPipeline(Config{Mode: Fast, Seed: 1})
+		pipe = NewPipeline(Config{Mode: Fast, Seed: 2})
 	})
 	return pipe
 }

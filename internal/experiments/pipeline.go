@@ -8,11 +8,16 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"pragformer/internal/bow"
+	"pragformer/internal/ckpt"
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
 	"pragformer/internal/dataset"
@@ -40,6 +45,13 @@ type Config struct {
 	// Workers is the data-parallel training width handed to train.Fit;
 	// <=1 trains sequentially. The speedup experiment overrides it per row.
 	Workers int
+	// CheckpointDir, when set, makes the pipeline durable: every
+	// PragFormer training run checkpoints to
+	// <dir>/<task>-<repr>.ckpt at each epoch end, so a killed
+	// `-mode full` restarts where it left off — finished models load
+	// straight from their checkpoints (best-epoch weights), partial runs
+	// resume bit-identically, and only untrained models start fresh.
+	CheckpointDir string
 	// Progress, when set, receives status lines during long stages.
 	Progress func(string)
 }
@@ -256,7 +268,10 @@ func (p *Pipeline) Model(task dataset.Task, repr tokenize.Representation) *Train
 	return t
 }
 
-// trainModel runs the full recipe with explicit params (ablations reuse it).
+// trainModel runs the full recipe with explicit params (ablations reuse
+// it). With Config.CheckpointDir set, the run is durable: it checkpoints
+// every epoch, resumes a partial checkpoint bit-identically, and loads a
+// finished one outright.
 func (p *Pipeline) trainModel(task dataset.Task, repr tokenize.Representation, prm Params, seed int64) *Trained {
 	v := p.Vocab(repr)
 	split := p.splitFor(task)
@@ -275,31 +290,59 @@ func (p *Pipeline) trainModel(task dataset.Task, repr tokenize.Representation, p
 		panic(err) // config bugs are programmer errors
 	}
 
+	ckPath := p.checkpointPath(task, repr, prm, seed)
+	tcfg := train.Config{
+		Epochs: prm.Epochs, BatchSize: prm.Batch, LR: prm.LR,
+		Warmup: len(trainSet) / max(1, prm.Batch), ClipNorm: 1.0, Seed: seed,
+		Workers:        p.Cfg.Workers,
+		CheckpointPath: ckPath,
+		RestoreBest:    true, // §5.1 model selection, from the checkpointer's copy
+		Progress:       func(s string) { p.progress("  %s", s) },
+	}
+
+	if ckPath != "" {
+		if snap, lerr := ckpt.LoadFile(ckPath); lerr == nil {
+			if t := p.fromCheckpoint(m, snap, trainSet, validSet, prm, tcfg, task, repr); t != nil {
+				return t
+			}
+			// The checkpoint did not match this run (stale file, changed
+			// knobs); fall through to a fresh model and a scratch run.
+			if m, err = core.New(cfg, seed); err != nil {
+				panic(err)
+			}
+		} else if !errors.Is(lerr, os.ErrNotExist) {
+			p.progress("checkpoint %s unreadable (%v); training from scratch", ckPath, lerr)
+		}
+	}
+
 	if prm.PretrainEpochs > 0 {
 		p.pretrain(m, trainSet, prm, seed)
 	}
-
 	p.progress("training PragFormer (%s, %s): %d train / %d valid",
 		task, repr, len(trainSet), len(validSet))
 
-	// Keep the weights of the best validation epoch (§5.1 model selection).
+	if ckPath != "" {
+		hist, err := train.Run(m, trainSet, validSet, tcfg)
+		if err != nil {
+			panic(fmt.Errorf("experiments: durable training (%s, %s): %w", task, repr, err))
+		}
+		return &Trained{Model: m, History: hist}
+	}
+
+	// Non-durable path: keep the weights of the best validation epoch in
+	// memory (§5.1 model selection).
 	var bestBuf bytes.Buffer
 	bestLoss := -1.0
-	hist := train.Fit(m, trainSet, validSet, train.Config{
-		Epochs: prm.Epochs, BatchSize: prm.Batch, LR: prm.LR,
-		Warmup: len(trainSet) / max(1, prm.Batch), ClipNorm: 1.0, Seed: seed,
-		Workers: p.Cfg.Workers,
-		Snapshot: func(epoch int, stats train.EpochStats) {
-			if bestLoss < 0 || stats.ValidLoss < bestLoss {
-				bestLoss = stats.ValidLoss
-				bestBuf.Reset()
-				if err := m.Save(&bestBuf); err != nil {
-					panic(err)
-				}
+	tcfg.Snapshot = func(epoch int, stats train.EpochStats) {
+		if bestLoss < 0 || stats.ValidLoss < bestLoss {
+			bestLoss = stats.ValidLoss
+			bestBuf.Reset()
+			if err := m.Save(&bestBuf); err != nil {
+				panic(err)
 			}
-		},
-		Progress: func(s string) { p.progress("  %s", s) },
-	})
+		}
+	}
+	hist := train.Fit(m, trainSet, validSet, tcfg)
 	if bestBuf.Len() > 0 {
 		restored, err := core.Load(&bestBuf)
 		if err == nil {
@@ -307,6 +350,49 @@ func (p *Pipeline) trainModel(task dataset.Task, repr tokenize.Representation, p
 		}
 	}
 	return &Trained{Model: m, History: hist}
+}
+
+// fromCheckpoint materializes a Trained from an existing checkpoint:
+// restoring a finished run outright, or resuming a partial one (skipping
+// MLM pretraining — the checkpointed weights already include it). Returns
+// nil when the checkpoint does not belong to this run, in which case the
+// caller trains from scratch.
+func (p *Pipeline) fromCheckpoint(m *core.PragFormer, snap *ckpt.Snapshot,
+	trainSet, validSet []train.Example, prm Params, tcfg train.Config,
+	task dataset.Task, repr tokenize.Representation) *Trained {
+	if snap.NextEpoch >= prm.Epochs {
+		w := snap.BestWeights
+		if len(w) == 0 {
+			w = snap.Weights
+		}
+		if err := snap.ApplyWeights(m.Params(), w); err != nil {
+			p.progress("checkpoint for (%s, %s) does not match this run (%v); retraining", task, repr, err)
+			return nil
+		}
+		p.progress("restored finished model (%s, %s) from checkpoint", task, repr)
+		return &Trained{Model: m, History: train.HistoryFromSnapshot(snap)}
+	}
+	p.progress("resuming training (%s, %s) at epoch %d/%d", task, repr, snap.NextEpoch, prm.Epochs)
+	hist, err := train.Resume(m, trainSet, validSet, tcfg)
+	if err != nil {
+		p.progress("resume failed (%v); training from scratch", err)
+		return nil
+	}
+	return &Trained{Model: m, History: hist}
+}
+
+// checkpointPath names the per-run checkpoint file, keyed by every input
+// that identifies the run — task, representation, seed, worker count, and
+// the training knobs — so ablation variants sharing a (task, repr) never
+// collide. Empty when the pipeline is not durable.
+func (p *Pipeline) checkpointPath(task dataset.Task, repr tokenize.Representation, prm Params, seed int64) string {
+	if p.Cfg.CheckpointDir == "" {
+		return ""
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%+v|w%d", prm, p.Cfg.Workers)
+	return filepath.Join(p.Cfg.CheckpointDir,
+		fmt.Sprintf("%s-%s-s%d-%08x.ckpt", task, repr, seed, h.Sum32()))
 }
 
 // pretrain runs the MLM stand-in for DeepSCC initialization.

@@ -242,7 +242,7 @@ type BlockCache struct {
 }
 
 // Forward runs the block; train enables dropout using rng.
-func (b *EncoderBlock) Forward(x *tensor.Matrix, train bool, rng *rand.Rand) (*tensor.Matrix, *BlockCache) {
+func (b *EncoderBlock) Forward(x *tensor.Matrix, train bool, rng *RNG) (*tensor.Matrix, *BlockCache) {
 	c := &BlockCache{}
 	n1, cn1 := b.LN1.Forward(x)
 	c.cn1 = cn1

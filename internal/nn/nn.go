@@ -267,8 +267,10 @@ type DropoutCache struct {
 }
 
 // Dropout zeroes elements with probability p and rescales survivors
-// (inverted dropout). In eval mode (train=false) it is the identity.
-func Dropout(x *tensor.Matrix, p float64, train bool, rng *rand.Rand) (*tensor.Matrix, *DropoutCache) {
+// (inverted dropout). In eval mode (train=false) it is the identity. The
+// noise source is the serializable RNG so training runs can checkpoint and
+// resume the exact noise stream.
+func Dropout(x *tensor.Matrix, p float64, train bool, rng *RNG) (*tensor.Matrix, *DropoutCache) {
 	if !train || p <= 0 {
 		return x, &DropoutCache{scale: 1}
 	}

@@ -192,7 +192,7 @@ func TestReLU(t *testing.T) {
 }
 
 func TestDropoutTrainEval(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
+	rng := NewRNG(7)
 	x := tensor.New(10, 10)
 	for i := range x.Data {
 		x.Data[i] = 1
@@ -228,7 +228,7 @@ func TestDropoutTrainEval(t *testing.T) {
 }
 
 func TestDropoutExpectationPreserved(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := NewRNG(8)
 	x := tensor.New(100, 100)
 	for i := range x.Data {
 		x.Data[i] = 1

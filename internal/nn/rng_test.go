@@ -1,0 +1,54 @@
+package nn
+
+import "testing"
+
+func TestRNGStateRoundTrip(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		r.Float64()
+	}
+	saved := r.State()
+	var want [5]float64
+	for i := range want {
+		want[i] = r.Float64()
+	}
+
+	r2 := &RNG{}
+	r2.SetState(saved)
+	for i := range want {
+		if got := r2.Float64(); got != want[i] {
+			t.Fatalf("draw %d after restore = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestRNGSeedsDiverge(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	if a.State() == b.State() {
+		t.Fatal("adjacent seeds share state")
+	}
+	same := 0
+	for i := 0; i < 20; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d identical draws from different seeds", same)
+	}
+}
+
+func TestRNGZeroStateRecovers(t *testing.T) {
+	r := &RNG{}
+	r.SetState(0)
+	if r.State() == 0 {
+		t.Fatal("zero state would stick the xorshift stream")
+	}
+	x, y := r.Float64(), r.Float64()
+	if x == y {
+		t.Fatal("stream not advancing")
+	}
+	if x < 0 || x >= 1 || y < 0 || y >= 1 {
+		t.Fatalf("draws out of [0,1): %v %v", x, y)
+	}
+}

@@ -11,6 +11,13 @@
 // core.Replicate exposes to the trainer). An LRU cache keyed by the
 // encoded id sequence (predictions) or the raw snippet (suggestions)
 // short-circuits repeats before they reach the queue.
+//
+// The engine also supports hot model reload (Reload / POST /reload /
+// SIGHUP in cmd/serve): a freshly loaded artifact's replicas are built
+// off-path, then atomically swapped in. In-flight batches finish on the
+// model they started with, queued and future requests run on the new one,
+// and the result caches roll to a new generation — no request is dropped
+// and no stale result survives the swap.
 package serve
 
 import (
@@ -23,6 +30,7 @@ import (
 	"time"
 
 	"pragformer/internal/advisor"
+	"pragformer/internal/tokenize"
 )
 
 // ErrClosed is returned by engine calls after Close.
@@ -46,6 +54,12 @@ type Config struct {
 	// Seed derives replica clone seeds (inference never draws from them,
 	// but clones reseed their dropout streams).
 	Seed int64
+	// Source, when set, produces a fresh model bundle for
+	// ReloadFromSource — the POST /reload and SIGHUP path. It runs off
+	// the request path (loading artifacts or retraining may be slow);
+	// only the final swap is atomic. Nil disables source-driven reloads;
+	// Reload with an explicit bundle always works.
+	Source func() (*advisor.Models, error)
 }
 
 func (c *Config) fillDefaults() {
@@ -83,6 +97,8 @@ func (s PathStats) AvgBatch() float64 {
 type Stats struct {
 	Predict PathStats
 	Suggest PathStats
+	// Reloads counts completed hot model swaps.
+	Reloads uint64
 }
 
 // call is one queued request.
@@ -92,11 +108,21 @@ type call[P any, K comparable, R any] struct {
 	res     chan R // buffered(1): the worker never blocks delivering
 }
 
+// runSet is one immutable generation of per-replica run functions. A hot
+// reload publishes a fresh runSet through the batcher's atomic pointer;
+// workers snapshot the set once per batch, so an in-flight batch finishes
+// on the model it started with while the next batch picks up the swap.
+type runSet[P any, R any] struct {
+	gen  uint64
+	runs []func([]P) []R
+}
+
 // batcher coalesces calls of one kind and fans batches across workers.
 type batcher[P any, K comparable, R any] struct {
 	queue    chan *call[P, K, R]
 	work     chan []*call[P, K, R]
 	cache    *lru[K, R]
+	cur      atomic.Pointer[runSet[P, R]]
 	maxBatch int
 	maxWait  time.Duration
 	done     chan struct{}
@@ -123,12 +149,22 @@ func newBatcher[P any, K comparable, R any](
 		done:     done,
 		wg:       wg,
 	}
+	b.cur.Store(&runSet[P, R]{runs: runs}) // generation 0, matching the cache
 	wg.Add(1 + len(runs))
 	go b.dispatch()
-	for _, run := range runs {
-		go b.worker(run)
+	for r := range runs {
+		go b.worker(r)
 	}
 	return b
+}
+
+// setRuns atomically swaps in a new generation of run functions and rolls
+// the cache. The slice length must equal the worker count fixed at
+// construction; callers serialize swaps (Engine.reloadMu).
+func (b *batcher[P, K, R]) setRuns(runs []func([]P) []R) {
+	next := &runSet[P, R]{gen: b.cur.Load().gen + 1, runs: runs}
+	b.cur.Store(next)
+	b.cache.reset(next.gen)
 }
 
 // dispatch coalesces queued calls into batches: the first call opens a
@@ -165,22 +201,25 @@ func (b *batcher[P, K, R]) dispatch() {
 	}
 }
 
-// worker executes batches with its replica's run function and delivers
-// per-call results.
-func (b *batcher[P, K, R]) worker(run func([]P) []R) {
+// worker executes batches with replica r's current run function and
+// delivers per-call results. The runSet is snapshotted once per batch:
+// results are cached under the snapshot's generation, so a batch that
+// raced a reload cannot write stale results into the fresh cache.
+func (b *batcher[P, K, R]) worker(r int) {
 	defer b.wg.Done()
 	for {
 		select {
 		case batch := <-b.work:
+			rs := b.cur.Load()
 			payloads := make([]P, len(batch))
 			for i, c := range batch {
 				payloads[i] = c.payload
 			}
-			results := run(payloads)
+			results := rs.runs[r](payloads)
 			b.batches.Add(1)
 			b.items.Add(uint64(len(batch)))
 			for i, c := range batch {
-				b.cache.put(c.key, results[i])
+				b.cache.put(c.key, results[i], rs.gen)
 				c.res <- results[i]
 			}
 		case <-b.done:
@@ -239,12 +278,17 @@ type suggestOut struct {
 	err error
 }
 
-// Engine is the serving front end over one advisor.Models bundle.
+// Engine is the serving front end over one advisor.Models bundle. The
+// bundle is held behind an atomic pointer so Reload can swap in a
+// retrained model without pausing traffic.
 type Engine struct {
-	models  *advisor.Models
+	models  atomic.Pointer[advisor.Models]
 	cfg     Config
 	predict *batcher[[]int, string, float64]
 	suggest *batcher[string, string, suggestOut]
+
+	reloadMu sync.Mutex // serializes Reload swaps
+	reloads  atomic.Uint64
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -255,22 +299,53 @@ type Engine struct {
 // are required; clause classifiers are optional, exactly as for
 // advisor.Suggest.
 func New(models *advisor.Models, cfg Config) (*Engine, error) {
-	if models == nil || models.Directive == nil || models.Vocab == nil {
-		return nil, fmt.Errorf("serve: directive model and vocabulary are required")
+	if err := validateModels(models); err != nil {
+		return nil, err
 	}
 	cfg.fillDefaults()
-	e := &Engine{models: models, cfg: cfg, done: make(chan struct{})}
+	e := &Engine{cfg: cfg, done: make(chan struct{})}
+	e.models.Store(models)
 
-	// Predict replicas: replica 0 serves from the caller's model, the rest
-	// from deep copies, so Replicas batches can run truly concurrently.
-	predictRuns := make([]func([][]int) []float64, cfg.Replicas)
-	predictRuns[0] = models.Directive.PredictBatch
-	for r := 1; r < cfg.Replicas; r++ {
-		replica := models.Directive.Clone(cfg.Seed + int64(r))
-		predictRuns[r] = replica.PredictBatch
-	}
+	predictRuns, suggestRuns := e.buildRuns(models)
 	e.predict = newBatcher[[]int, string, float64](
 		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, predictRuns, e.done, &e.wg)
+	e.suggest = newBatcher[string, string, suggestOut](
+		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, suggestRuns, e.done, &e.wg)
+	return e, nil
+}
+
+func validateModels(models *advisor.Models) error {
+	if models == nil || models.Directive == nil || models.Vocab == nil {
+		return fmt.Errorf("serve: directive model and vocabulary are required")
+	}
+	return nil
+}
+
+// buildRuns constructs one generation of per-replica run functions over a
+// model bundle — the expensive part of a reload (replica deep copies),
+// done before anything is swapped.
+func (e *Engine) buildRuns(models *advisor.Models) ([]func([][]int) []float64, []func([]string) []suggestOut) {
+	// Predict replicas: replica 0 serves from the bundle's model, the rest
+	// from deep copies, so Replicas batches can run truly concurrently.
+	predictRuns := make([]func([][]int) []float64, e.cfg.Replicas)
+	directive := models.Directive
+	vocab := directive.Cfg.Vocab
+	wrap := func(run func([][]int) []float64) func([][]int) []float64 {
+		return func(batch [][]int) []float64 {
+			// Requests are validated against the bundle that was current
+			// when they arrived; a batch drained just after a reload may
+			// carry ids the new vocabulary cannot embed. Clamp them to
+			// [UNK] instead of letting the embedding lookup panic a
+			// worker mid-swap.
+			sanitizeIDs(batch, vocab)
+			return run(batch)
+		}
+	}
+	predictRuns[0] = wrap(directive.PredictBatch)
+	for r := 1; r < e.cfg.Replicas; r++ {
+		replica := directive.Clone(e.cfg.Seed + int64(r))
+		predictRuns[r] = wrap(replica.PredictBatch)
+	}
 
 	// Suggest workers share the Models: the advisor pipeline is read-only
 	// over its classifiers, so concurrency needs no replicas — the workers
@@ -289,13 +364,60 @@ func New(models *advisor.Models, cfg Config) (*Engine, error) {
 		}
 		return out
 	}
-	suggestRuns := make([]func([]string) []suggestOut, cfg.Replicas)
+	suggestRuns := make([]func([]string) []suggestOut, e.cfg.Replicas)
 	for r := range suggestRuns {
 		suggestRuns[r] = suggestRun
 	}
-	e.suggest = newBatcher[string, string, suggestOut](
-		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, suggestRuns, e.done, &e.wg)
-	return e, nil
+	return predictRuns, suggestRuns
+}
+
+// sanitizeIDs clamps out-of-vocabulary ids to [UNK] in place.
+func sanitizeIDs(batch [][]int, vocab int) {
+	for _, ids := range batch {
+		for i, id := range ids {
+			if id < 0 || id >= vocab {
+				ids[i] = tokenize.UNK
+			}
+		}
+	}
+}
+
+// Reload atomically swaps the served model bundle: replicas for the new
+// bundle are built first (off-path), then the bundle pointer and both
+// batchers' run sets are published and the result caches rolled. In-flight
+// and queued requests are never dropped — batches already handed to a
+// worker finish on the generation they loaded, everything later runs on
+// the new models.
+func (e *Engine) Reload(models *advisor.Models) error {
+	if err := validateModels(models); err != nil {
+		return err
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	predictRuns, suggestRuns := e.buildRuns(models)
+	e.models.Store(models)
+	e.predict.setRuns(predictRuns)
+	e.suggest.setRuns(suggestRuns)
+	e.reloads.Add(1)
+	return nil
+}
+
+// ReloadFromSource reloads from cfg.Source — the POST /reload and SIGHUP
+// entry point.
+func (e *Engine) ReloadFromSource() error {
+	if e.cfg.Source == nil {
+		return fmt.Errorf("serve: no reload source configured")
+	}
+	models, err := e.cfg.Source()
+	if err != nil {
+		return fmt.Errorf("serve: reload source: %w", err)
+	}
+	return e.Reload(models)
 }
 
 // idKey packs an id sequence into a compact string cache key.
@@ -331,12 +453,14 @@ func (e *Engine) Suggest(ctx context.Context, code string) (*advisor.Suggestion,
 	return out.s, out.err
 }
 
-// Models exposes the served bundle (the HTTP layer needs the vocabulary).
-func (e *Engine) Models() *advisor.Models { return e.models }
+// Models exposes the currently served bundle (the HTTP layer needs the
+// vocabulary). The pointer may be superseded by a concurrent Reload; one
+// request sees one coherent bundle.
+func (e *Engine) Models() *advisor.Models { return e.models.Load() }
 
 // Stats snapshots the engine counters.
 func (e *Engine) Stats() Stats {
-	return Stats{Predict: e.predict.stats(), Suggest: e.suggest.stats()}
+	return Stats{Predict: e.predict.stats(), Suggest: e.suggest.stats(), Reloads: e.reloads.Load()}
 }
 
 // Close stops the dispatchers and workers and waits for them to exit.

@@ -13,6 +13,7 @@ import (
 //
 //	POST /predict {"code": "..."} | {"codes": [...]} | {"ids": [[...]]}
 //	POST /suggest {"code": "..."} | {"codes": [...]}
+//	POST /reload  (empty body — hot-swaps models from the configured source)
 //	GET  /healthz
 //
 // Multi-item requests fan out concurrently into the engine, so one HTTP
@@ -62,27 +63,31 @@ func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", e.handlePredict)
 	mux.HandleFunc("POST /suggest", e.handleSuggest)
+	mux.HandleFunc("POST /reload", e.handleReload)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	return mux
 }
 
-// encode tokenizes and encodes one snippet.
+// encode tokenizes and encodes one snippet against the currently served
+// bundle.
 func (e *Engine) encode(code string) ([]int, error) {
 	toks, err := tokenize.Extract(code, tokenize.Text)
 	if err != nil {
 		return nil, err
 	}
-	return e.models.Vocab.Encode(toks, e.models.EffectiveMaxLen()), nil
+	models := e.Models()
+	return models.Vocab.Encode(toks, models.EffectiveMaxLen()), nil
 }
 
 // validateIDs rejects raw id sequences the model cannot embed — this is
 // the untrusted-input boundary, and an out-of-range id would panic a batch
-// worker.
+// worker. (A reload racing an accepted request is additionally guarded by
+// the engine's in-batch clamping.)
 func (e *Engine) validateIDs(ids []int) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("empty id sequence")
 	}
-	vocab := e.models.Directive.Cfg.Vocab
+	vocab := e.Models().Directive.Cfg.Vocab
 	for _, id := range ids {
 		if id < 0 || id >= vocab {
 			return fmt.Errorf("id %d out of vocabulary range [0, %d)", id, vocab)
@@ -166,6 +171,21 @@ func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 	wg.Wait()
 	writeJSON(w, map[string]any{"results": results})
+}
+
+// handleReload hot-swaps the served models from the configured source.
+// Traffic keeps flowing while the new bundle loads; only the final swap is
+// atomic. 409 when the server has no reload source (demo mode).
+func (e *Engine) handleReload(w http.ResponseWriter, _ *http.Request) {
+	if e.cfg.Source == nil {
+		httpError(w, http.StatusConflict, "no reload source configured")
+		return
+	}
+	if err := e.ReloadFromSource(); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"status": "reloaded", "reloads": e.reloads.Load()})
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -14,6 +14,11 @@ type lru[K comparable, V any] struct {
 	cap   int
 	order *list.List // front = most recently used; values are *lruEntry[K, V]
 	items map[K]*list.Element
+	// gen is the cache generation, bumped by reset on model reload. put
+	// carries the generation its caller observed before computing the
+	// value; a stale generation means the value came from a swapped-out
+	// model and must not poison the fresh cache.
+	gen uint64
 }
 
 type lruEntry[K comparable, V any] struct {
@@ -48,13 +53,17 @@ func (c *lru[K, V]) get(key K) (V, bool) {
 }
 
 // put inserts or refreshes an entry, evicting the least recently used one
-// past capacity.
-func (c *lru[K, V]) put(key K, val V) {
+// past capacity. gen is the generation the value was computed under;
+// values from an older generation are dropped.
+func (c *lru[K, V]) put(key K, val V, gen uint64) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry[K, V]).val = val
 		c.order.MoveToFront(el)
@@ -66,6 +75,19 @@ func (c *lru[K, V]) put(key K, val V) {
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
 	}
+}
+
+// reset empties the cache and advances to generation gen (model reload:
+// every cached result belongs to the swapped-out model).
+func (c *lru[K, V]) reset(gen uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen = gen
+	c.order.Init()
+	clear(c.items)
 }
 
 // len reports the resident entry count.

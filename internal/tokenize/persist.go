@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"pragformer/internal/ckpt"
 )
 
 // Vocabulary persistence: one token per line, specials first, so the file
@@ -24,14 +26,11 @@ func (v *Vocab) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the vocabulary to a file path.
+// SaveFile writes the vocabulary to a file path atomically (temp file +
+// rename), so a failed save — including a failed Close — never clobbers an
+// existing vocabulary the serving layer may be loading.
 func (v *Vocab) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return v.Save(f)
+	return ckpt.WriteFileAtomic(path, v.Save)
 }
 
 // LoadVocab reads a vocabulary written by Save, restoring the exact id

@@ -2,6 +2,8 @@ package tokenize
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -26,6 +28,37 @@ func TestVocabPersistRoundTrip(t *testing.T) {
 	}
 	if v2.Token(PAD) != "[PAD]" || v2.Token(CLS) != "[CLS]" {
 		t.Error("specials not restored")
+	}
+}
+
+// TestVocabSaveFileAtomic pins the crash-safe artifact contract: SaveFile
+// replaces an existing vocabulary in one atomic step (no torn file, no
+// temp litter) and propagates failures instead of half-writing.
+func TestVocabSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vocab.txt")
+	v1 := BuildVocab([][]string{{"for", "("}}, 1)
+	v2 := BuildVocab([][]string{{"while", ")", "+"}}, 1)
+	if err := v1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadVocabFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != v2.Size() || !got.Contains("while") {
+		t.Fatal("replacement save did not land")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+
+	if err := v1.SaveFile(filepath.Join(dir, "missing", "v.txt")); err == nil {
+		t.Fatal("save into missing directory succeeded")
 	}
 }
 

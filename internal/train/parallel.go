@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"pragformer/internal/ckpt"
 	"pragformer/internal/nn"
 )
 
@@ -18,8 +19,14 @@ import (
 // count are bit-identical, and different worker counts agree up to
 // summation-order rounding (≪1e-9 on the scales this repo trains).
 
-// fitParallel is the Workers>1 body of Fit; cfg defaults are already filled.
-func fitParallel(m Replicable, trainSet, validSet []Example, cfg Config) History {
+// runParallel is the Workers>1 body of Run/Resume; cfg defaults are
+// already filled. snap, when non-nil, is a checkpoint to resume from: the
+// primary's weights and optimizer are restored before the replicas are
+// cloned (so the clones start from the restored weights), and every
+// replica's dropout stream is then rewound to its checkpointed position —
+// the pieces that make the resumed run bit-identical to an uninterrupted
+// one at the same (seed, W).
+func runParallel(m Replicable, trainSet, validSet []Example, cfg Config, snap *ckpt.Snapshot) (History, error) {
 	// Replicas beyond the batch size (or dataset size) can never receive a
 	// shard, so clamping is free: it changes the replica count but not one
 	// bit of the result.
@@ -27,6 +34,20 @@ func fitParallel(m Replicable, trainSet, validSet []Example, cfg Config) History
 	if len(trainSet) > 0 {
 		w = min(w, len(trainSet))
 	}
+
+	opt := NewAdamW(cfg.LR)
+	order := make([]int, len(trainSet))
+	for i := range order {
+		order[i] = i
+	}
+	rng := newShuffler(cfg.Seed)
+
+	st := &runState{bestLoss: math.Inf(1)}
+	ck := newCheckpointer(cfg)
+	if err := restoreRun(snap, cfg, w, m.Params(), opt, rng, order, st, ck); err != nil {
+		return History{}, err
+	}
+
 	replicas := make([]Model, w)
 	paramSets := make([][]*nn.Param, w)
 	replicas[0] = m
@@ -36,19 +57,10 @@ func fitParallel(m Replicable, trainSet, validSet []Example, cfg Config) History
 		paramSets[r] = replicas[r].Params()
 	}
 	primary := paramSets[0]
+	restoreRNGs(snap, replicas)
 
-	opt := NewAdamW(cfg.LR)
-	order := make([]int, len(trainSet))
-	for i := range order {
-		order[i] = i
-	}
-	rng := newShuffler(cfg.Seed)
-
-	var h History
-	bestLoss := math.Inf(1)
-	step := 0
 	shardLoss := make([]float64, w)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := st.epoch; epoch < cfg.Epochs; epoch++ {
 		rng.shuffle(order)
 		totalLoss := 0.0
 		for r := range paramSets {
@@ -65,7 +77,7 @@ func fitParallel(m Replicable, trainSet, validSet []Example, cfg Config) History
 			for _, l := range shardLoss {
 				totalLoss += l
 			}
-			optStep(opt, primary, cfg, len(batch), &step)
+			optStep(opt, primary, cfg, len(batch), &st.step)
 			for r := 1; r < w; r++ {
 				nn.CopyWeights(paramSets[r], primary)
 			}
@@ -73,9 +85,13 @@ func fitParallel(m Replicable, trainSet, validSet []Example, cfg Config) History
 
 		stats := EpochStats{Epoch: epoch, TrainLoss: totalLoss / float64(max(1, len(trainSet)))}
 		stats.ValidLoss, stats.ValidAccuracy = evaluateModels(replicas, validSet)
-		finishEpoch(&h, &bestLoss, cfg, stats, w)
+		finishEpoch(&st.h, &st.bestLoss, cfg, stats, w)
+		if stop, err := afterEpoch(ck, cfg, st, replicas, primary, opt, rng, epoch); stop || err != nil {
+			return st.h, err
+		}
 	}
-	return h
+	ck.restoreBest(cfg, primary)
+	return st.h, nil
 }
 
 // runShards splits batch into one contiguous shard per replica and runs

@@ -6,9 +6,11 @@
 package train
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
+	"pragformer/internal/ckpt"
 	"pragformer/internal/nn"
 )
 
@@ -64,6 +66,50 @@ func (o *AdamW) Step(params []*nn.Param, lrScale float64) {
 			w[i] -= lr * upd
 		}
 	}
+}
+
+// State exports the optimizer's step count and first/second moments in
+// params order (deep copies), the checkpointing surface. Parameters the
+// optimizer has not yet touched export empty moment vectors.
+func (o *AdamW) State(params []*nn.Param) (step int, m, v [][]float64) {
+	m = make([][]float64, len(params))
+	v = make([][]float64, len(params))
+	for i, p := range params {
+		if mv := o.m[p]; mv != nil {
+			m[i] = append([]float64(nil), mv...)
+			v[i] = append([]float64(nil), o.v[p]...)
+		}
+	}
+	return o.step, m, v
+}
+
+// SetState restores optimizer state captured by State onto params (same
+// order), validating every moment vector length against its parameter.
+func (o *AdamW) SetState(params []*nn.Param, step int, m, v [][]float64) error {
+	if len(m) != len(params) || len(v) != len(params) {
+		return fmt.Errorf("train: optimizer state has %d/%d moment vectors, model has %d params",
+			len(m), len(v), len(params))
+	}
+	for i, p := range params {
+		if len(m[i]) == 0 && len(v[i]) == 0 {
+			continue // parameter untouched when the state was captured
+		}
+		if len(m[i]) != len(p.W.Data) || len(v[i]) != len(p.W.Data) {
+			return fmt.Errorf("train: optimizer state for %q has %d/%d values, want %d",
+				p.Name, len(m[i]), len(v[i]), len(p.W.Data))
+		}
+	}
+	o.step = step
+	for i, p := range params {
+		if len(m[i]) == 0 && len(v[i]) == 0 {
+			delete(o.m, p)
+			delete(o.v, p)
+			continue
+		}
+		o.m[p] = append([]float64(nil), m[i]...)
+		o.v[p] = append([]float64(nil), v[i]...)
+	}
+	return nil
 }
 
 // ClipGradNorm scales gradients so their global L2 norm is at most maxNorm.
@@ -180,14 +226,28 @@ type Config struct {
 	Snapshot func(epoch int, stats EpochStats)
 	// Progress, when set, receives one line per epoch.
 	Progress func(string)
+	// CheckpointPath, when set, makes Run/Resume write a crash-safe
+	// internal/ckpt snapshot (weights, full AdamW state, shuffler and
+	// dropout RNG streams, History, best-epoch weights) at epoch ends.
+	CheckpointPath string
+	// CheckpointEvery is the epoch stride between checkpoint writes
+	// (default 1). The final epoch and an interrupt always checkpoint.
+	CheckpointEvery int
+	// RestoreBest, with CheckpointPath set, leaves the model holding the
+	// best-validation-epoch weights when Run/Resume complete normally
+	// (instead of the final epoch's) — the paper's model-selection rule
+	// applied from the checkpointer's in-memory copy, no file re-read.
+	// Interrupted runs are unaffected.
+	RestoreBest bool
+	// Interrupt, when non-nil, is polled at each epoch end; once it fires
+	// (closed or sent to), the run writes a final checkpoint if configured
+	// and returns ErrInterrupted with the partial History. The SIGINT
+	// checkpoint-then-exit path of cmd/pragformer rides on this.
+	Interrupt <-chan struct{}
 }
 
-// Fit trains the model, returning the learning curve. With cfg.Workers > 1
-// and a Replicable model, batches are sharded across replicas; gradient
-// reduction order is fixed, so a run is deterministic for a given worker
-// count, and (dropout aside) agrees with the sequential run up to
-// floating-point summation order.
-func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
+// fillDefaults resolves the zero-value knobs Fit historically defaulted.
+func (cfg *Config) fillDefaults() {
 	if cfg.Epochs <= 0 {
 		cfg.Epochs = 10
 	}
@@ -197,11 +257,42 @@ func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
 	if cfg.LR == 0 {
 		cfg.LR = 3e-4
 	}
-	if cfg.Workers > 1 {
-		if rm, ok := m.(Replicable); ok {
-			return fitParallel(rm, trainSet, validSet, cfg)
-		}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
 	}
+}
+
+// Fit trains the model, returning the learning curve. With cfg.Workers > 1
+// and a Replicable model, batches are sharded across replicas; gradient
+// reduction order is fixed, so a run is deterministic for a given worker
+// count, and (dropout aside) agrees with the sequential run up to
+// floating-point summation order.
+//
+// Fit is the error-free legacy surface: checkpoint I/O failures and
+// interrupts (which only arise when the corresponding Config fields are
+// set) are reported through Run; Fit logs them to cfg.Progress and returns
+// the partial history. Callers that checkpoint should use Run/Resume.
+func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
+	h, err := Run(m, trainSet, validSet, cfg)
+	if err != nil && !errors.Is(err, ErrInterrupted) && cfg.Progress != nil {
+		cfg.Progress("checkpoint error: " + err.Error())
+	}
+	return h
+}
+
+// runState is the mutable cross-epoch trainer state shared by the
+// sequential and data-parallel loops — exactly what a checkpoint captures
+// (together with weights, optimizer moments, and RNG streams).
+type runState struct {
+	h        History
+	bestLoss float64
+	step     int // optimizer/warmup step counter
+	epoch    int // first epoch the loop runs (nonzero after a resume)
+}
+
+// runSequential is the Workers<=1 training loop; snap, when non-nil, is a
+// validated checkpoint to resume from.
+func runSequential(m Model, trainSet, validSet []Example, cfg Config, snap *ckpt.Snapshot) (History, error) {
 	opt := NewAdamW(cfg.LR)
 	params := m.Params()
 	order := make([]int, len(trainSet))
@@ -210,10 +301,14 @@ func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
 	}
 	rng := newShuffler(cfg.Seed)
 
-	var h History
-	bestLoss := math.Inf(1)
-	step := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	st := &runState{bestLoss: math.Inf(1)}
+	ck := newCheckpointer(cfg)
+	if err := restoreRun(snap, cfg, 1, params, opt, rng, order, st, ck); err != nil {
+		return History{}, err
+	}
+	restoreRNGs(snap, []Model{m})
+
+	for epoch := st.epoch; epoch < cfg.Epochs; epoch++ {
 		rng.shuffle(order)
 		totalLoss := 0.0
 		ZeroGrads(params)
@@ -223,19 +318,23 @@ func Fit(m Model, trainSet, validSet []Example, cfg Config) History {
 			totalLoss += m.LossAndBackward(ex.IDs, ex.Label)
 			inBatch++
 			if inBatch == cfg.BatchSize {
-				optStep(opt, params, cfg, inBatch, &step)
+				optStep(opt, params, cfg, inBatch, &st.step)
 				inBatch = 0
 			}
 		}
 		if inBatch > 0 {
-			optStep(opt, params, cfg, inBatch, &step)
+			optStep(opt, params, cfg, inBatch, &st.step)
 		}
 
 		stats := EpochStats{Epoch: epoch, TrainLoss: totalLoss / float64(max(1, len(trainSet)))}
 		stats.ValidLoss, stats.ValidAccuracy = Evaluate(m, validSet)
-		finishEpoch(&h, &bestLoss, cfg, stats, 1)
+		finishEpoch(&st.h, &st.bestLoss, cfg, stats, 1)
+		if stop, err := afterEpoch(ck, cfg, st, []Model{m}, params, opt, rng, epoch); stop || err != nil {
+			return st.h, err
+		}
 	}
-	return h
+	ck.restoreBest(cfg, params)
+	return st.h, nil
 }
 
 // finishEpoch records one epoch's stats, applies the best-validation-loss
