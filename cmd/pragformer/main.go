@@ -5,6 +5,12 @@
 //	pragformer train -corpus open_omp.jsonl -task directive -model model.gob
 //	pragformer eval  -corpus open_omp.jsonl -task directive -model model.gob
 //	pragformer predict -model model.gob -vocab vocab.txt file.c
+//	pragformer quantize -model model.gob -out model.pfq
+//
+// Quantize converts a trained float artifact into the int8 inference
+// backend (per-channel symmetric post-training quantization, PFQNT framed
+// format); `serve` loads either format and `-backend int8` quantizes float
+// artifacts on the fly.
 //
 // Train writes both the model weights and the vocabulary (one token per
 // line) so predict can re-encode inputs identically; both artifacts are
@@ -24,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
@@ -43,13 +51,15 @@ func main() {
 		cmdEval(os.Args[2:])
 	case "predict":
 		cmdPredict(os.Args[2:])
+	case "quantize":
+		cmdQuantize(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pragformer {train|eval|predict} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pragformer {train|eval|predict|quantize} [flags]")
 	os.Exit(2)
 }
 
@@ -246,6 +256,39 @@ func cmdEval(args []string) {
 	testSet := encodeAll(split.Test, v, m.Cfg.MaxLen)
 	loss, acc := train.EvaluateParallel(m, testSet, *workers)
 	fmt.Printf("test: %d examples, loss %.4f, accuracy %.3f\n", len(testSet), loss, acc)
+}
+
+func cmdQuantize(args []string) {
+	fs := flag.NewFlagSet("quantize", flag.ExitOnError)
+	var (
+		modelPath = fs.String("model", "pragformer.gob", "input float model (pragformer train artifact)")
+		outPath   = fs.String("out", "", "output PFQNT artifact path (default: input with a .pfq extension)")
+	)
+	_ = fs.Parse(args)
+	if *outPath == "" {
+		*outPath = strings.TrimSuffix(*modelPath, filepath.Ext(*modelPath)) + ".pfq"
+	}
+	m, err := core.LoadFile(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	q, err := core.Quantize(m)
+	if err != nil {
+		fatal(err)
+	}
+	if err := q.SaveFile(*outPath); err != nil {
+		fatal(err)
+	}
+	in, err := os.Stat(*modelPath)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := os.Stat(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("quantized %s (%d bytes) -> %s (%d bytes, %.1fx smaller)\n",
+		*modelPath, in.Size(), *outPath, out.Size(), float64(in.Size())/float64(out.Size()))
 }
 
 func cmdPredict(args []string) {

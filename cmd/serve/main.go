@@ -1,10 +1,15 @@
 // Command serve runs the PragFormer advisor as an HTTP JSON service over
 // the micro-batching inference engine in internal/serve.
 //
-// Models are either loaded from files written by `pragformer train`
-// (-directive/-private/-reduction plus -vocab) or, when -directive is
-// empty, trained at startup on a generated Open-OMP corpus — the
-// zero-setup demo mode.
+// Models are either loaded from files written by `pragformer train` or
+// `pragformer quantize` (-directive/-private/-reduction plus -vocab; PFQNT
+// artifacts are detected by magic) or, when -directive is empty, trained at
+// startup on a generated Open-OMP corpus — the zero-setup demo mode.
+//
+// -backend selects the compute backend: float64 (the training-grade
+// reference), int8 (quantizes float artifacts at load time and on every
+// hot reload), or empty to serve each artifact as loaded. The active
+// backend and model generation are reported by GET /healthz.
 //
 // When models come from files, a retrained artifact can be shipped to the
 // running server with zero downtime: POST /reload (or send SIGHUP) re-reads
@@ -35,6 +40,7 @@ import (
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
 	"pragformer/internal/dataset"
+	"pragformer/internal/quant"
 	"pragformer/internal/serve"
 	"pragformer/internal/tokenize"
 	"pragformer/internal/train"
@@ -50,6 +56,7 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 16, "max coalesced batch size")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max time to hold a batch open")
 		replicas  = flag.Int("replicas", 1, "model replicas (concurrent batches in flight)")
+		backend   = flag.String("backend", "", "compute backend: float64|int8 (empty serves artifacts as loaded; int8 quantizes float artifacts at load and on every reload)")
 		cacheSize = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
 		noCompar  = flag.Bool("no-compar", false, "skip S2S corroboration in /suggest")
 		seed      = flag.Int64("seed", 1, "seed for demo training and replica cloning")
@@ -85,7 +92,7 @@ func main() {
 
 	engine, err := serve.New(models, serve.Config{
 		MaxBatch: *maxBatch, MaxWait: *maxWait, Replicas: *replicas,
-		CacheSize: *cacheSize, Seed: *seed, Source: source,
+		CacheSize: *cacheSize, Seed: *seed, Source: source, Backend: *backend,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -96,8 +103,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Printf("serving on %s (max-batch %d, max-wait %s, replicas %d, cache %d)\n",
-		*addr, *maxBatch, *maxWait, *replicas, *cacheSize)
+	fmt.Printf("serving on %s (backend %s, max-batch %d, max-wait %s, replicas %d, cache %d)\n",
+		*addr, engine.Stats().Backend, *maxBatch, *maxWait, *replicas, *cacheSize)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
@@ -149,21 +156,35 @@ func buildModels(directive, private, reduction, vocabPath string,
 		return nil, err
 	}
 	m := &advisor.Models{Vocab: v}
-	if m.Directive, err = core.LoadFile(directive); err != nil {
+	if m.Directive, err = loadClassifier(directive); err != nil {
 		return nil, err
 	}
-	m.MaxLen = m.Directive.Cfg.MaxLen
+	m.MaxLen = m.Directive.MaxSeqLen()
 	if private != "" {
-		if m.Private, err = core.LoadFile(private); err != nil {
+		if m.Private, err = loadClassifier(private); err != nil {
 			return nil, err
 		}
 	}
 	if reduction != "" {
-		if m.Reduction, err = core.LoadFile(reduction); err != nil {
+		if m.Reduction, err = loadClassifier(reduction); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
+}
+
+// loadClassifier reads one classifier artifact, sniffing the format: a
+// PFQNT file (written by `pragformer quantize`) loads as the int8 backend,
+// anything else as a float64 `pragformer train` artifact.
+func loadClassifier(path string) (core.Backend, error) {
+	isQuant, err := quant.SniffFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isQuant {
+		return quant.LoadFile(path)
+	}
+	return core.LoadFile(path)
 }
 
 // trainDemo fits the three classifiers on a generated corpus, sharing one

@@ -26,14 +26,18 @@ import (
 )
 
 // Models bundles the three task classifiers with their shared vocabulary.
-// Private and Reduction may be nil, in which case clause decisions fall back
-// to the dependence analysis alone. The zero MaxLen means
-// core.DefaultMaxLen. Models is safe for concurrent use by multiple
-// goroutines once constructed: suggestions only read the classifiers.
+// The classifiers are core.Backend values, so a bundle can run on the
+// float64 reference backend, the int8 quantized backend, or a mix (e.g. a
+// quantized directive classifier next to float clause classifiers) —
+// WithBackend converts a whole bundle. Private and Reduction may be nil, in
+// which case clause decisions fall back to the dependence analysis alone.
+// The zero MaxLen means core.DefaultMaxLen. Models is safe for concurrent
+// use by multiple goroutines once constructed: suggestions only read the
+// classifiers.
 type Models struct {
-	Directive *core.PragFormer
-	Private   *core.PragFormer
-	Reduction *core.PragFormer
+	Directive core.Backend
+	Private   core.Backend
+	Reduction core.Backend
 	Vocab     *tokenize.Vocab
 	MaxLen    int
 
@@ -67,6 +71,53 @@ func (m *Models) EffectiveMaxLen() int {
 		return m.MaxLen
 	}
 	return core.DefaultMaxLen
+}
+
+// WithBackend returns a bundle whose classifiers all run on the named
+// compute backend. The empty name keeps the bundle as loaded.
+// core.BackendFloat64 requires every classifier to already be float64 (an
+// int8 artifact cannot be dequantized back into a training-grade model).
+// core.BackendInt8 quantizes float classifiers in place of deep conversion
+// — already-quantized ones pass through. The receiver is never mutated;
+// converted bundles share the vocabulary and corroboration settings.
+func (m *Models) WithBackend(name string) (*Models, error) {
+	if name == "" {
+		return m, nil
+	}
+	convert := func(b core.Backend) (core.Backend, error) {
+		if b == nil || b.BackendName() == name {
+			return b, nil
+		}
+		switch name {
+		case core.BackendFloat64:
+			return nil, fmt.Errorf("advisor: cannot serve an %s classifier on the %s backend",
+				b.BackendName(), name)
+		case core.BackendInt8:
+			pf, ok := b.(*core.PragFormer)
+			if !ok {
+				return nil, fmt.Errorf("advisor: cannot quantize a %s classifier", b.BackendName())
+			}
+			return core.Quantize(pf)
+		default:
+			return nil, fmt.Errorf("advisor: unknown backend %q (%s|%s)",
+				name, core.BackendFloat64, core.BackendInt8)
+		}
+	}
+	out := &Models{
+		Vocab: m.Vocab, MaxLen: m.MaxLen,
+		ComPar: m.ComPar, NoCorroborate: m.NoCorroborate,
+	}
+	var err error
+	if out.Directive, err = convert(m.Directive); err != nil {
+		return nil, err
+	}
+	if out.Private, err = convert(m.Private); err != nil {
+		return nil, err
+	}
+	if out.Reduction, err = convert(m.Reduction); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Confidence grades how strongly a suggestion is corroborated.

@@ -2,42 +2,23 @@ package ckpt
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/gob"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 
 	"pragformer/internal/nn"
 )
 
-// Checkpoint wire format, designed so a truncated or bit-flipped file is
-// always detected before a single byte reaches the trainer:
-//
-//	magic   [6]byte  "PFCKPT"
-//	version uint32   little-endian format version
-//	length  uint64   little-endian payload byte count
-//	crc     uint32   little-endian CRC-32C (Castagnoli) of the payload
-//	payload []byte   gob-encoded Snapshot
-//
-// The version gates decoding: files written by a newer format fail with a
-// descriptive error instead of an opaque gob panic. The CRC guards the
-// payload; the length guards against truncation.
+// Checkpoint wire format: a "PFCKPT" frame (see frame.go) whose payload is
+// a gob-encoded Snapshot. The version gates decoding: files written by a
+// newer format fail with a descriptive error instead of an opaque gob
+// panic. The CRC guards the payload; the length guards against truncation.
 
 // FormatVersion is the current checkpoint format version.
 const FormatVersion = 1
 
-// maxPayloadBytes caps the header's length field. The field is untrusted
-// input: a bit-flipped length with an intact magic must produce the same
-// descriptive error as any other corruption, not a multi-exabyte
-// allocation. 4 GiB is orders of magnitude above any checkpoint this
-// repo's CPU-scale models can produce.
-const maxPayloadBytes = 4 << 30
-
-var magic = [6]byte{'P', 'F', 'C', 'K', 'P', 'T'}
-
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
+var magic = []byte("PFCKPT")
 
 // EpochRecord mirrors one train.EpochStats row without importing train
 // (train imports ckpt).
@@ -98,16 +79,7 @@ func (s *Snapshot) Save(w io.Writer) error {
 	if err := gob.NewEncoder(&payload).Encode(s); err != nil {
 		return fmt.Errorf("ckpt: encode snapshot: %w", err)
 	}
-	var hdr [22]byte
-	copy(hdr[:6], magic[:])
-	binary.LittleEndian.PutUint32(hdr[6:10], FormatVersion)
-	binary.LittleEndian.PutUint64(hdr[10:18], uint64(payload.Len()))
-	binary.LittleEndian.PutUint32(hdr[18:22], crc32.Checksum(payload.Bytes(), crcTable))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload.Bytes())
-	return err
+	return WriteFramed(w, magic, FormatVersion, payload.Bytes())
 }
 
 // SaveFile writes the snapshot to path atomically.
@@ -118,34 +90,12 @@ func (s *Snapshot) SaveFile(path string) error {
 // Load reads a snapshot written by Save, verifying magic, version, length,
 // and CRC before decoding.
 func Load(r io.Reader) (*Snapshot, error) {
-	var hdr [22]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ckpt: truncated header: %w", err)
-	}
-	if !bytes.Equal(hdr[:6], magic[:]) {
-		return nil, fmt.Errorf("ckpt: bad magic %q — not a checkpoint file", hdr[:6])
-	}
-	version := binary.LittleEndian.Uint32(hdr[6:10])
-	if version > FormatVersion {
-		return nil, fmt.Errorf("ckpt: file written by a newer format (version %d, this build reads <= %d)", version, FormatVersion)
-	}
-	length := binary.LittleEndian.Uint64(hdr[10:18])
-	wantCRC := binary.LittleEndian.Uint32(hdr[18:22])
-	if length > maxPayloadBytes {
-		return nil, fmt.Errorf("ckpt: implausible payload length %d (file corrupt)", length)
-	}
-	// Grow the buffer from what the reader actually delivers instead of
-	// trusting the length field with one up-front allocation: a corrupt
-	// length on a short file errors out after reading the real bytes.
-	var payload bytes.Buffer
-	if n, err := io.CopyN(&payload, r, int64(length)); err != nil {
-		return nil, fmt.Errorf("ckpt: truncated payload (read %d of %d bytes): %w", n, length, err)
-	}
-	if got := crc32.Checksum(payload.Bytes(), crcTable); got != wantCRC {
-		return nil, fmt.Errorf("ckpt: payload CRC mismatch (file corrupt): got %08x want %08x", got, wantCRC)
+	payload, err := ReadFramed(r, magic, FormatVersion, "checkpoint")
+	if err != nil {
+		return nil, err
 	}
 	var s Snapshot
-	if err := gob.NewDecoder(&payload).Decode(&s); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("ckpt: decode snapshot: %w", err)
 	}
 	return &s, nil

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"pragformer/internal/quant"
+)
+
+// Backend names, as selected by serving configuration and reported by
+// health probes.
+const (
+	BackendFloat64 = "float64"
+	BackendInt8    = "int8"
+)
+
+// Backend is the inference surface the upper layers — advisor, serve,
+// experiments, the CLIs — program against, decoupling them from the
+// numeric representation underneath. Two implementations exist: the float64
+// *PragFormer itself (the training master), and the int8 *quant.Model
+// produced by Quantize.
+//
+// Contract: every method must be safe for concurrent use — the serving
+// layer shares one Backend value across replica workers (float models are
+// additionally deep-copied per replica, but that is a locality
+// optimization, not a requirement). An implementation that mutates state
+// during inference does not satisfy this interface.
+type Backend interface {
+	// BackendName identifies the compute backend ("float64" | "int8").
+	BackendName() string
+	// VocabSize is the embeddable vocabulary size; ids must be in
+	// [0, VocabSize).
+	VocabSize() int
+	// MaxSeqLen is the input position budget; longer sequences truncate.
+	MaxSeqLen() int
+
+	Predict(ids []int) float64
+	PredictLabel(ids []int) bool
+	PredictBatch(idsBatch [][]int) []float64
+	PredictBatchProbs(idsBatch [][]int) [][2]float64
+	PredictLabelBatch(idsBatch [][]int) []bool
+}
+
+// Both backends must satisfy the interface.
+var (
+	_ Backend = (*PragFormer)(nil)
+	_ Backend = (*quant.Model)(nil)
+)
+
+// BackendName identifies the float64 reference backend (Backend).
+func (m *PragFormer) BackendName() string { return BackendFloat64 }
+
+// VocabSize reports the embeddable vocabulary size (Backend).
+func (m *PragFormer) VocabSize() int { return m.Cfg.Vocab }
+
+// MaxSeqLen reports the input position budget (Backend).
+func (m *PragFormer) MaxSeqLen() int { return m.Cfg.MaxLen }
+
+// Quantize converts a trained model into the int8 inference backend:
+// per-channel symmetric absmax quantization of every linear and attention
+// weight matrix, calibrated once from the weights at quantize time (see
+// internal/quant). The float model is left untouched; the returned bundle
+// is inference-only.
+func Quantize(m *PragFormer) (*quant.Model, error) {
+	q, err := quant.FromNN(quant.Config{
+		Vocab: m.Cfg.Vocab, MaxLen: m.Cfg.MaxLen, D: m.Cfg.D, Heads: m.Cfg.Heads,
+		Layers: m.Cfg.Layers, FFHidden: m.Cfg.FFHidden, FCHidden: m.Cfg.FCHidden,
+	}, m.Emb, m.Blocks, m.FinalLN, m.FC1, m.FC2)
+	if err != nil {
+		return nil, fmt.Errorf("core: quantize: %w", err)
+	}
+	return q, nil
+}

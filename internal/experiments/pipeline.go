@@ -454,12 +454,18 @@ func (p *Pipeline) BoW(task dataset.Task) *bow.Model {
 // EvalModel scores a trained PragFormer on instances through the batched
 // forward path.
 func (p *Pipeline) EvalModel(t *Trained, ins []dataset.Instance, repr tokenize.Representation) metrics.Confusion {
+	return p.EvalBackend(t.Model, ins, repr)
+}
+
+// EvalBackend scores any inference backend (float64 or int8) on instances
+// through the batched forward path — the quant study compares the two.
+func (p *Pipeline) EvalBackend(b core.Backend, ins []dataset.Instance, repr tokenize.Representation) metrics.Confusion {
 	v := p.Vocab(repr)
 	ids := make([][]int, len(ins))
 	for i, in := range ins {
 		ids[i] = v.Encode(p.Tokens(in.Rec, repr), p.P.MaxLen)
 	}
-	labels := predictLabels(t.Model, ids)
+	labels := predictLabels(b, ids)
 	var c metrics.Confusion
 	for i, in := range ins {
 		c.Add(labels[i], in.Label)
@@ -473,7 +479,7 @@ const evalBatch = 64
 
 // predictLabels runs PredictLabelBatch in bounded chunks, preserving input
 // order.
-func predictLabels(m *core.PragFormer, ids [][]int) []bool {
+func predictLabels(m core.Backend, ids [][]int) []bool {
 	out := make([]bool, 0, len(ids))
 	for start := 0; start < len(ids); start += evalBatch {
 		end := min(start+evalBatch, len(ids))

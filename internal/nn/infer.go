@@ -40,6 +40,17 @@ func (e *Embedding) ForwardBatchInto(dst *tensor.Matrix, seqs [][]int) {
 	}
 }
 
+// maxSeqLen returns the longest sequence length in a ragged batch layout.
+func maxSeqLen(offs []int) int {
+	maxT := 1 // never zero: scratch slicing needs a non-empty buffer
+	for s := 0; s+1 < len(offs); s++ {
+		if T := offs[s+1] - offs[s]; T > maxT {
+			maxT = T
+		}
+	}
+	return maxT
+}
+
 // ApplyInto computes dst = x·W + b without retaining a cache. dst must not
 // alias x; it is fully assigned.
 func (l *Linear) ApplyInto(dst, x *tensor.Matrix) {
@@ -99,13 +110,20 @@ func (m *MultiHeadAttention) ApplyBatchInto(dst, x *tensor.Matrix, offs []int) {
 	m.WV.ApplyInto(v, x)
 	concat := tensor.GetMatrix(x.Rows, m.D) // zeroed: attention rows accumulate
 
+	// One score scratch sized for the longest sequence serves every
+	// sequence of the batch as a T×T view — per-sequence pool traffic for
+	// matrices too small to pool was the batch path's last allocation
+	// hot spot.
+	maxT := maxSeqLen(offs)
+	scoresBuf := tensor.GetVecDirty(maxT * maxT)
+	var scores tensor.Matrix
 	for s := 0; s+1 < len(offs); s++ {
 		lo, hi := offs[s], offs[s+1]
 		T := hi - lo
 		if T == 0 {
 			continue
 		}
-		scores := tensor.GetMatrixDirty(T, T)
+		scores = tensor.Matrix{Rows: T, Cols: T, Data: scoresBuf[:T*T]}
 		for h := 0; h < m.Heads; h++ {
 			for i := 0; i < T; i++ {
 				qi := headSlice(q, lo+i, h, dh)
@@ -114,7 +132,7 @@ func (m *MultiHeadAttention) ApplyBatchInto(dst, x *tensor.Matrix, offs []int) {
 					srow[j] = tensor.Dot(qi, headSlice(k, lo+j, h, dh)) * scale
 				}
 			}
-			tensor.RowSoftmax(scores)
+			tensor.RowSoftmax(&scores)
 			for i := 0; i < T; i++ {
 				orow := headSlice(concat, lo+i, h, dh)
 				arow := scores.Row(i)
@@ -123,8 +141,8 @@ func (m *MultiHeadAttention) ApplyBatchInto(dst, x *tensor.Matrix, offs []int) {
 				}
 			}
 		}
-		tensor.PutMatrix(scores)
 	}
+	tensor.PutVec(scoresBuf)
 	m.WO.ApplyInto(dst, concat)
 	tensor.PutMatrix(concat)
 	tensor.PutMatrix(v)
@@ -156,27 +174,29 @@ func (m *MultiHeadAttention) ApplyCLSInto(dst, x *tensor.Matrix, offs []int) {
 	tensor.PutMatrix(xcls)
 
 	concat := tensor.GetMatrix(B, m.D) // zeroed: attention rows accumulate
+	scoresBuf := tensor.GetVecDirty(maxSeqLen(offs))
+	var scores tensor.Matrix
 	for s := 0; s < B; s++ {
 		lo, hi := offs[s], offs[s+1]
 		T := hi - lo
 		if T == 0 {
 			continue
 		}
-		scores := tensor.GetMatrixDirty(1, T)
+		scores = tensor.Matrix{Rows: 1, Cols: T, Data: scoresBuf[:T]}
 		for h := 0; h < m.Heads; h++ {
 			qi := headSlice(q, s, h, dh)
 			srow := scores.Row(0)
 			for j := 0; j < T; j++ {
 				srow[j] = tensor.Dot(qi, headSlice(k, lo+j, h, dh)) * scale
 			}
-			tensor.RowSoftmax(scores)
+			tensor.RowSoftmax(&scores)
 			orow := headSlice(concat, s, h, dh)
 			for j := 0; j < T; j++ {
 				tensor.Axpy(srow[j], headSlice(v, lo+j, h, dh), orow)
 			}
 		}
-		tensor.PutMatrix(scores)
 	}
+	tensor.PutVec(scoresBuf)
 	m.WO.ApplyInto(dst, concat)
 	tensor.PutMatrix(concat)
 	tensor.PutMatrix(v)

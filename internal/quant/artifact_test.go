@@ -1,0 +1,228 @@
+package quant
+
+// PFQNT corrupt/truncated-artifact table tests, mirroring
+// internal/core/corrupt_test.go at both layers of the format: the frame
+// (magic, version, length, CRC) and the gob manifest inside it. Every
+// mutilation must produce a descriptive error — never a panic and never a
+// silently partial model.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pragformer/internal/ckpt"
+	"pragformer/internal/tensor"
+)
+
+// testConfig is a small two-layer architecture.
+func testConfig() Config {
+	return Config{Vocab: 60, MaxLen: 24, D: 16, Heads: 4, Layers: 2, FFHidden: 32, FCHidden: 16}
+}
+
+// randModel builds a skeleton and fills every tensor with random values, so
+// round-trip comparisons can't pass on zeroed buffers.
+func randModel(cfg Config, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := newSkeleton(cfg)
+	m.walk(
+		func(name string, t *tensor.Int8Matrix) {
+			for i := range t.Data {
+				t.Data[i] = int8(rng.Intn(255) - 127)
+			}
+			for i := range t.Scales {
+				t.Scales[i] = float32(rng.Float64() + 0.01)
+			}
+		},
+		func(name string, rows, cols int, data []float64) {
+			for i := range data {
+				data[i] = rng.NormFloat64()
+			}
+		},
+	)
+	for _, ln := range m.layerNorms() {
+		ln.Eps = 1e-5
+	}
+	return m
+}
+
+// TestArtifactRoundTrip checks Save/Load reproduces the model exactly.
+func TestArtifactRoundTrip(t *testing.T) {
+	m := randModel(testConfig(), 31)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("round-tripped model differs from original")
+	}
+}
+
+// TestArtifactFileRoundTrip checks the atomic file path and the magic
+// sniffer.
+func TestArtifactFileRoundTrip(t *testing.T) {
+	m := randModel(testConfig(), 32)
+	path := filepath.Join(t.TempDir(), "model.pfq")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatal("file round-tripped model differs from original")
+	}
+	if ok, err := SniffFile(path); err != nil || !ok {
+		t.Fatalf("SniffFile(%s) = %v, %v; want true", path, ok, err)
+	}
+	other := filepath.Join(t.TempDir(), "not.pfq")
+	if err := ckpt.WriteFileAtomic(other, func(w io.Writer) error {
+		_, err := w.Write([]byte("definitely not a quantized model"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := SniffFile(other); err != nil || ok {
+		t.Fatalf("SniffFile on a non-PFQNT file = %v, %v; want false", ok, err)
+	}
+}
+
+// encodeArtifact frames a (possibly mutated) artifactFile.
+func encodeArtifact(t *testing.T, af artifactFile) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(af); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := ckpt.WriteFramed(&out, magic, FormatVersion, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	return out.Bytes()
+}
+
+// wireArtifact dumps a model into its artifactFile form for mutilation,
+// deep-copying the slices so mutations cannot leak back into the model.
+func wireArtifact(m *Model) artifactFile {
+	af := artifactFile{Cfg: m.Cfg, Eps: m.FinalLN.Eps}
+	m.walk(
+		func(name string, tm *tensor.Int8Matrix) {
+			af.QNames = append(af.QNames, name)
+			af.QShapes = append(af.QShapes, [2]int{tm.Rows, tm.Cols})
+			af.QData = append(af.QData, append([]int8(nil), tm.Data...))
+			af.QScales = append(af.QScales, append([]float32(nil), tm.Scales...))
+		},
+		func(name string, rows, cols int, data []float64) {
+			af.FNames = append(af.FNames, name)
+			af.FShapes = append(af.FShapes, [2]int{rows, cols})
+			af.FData = append(af.FData, append([]float64(nil), data...))
+		},
+	)
+	return af
+}
+
+// TestLoadRejectsCorruptArtifacts is the manifest-level corruption table.
+func TestLoadRejectsCorruptArtifacts(t *testing.T) {
+	m := randModel(testConfig(), 33)
+
+	cases := []struct {
+		name   string
+		mutate func(*artifactFile)
+		want   string // substring the error must carry
+	}{
+		{"missing int8 tensor", func(af *artifactFile) {
+			af.QNames = af.QNames[:len(af.QNames)-1]
+			af.QShapes = af.QShapes[:len(af.QShapes)-1]
+			af.QData = af.QData[:len(af.QData)-1]
+			af.QScales = af.QScales[:len(af.QScales)-1]
+		}, "int8 tensors"},
+		{"int8 manifest skew", func(af *artifactFile) { af.QNames = af.QNames[:len(af.QNames)-1] }, "names"},
+		{"float manifest skew", func(af *artifactFile) { af.FData = af.FData[:len(af.FData)-1] }, "float names"},
+		{"renamed int8 tensor", func(af *artifactFile) { af.QNames[2] = "bogus" }, "name"},
+		{"renamed float tensor", func(af *artifactFile) { af.FNames[1] = "bogus" }, "name"},
+		{"wrong int8 shape", func(af *artifactFile) { af.QShapes[1] = [2]int{1, 1} }, "shape"},
+		{"wrong float shape", func(af *artifactFile) { af.FShapes[0] = [2]int{1, 1} }, "shape"},
+		{"truncated int8 data", func(af *artifactFile) { af.QData[3] = af.QData[3][:1] }, "truncated"},
+		{"truncated float data", func(af *artifactFile) { af.FData[0] = af.FData[0][:1] }, "truncated"},
+		{"scale count mismatch", func(af *artifactFile) { af.QScales[0] = af.QScales[0][:1] }, "scales"},
+		{"invalid config", func(af *artifactFile) { af.Cfg.Heads = 0 }, "config"},
+		{"extra int8 tensor", func(af *artifactFile) {
+			af.QNames = append(af.QNames, "extra.W")
+			af.QShapes = append(af.QShapes, [2]int{1, 1})
+			af.QData = append(af.QData, []int8{1})
+			af.QScales = append(af.QScales, []float32{1})
+		}, "int8 tensors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			af := wireArtifact(m)
+			tc.mutate(&af)
+			_, err := Load(bytes.NewReader(encodeArtifact(t, af)))
+			if err == nil {
+				t.Fatal("corrupt artifact loaded without error")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadRejectsCorruptFrames is the frame-level corruption table.
+func TestLoadRejectsCorruptFrames(t *testing.T) {
+	m := randModel(testConfig(), 34)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	bitFlip := append([]byte(nil), good...)
+	bitFlip[len(bitFlip)-3] ^= 0x40
+	future := wireArtifact(m)
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(future); err != nil {
+		t.Fatal(err)
+	}
+	var futureBuf bytes.Buffer
+	if err := ckpt.WriteFramed(&futureBuf, magic, FormatVersion+9, payload.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated header"},
+		{"short header", good[:8], "truncated header"},
+		{"header only", good[:21], "truncated payload"},
+		{"truncated payload", good[:len(good)-7], "truncated payload"},
+		{"bad magic", badMagic, "not a quantized model"},
+		{"payload bit flip", bitFlip, "CRC mismatch"},
+		{"newer version", futureBuf.Bytes(), "newer format"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("corrupt frame loaded without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,243 @@
+// Package quant is the int8 quantized inference backend: a post-training,
+// per-channel symmetric quantization of PragFormer's linear and attention
+// weight matrices, a batch-first forward stack structurally identical to
+// the float64 one in nn/infer.go (so parity tests can diff the two layer by
+// layer), and a framed PFQNT artifact format for persisting quantized
+// bundles (artifact.go).
+//
+// Scheme: each weight matrix is stored transposed (one output channel per
+// row) with one float32 scale per channel, scale_c = max_k |W[k][c]| / 127,
+// computed once at quantize time. Activations are quantized dynamically per
+// row with the same absmax scheme at inference time, the matmul accumulates
+// int8×int8 products in int32, and the result is dequantized through the
+// float32 scale product (tensor.MatMulInt8BTInto). Everything that is not a
+// weight matmul — embeddings, layer norms, residuals, attention
+// score/softmax/value mixing, biases — stays in float64, exactly as the
+// float path computes it.
+//
+// The quantized model is inference-only and safe for concurrent use: the
+// forward passes only read the weights, so the serving layer shares one
+// model across replica workers instead of deep-copying it.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"pragformer/internal/nn"
+	"pragformer/internal/tensor"
+)
+
+// Config mirrors the architecture knobs inference needs from core.Config.
+// (The quantizer in core copies them over; quant cannot import core, which
+// imports quant.)
+type Config struct {
+	Vocab    int
+	MaxLen   int
+	D        int
+	Heads    int
+	Layers   int
+	FFHidden int
+	FCHidden int
+}
+
+// validate rejects configs no artifact or quantizer should ever produce.
+func (c Config) validate() error {
+	if c.Vocab <= 0 || c.MaxLen <= 0 || c.D <= 0 || c.Heads <= 0 ||
+		c.Layers <= 0 || c.FFHidden <= 0 || c.FCHidden <= 0 {
+		return fmt.Errorf("quant: invalid config %+v", c)
+	}
+	if c.D%c.Heads != 0 {
+		return fmt.Errorf("quant: D %d not divisible by heads %d", c.D, c.Heads)
+	}
+	return nil
+}
+
+// Linear is a quantized y = x·W + b layer: the weight is int8 per output
+// channel (stored transposed, channel rows), the bias stays float64.
+type Linear struct {
+	Wq *tensor.Int8Matrix // out×in, per-channel scales
+	B  []float64          // out
+}
+
+// QuantizeLinear converts a float linear layer: per-channel symmetric
+// absmax scales over each output channel (a column of the in×out weight),
+// values rounded to the nearest int8 step. An all-zero channel gets scale 1.
+func QuantizeLinear(l *nn.Linear) *Linear {
+	w := l.W.W // in×out
+	in, out := w.Rows, w.Cols
+	q := &Linear{
+		Wq: tensor.NewInt8(out, in),
+		B:  append([]float64(nil), l.B.W.Row(0)...),
+	}
+	for c := 0; c < out; c++ {
+		amax := 0.0
+		for k := 0; k < in; k++ {
+			if a := math.Abs(w.At(k, c)); a > amax {
+				amax = a
+			}
+		}
+		qrow := q.Wq.Row(c)
+		if amax == 0 {
+			q.Wq.Scales[c] = 1
+			continue // NewInt8 zeroed the row
+		}
+		scale := amax / 127
+		q.Wq.Scales[c] = float32(scale)
+		inv := 1 / scale
+		for k := 0; k < in; k++ {
+			qrow[k] = int8(math.Round(w.At(k, c) * inv))
+		}
+	}
+	return q
+}
+
+// Dequantize reconstructs the float weight matrix (in×out) the quantized
+// layer represents — the reference the parity tests diff against.
+func (l *Linear) Dequantize() *tensor.Matrix {
+	out, in := l.Wq.Rows, l.Wq.Cols
+	w := tensor.New(in, out)
+	for c := 0; c < out; c++ {
+		s := float64(l.Wq.Scales[c])
+		qrow := l.Wq.Row(c)
+		for k := 0; k < in; k++ {
+			w.Set(k, c, float64(qrow[k])*s)
+		}
+	}
+	return w
+}
+
+// ApplyInto mirrors nn.Linear.ApplyInto: dst = x·W + b, with x dynamically
+// quantized per row. dst must not alias x; it is fully assigned.
+func (l *Linear) ApplyInto(dst, x *tensor.Matrix) {
+	xq := tensor.GetInt8Matrix(x.Rows, x.Cols)
+	tensor.QuantizeRowsInto(xq, x)
+	l.ApplyQuantizedInto(dst, xq)
+	tensor.PutInt8Matrix(xq)
+}
+
+// ApplyQuantizedInto runs the int8 kernel over an already-quantized input.
+// Attention quantizes its input once and shares it across the Q/K/V
+// projections — three matmuls for one quantization pass.
+func (l *Linear) ApplyQuantizedInto(dst *tensor.Matrix, xq *tensor.Int8Matrix) {
+	tensor.MatMulInt8BTInto(dst, xq, l.Wq)
+	for i := 0; i < dst.Rows; i++ {
+		tensor.Axpy(1, l.B, dst.Row(i))
+	}
+}
+
+// LayerNorm carries the float layer-norm parameters; its arithmetic is the
+// float path's exactly (quantization never touches normalization).
+type LayerNorm struct {
+	Gamma, Beta []float64
+	Eps         float64
+}
+
+// FromLayerNorm copies a float layer norm.
+func FromLayerNorm(ln *nn.LayerNorm) *LayerNorm {
+	return &LayerNorm{
+		Gamma: append([]float64(nil), ln.Gamma.W.Row(0)...),
+		Beta:  append([]float64(nil), ln.Beta.W.Row(0)...),
+		Eps:   ln.Eps,
+	}
+}
+
+// ApplyInto normalizes x row-wise into dst, mirroring
+// nn.LayerNorm.ApplyInto bit for bit. dst may alias x.
+func (ln *LayerNorm) ApplyInto(dst, x *tensor.Matrix) {
+	d := x.Cols
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		vr := 0.0
+		for _, v := range row {
+			dv := v - mean
+			vr += dv * dv
+		}
+		vr /= float64(d)
+		inv := 1 / math.Sqrt(vr+ln.Eps)
+		or := dst.Row(i)
+		for j, v := range row {
+			xh := (v - mean) * inv
+			or[j] = xh*ln.Gamma[j] + ln.Beta[j]
+		}
+	}
+}
+
+// Attention is the quantized multi-head self-attention: projections run
+// through int8 linears, score/softmax/value mixing stays float64.
+type Attention struct {
+	WQ, WK, WV, WO *Linear
+	Heads, D       int
+}
+
+// Block is one quantized encoder block, shaped like nn.EncoderBlock.
+type Block struct {
+	LN1, LN2 *LayerNorm
+	Attn     *Attention
+	FF1, FF2 *Linear
+}
+
+// Model is the quantized PragFormer classifier: float embeddings and layer
+// norms, int8 linear/attention weights, and the batch-first forward stack
+// of infer.go.
+type Model struct {
+	Cfg     Config
+	Tok     *tensor.Matrix // vocab × D token embeddings
+	Pos     *tensor.Matrix // maxLen × D positional embeddings
+	Blocks  []*Block
+	FinalLN *LayerNorm
+	FC1     *Linear
+	FC2     *Linear
+}
+
+// FromNN quantizes a float model given its pieces. core.Quantize is the
+// caller; it passes the classifier surface (the MLM pretraining head is
+// training-only and is not carried into the quantized bundle).
+func FromNN(cfg Config, emb *nn.Embedding, blocks []*nn.EncoderBlock,
+	finalLN *nn.LayerNorm, fc1, fc2 *nn.Linear) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(blocks) != cfg.Layers {
+		return nil, fmt.Errorf("quant: %d blocks for %d configured layers", len(blocks), cfg.Layers)
+	}
+	m := &Model{
+		Cfg:     cfg,
+		Tok:     emb.Tok.W.Clone(),
+		Pos:     emb.Pos.W.Clone(),
+		FinalLN: FromLayerNorm(finalLN),
+		FC1:     QuantizeLinear(fc1),
+		FC2:     QuantizeLinear(fc2),
+	}
+	for _, b := range blocks {
+		m.Blocks = append(m.Blocks, &Block{
+			LN1: FromLayerNorm(b.LN1),
+			LN2: FromLayerNorm(b.LN2),
+			Attn: &Attention{
+				WQ:    QuantizeLinear(b.Attn.WQ),
+				WK:    QuantizeLinear(b.Attn.WK),
+				WV:    QuantizeLinear(b.Attn.WV),
+				WO:    QuantizeLinear(b.Attn.WO),
+				Heads: b.Attn.Heads,
+				D:     b.Attn.D,
+			},
+			FF1: QuantizeLinear(b.FF.L1),
+			FF2: QuantizeLinear(b.FF.L2),
+		})
+	}
+	return m, nil
+}
+
+// BackendName identifies the compute backend (core.Backend).
+func (m *Model) BackendName() string { return "int8" }
+
+// VocabSize reports the embeddable vocabulary size (core.Backend).
+func (m *Model) VocabSize() int { return m.Cfg.Vocab }
+
+// MaxSeqLen reports the input position budget (core.Backend).
+func (m *Model) MaxSeqLen() int { return m.Cfg.MaxLen }

@@ -1,0 +1,153 @@
+package serve
+
+// Backend-selection tests: an int8 engine must answer exactly what the
+// quantized model answers directly, report its backend and generation to
+// probes, and keep the backend across hot reloads (re-quantizing the
+// freshly loaded float bundle).
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+
+	"pragformer/internal/core"
+)
+
+func TestEngineInt8Backend(t *testing.T) {
+	models := testModels(t)
+	directive, ok := models.Directive.(*core.PragFormer)
+	if !ok {
+		t.Fatal("test bundle is not float")
+	}
+	q, err := core.Quantize(directive)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(models, Config{MaxBatch: 8, MaxWait: time.Millisecond, Replicas: 2, Backend: core.BackendInt8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	if got := e.Stats().Backend; got != core.BackendInt8 {
+		t.Fatalf("Stats.Backend = %q, want %q", got, core.BackendInt8)
+	}
+	if got := e.Models().Directive.BackendName(); got != core.BackendInt8 {
+		t.Fatalf("served directive backend = %q", got)
+	}
+
+	pool := randIDs(rand.New(rand.NewSource(41)), 20, 64, models.Directive.VocabSize())
+	for i, ids := range pool {
+		got, err := e.Predict(context.Background(), ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := q.Predict(ids); got != want {
+			t.Errorf("seq %d: engine %v != quantized model %v", i, got, want)
+		}
+	}
+}
+
+func TestEngineFloatBackendRejectsQuantArtifacts(t *testing.T) {
+	models := testModels(t)
+	q, err := core.Quantize(models.Directive.(*core.PragFormer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models.Directive = q
+	if _, err := New(models, Config{Backend: core.BackendFloat64}); err == nil {
+		t.Fatal("float64 engine accepted an int8 artifact")
+	}
+}
+
+func TestEngineUnknownBackend(t *testing.T) {
+	if _, err := New(testModels(t), Config{Backend: "float16"}); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestReloadKeepsBackend ships a float bundle to an int8 engine via Reload
+// and checks the swap re-quantized it, bumped the generation, and kept
+// serving quantized answers.
+func TestReloadKeepsBackend(t *testing.T) {
+	old := testModelsSeed(t, 5)
+	fresh := testModelsSeed(t, 6)
+	qFresh, err := core.Quantize(fresh.Directive.(*core.PragFormer))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, err := New(old, Config{MaxWait: time.Millisecond, Backend: core.BackendInt8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if gen := e.Stats().Generation; gen != 0 {
+		t.Fatalf("fresh engine at generation %d", gen)
+	}
+
+	if err := e.Reload(fresh); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Backend != core.BackendInt8 {
+		t.Errorf("backend after reload = %q, want int8", st.Backend)
+	}
+	if st.Generation != 1 || st.Reloads != 1 {
+		t.Errorf("generation %d / reloads %d after one reload", st.Generation, st.Reloads)
+	}
+	ids := randIDs(rand.New(rand.NewSource(42)), 1, 64, fresh.Directive.VocabSize())[0]
+	got, err := e.Predict(context.Background(), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := qFresh.Predict(ids); got != want {
+		t.Errorf("post-reload predict %v != re-quantized bundle %v", got, want)
+	}
+}
+
+// TestHealthzReportsBackendAndGeneration covers the probe surface: backend
+// name and model generation at top level, matching Stats.
+func TestHealthzReportsBackendAndGeneration(t *testing.T) {
+	e, srv := httpEngine(t)
+	var resp struct {
+		Status     string `json:"status"`
+		Backend    string `json:"backend"`
+		Generation uint64 `json:"generation"`
+		Stats      Stats  `json:"stats"`
+	}
+	get := func() {
+		t.Helper()
+		r, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("healthz status %d", r.StatusCode)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get()
+	if resp.Status != "ok" || resp.Backend != core.BackendFloat64 || resp.Generation != 0 {
+		t.Fatalf("healthz = %+v", resp)
+	}
+	if resp.Stats.Backend != resp.Backend || resp.Stats.Generation != resp.Generation {
+		t.Fatalf("healthz top level disagrees with stats: %+v", resp)
+	}
+
+	// A reload must be visible to probes as a generation bump.
+	if err := e.Reload(testModelsSeed(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	get()
+	if resp.Generation != 1 {
+		t.Fatalf("generation after reload = %d, want 1", resp.Generation)
+	}
+}

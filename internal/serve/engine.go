@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"pragformer/internal/advisor"
+	"pragformer/internal/core"
 	"pragformer/internal/tokenize"
 )
 
@@ -54,6 +55,13 @@ type Config struct {
 	// Seed derives replica clone seeds (inference never draws from them,
 	// but clones reseed their dropout streams).
 	Seed int64
+	// Backend selects the compute backend every served classifier runs on:
+	// core.BackendFloat64, core.BackendInt8, or empty to serve bundles as
+	// loaded. The selection is per engine and sticky: a hot reload converts
+	// the freshly loaded bundle to the same backend before the swap, so a
+	// float artifact shipped to an int8 engine is quantized on every
+	// (re)load. Surfaced by Stats and GET /healthz.
+	Backend string
 	// Source, when set, produces a fresh model bundle for
 	// ReloadFromSource — the POST /reload and SIGHUP path. It runs off
 	// the request path (loading artifacts or retraining may be slow);
@@ -99,6 +107,12 @@ type Stats struct {
 	Suggest PathStats
 	// Reloads counts completed hot model swaps.
 	Reloads uint64
+	// Generation is the model generation currently serving: 0 for the
+	// bundle the engine started with, bumped by every completed reload.
+	Generation uint64
+	// Backend names the compute backend of the served directive classifier
+	// ("float64" | "int8").
+	Backend string
 }
 
 // call is one queued request.
@@ -303,6 +317,10 @@ func New(models *advisor.Models, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	cfg.fillDefaults()
+	models, err := models.WithBackend(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	e := &Engine{cfg: cfg, done: make(chan struct{})}
 	e.models.Store(models)
 
@@ -329,7 +347,7 @@ func (e *Engine) buildRuns(models *advisor.Models) ([]func([][]int) []float64, [
 	// from deep copies, so Replicas batches can run truly concurrently.
 	predictRuns := make([]func([][]int) []float64, e.cfg.Replicas)
 	directive := models.Directive
-	vocab := directive.Cfg.Vocab
+	vocab := directive.VocabSize()
 	wrap := func(run func([][]int) []float64) func([][]int) []float64 {
 		return func(batch [][]int) []float64 {
 			// Requests are validated against the bundle that was current
@@ -343,7 +361,14 @@ func (e *Engine) buildRuns(models *advisor.Models) ([]func([][]int) []float64, [
 	}
 	predictRuns[0] = wrap(directive.PredictBatch)
 	for r := 1; r < e.cfg.Replicas; r++ {
-		replica := directive.Clone(e.cfg.Seed + int64(r))
+		// Float models are deep-copied per replica; other backends (the
+		// quantized model) are immutable at inference time and shared —
+		// one of quantization's selling points is that replicas cost no
+		// extra memory.
+		replica := directive
+		if pf, ok := directive.(*core.PragFormer); ok {
+			replica = pf.Clone(e.cfg.Seed + int64(r))
+		}
 		predictRuns[r] = wrap(replica.PredictBatch)
 	}
 
@@ -391,6 +416,13 @@ func sanitizeIDs(batch [][]int, vocab int) {
 func (e *Engine) Reload(models *advisor.Models) error {
 	if err := validateModels(models); err != nil {
 		return err
+	}
+	// The engine's backend selection outlives any one bundle: convert the
+	// incoming models (quantizing float classifiers on an int8 engine)
+	// before anything is swapped.
+	models, err := models.WithBackend(e.cfg.Backend)
+	if err != nil {
+		return fmt.Errorf("serve: reload: %w", err)
 	}
 	e.reloadMu.Lock()
 	defer e.reloadMu.Unlock()
@@ -458,9 +490,16 @@ func (e *Engine) Suggest(ctx context.Context, code string) (*advisor.Suggestion,
 // request sees one coherent bundle.
 func (e *Engine) Models() *advisor.Models { return e.models.Load() }
 
-// Stats snapshots the engine counters.
+// Stats snapshots the engine counters, the serving model generation, and
+// the compute backend name.
 func (e *Engine) Stats() Stats {
-	return Stats{Predict: e.predict.stats(), Suggest: e.suggest.stats(), Reloads: e.reloads.Load()}
+	return Stats{
+		Predict:    e.predict.stats(),
+		Suggest:    e.suggest.stats(),
+		Reloads:    e.reloads.Load(),
+		Generation: e.predict.cur.Load().gen,
+		Backend:    e.models.Load().Directive.BackendName(),
+	}
 }
 
 // Close stops the dispatchers and workers and waits for them to exit.

@@ -52,7 +52,7 @@ func TestEnginePredictParity(t *testing.T) {
 	}
 	defer e.Close()
 
-	pool := randIDs(rand.New(rand.NewSource(13)), 30, 64, models.Directive.Cfg.Vocab)
+	pool := randIDs(rand.New(rand.NewSource(13)), 30, 64, models.Directive.VocabSize())
 	want := make([]float64, len(pool))
 	for i, ids := range pool {
 		want[i] = models.Directive.Predict(ids)
@@ -105,7 +105,7 @@ func TestEngineCoalesces(t *testing.T) {
 	}
 	defer e.Close()
 
-	pool := randIDs(rand.New(rand.NewSource(14)), 6, 32, models.Directive.Cfg.Vocab)
+	pool := randIDs(rand.New(rand.NewSource(14)), 6, 32, models.Directive.VocabSize())
 	var wg sync.WaitGroup
 	for _, ids := range pool {
 		wg.Add(1)
@@ -135,7 +135,7 @@ func TestEngineCache(t *testing.T) {
 	}
 	defer e.Close()
 
-	ids := randIDs(rand.New(rand.NewSource(15)), 1, 32, models.Directive.Cfg.Vocab)[0]
+	ids := randIDs(rand.New(rand.NewSource(15)), 1, 32, models.Directive.VocabSize())[0]
 	first, err := e.Predict(context.Background(), ids)
 	if err != nil {
 		t.Fatal(err)
@@ -231,7 +231,7 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	defer e.Close()
 
-	pool := randIDs(rand.New(rand.NewSource(16)), 256, 64, models.Directive.Cfg.Vocab)
+	pool := randIDs(rand.New(rand.NewSource(16)), 256, 64, models.Directive.VocabSize())
 	b.ReportAllocs()
 	b.SetParallelism(8)
 	b.ResetTimer()

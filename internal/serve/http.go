@@ -52,10 +52,15 @@ type suggestResult struct {
 	Error       string   `json:"error,omitempty"`
 }
 
-// healthzResponse is the /healthz body.
+// healthzResponse is the /healthz body. Backend and Generation surface the
+// compute backend and the serving model generation to probes, so a rollout
+// can verify a reload actually took (generation bumped) and which numeric
+// path answers traffic.
 type healthzResponse struct {
-	Status string `json:"status"`
-	Stats  Stats  `json:"stats"`
+	Status     string `json:"status"`
+	Backend    string `json:"backend"`
+	Generation uint64 `json:"generation"`
+	Stats      Stats  `json:"stats"`
 }
 
 // Handler returns the engine's HTTP API.
@@ -87,7 +92,7 @@ func (e *Engine) validateIDs(ids []int) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("empty id sequence")
 	}
-	vocab := e.Models().Directive.Cfg.Vocab
+	vocab := e.Models().Directive.VocabSize()
 	for _, id := range ids {
 		if id < 0 || id >= vocab {
 			return fmt.Errorf("id %d out of vocabulary range [0, %d)", id, vocab)
@@ -189,7 +194,8 @@ func (e *Engine) handleReload(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, healthzResponse{Status: "ok", Stats: e.Stats()})
+	st := e.Stats()
+	writeJSON(w, healthzResponse{Status: "ok", Backend: st.Backend, Generation: st.Generation, Stats: st})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

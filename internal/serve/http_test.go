@@ -80,7 +80,7 @@ func TestHTTPPredictIDs(t *testing.T) {
 		Results []predictResult `json:"results"`
 	}
 	ids := []int{2, 5, 6, 7}
-	vocab := e.Models().Directive.Cfg.Vocab
+	vocab := e.Models().Directive.VocabSize()
 	req := predictRequest{IDs: [][]int{ids, {}, {vocab}, {-1}}}
 	if code := postJSON(t, srv.URL+"/predict", req, &resp); code != http.StatusOK {
 		t.Fatalf("status %d", code)

@@ -40,7 +40,7 @@ func TestReloadDropsNoRequests(t *testing.T) {
 	}
 	defer e.Close()
 
-	pool := randIDs(rand.New(rand.NewSource(21)), 20, 64, old.Directive.Cfg.Vocab)
+	pool := randIDs(rand.New(rand.NewSource(21)), 20, 64, old.Directive.VocabSize())
 	wantOld := make(map[int]float64, len(pool))
 	wantNew := make(map[int]float64, len(pool))
 	for i, ids := range pool {
@@ -118,7 +118,7 @@ func TestReloadInvalidatesCache(t *testing.T) {
 	}
 	defer e.Close()
 
-	ids := randIDs(rand.New(rand.NewSource(33)), 1, 64, old.Directive.Cfg.Vocab)[0]
+	ids := randIDs(rand.New(rand.NewSource(33)), 1, 64, old.Directive.VocabSize())[0]
 	p1, err := e.Predict(context.Background(), ids)
 	if err != nil {
 		t.Fatal(err)

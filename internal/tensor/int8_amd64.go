@@ -1,0 +1,85 @@
+//go:build amd64 && !purego
+
+package tensor
+
+// AVX2 backend for the int8 matmul kernel. The scalar path is capped by
+// integer-multiply throughput (one 32-bit IMUL per cycle on current x86),
+// so quantized inference could never meaningfully beat the float64 kernels
+// without SIMD: VPMOVSXBW widens 16 int8 lanes to int16 and VPMADDWD folds
+// 16 multiply-adds into one instruction, lifting the kernel to >8
+// multiply-accumulates per cycle. Results are bit-identical to the scalar
+// kernel — integer addition is associative, so lane reassociation and the
+// horizontal reduction are exact.
+
+// cpuid executes CPUID with the given leaf/subleaf (implemented in
+// int8_amd64.s).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (OS-enabled register state).
+func xgetbv() (eax, edx uint32)
+
+// int8Dot4K16 accumulates, for c in 0..3,
+// out[c] = Σ_{k < k16} a[k] · b[c·stride + k], with k16 a multiple of 16.
+// b points at the first of four consecutive length-stride channel rows.
+//
+//go:noescape
+func int8Dot4K16(a, b *int8, k16, stride int, out *int32)
+
+func init() {
+	if !hasAVX2() {
+		return
+	}
+	int8RowKernel = int8DotRows1AVX2
+}
+
+// hasAVX2 reports CPU and OS support for AVX2 (CPUID feature bit plus
+// OS-saved YMM state via XGETBV — a hypervisor can expose the former
+// without the latter).
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const osxsave, avx = 1 << 27, 1 << 28
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbv(); eax&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// int8DotRows1AVX2 computes one output row: the vector kernel covers four
+// channels at a time over the 16-aligned prefix of the inner dimension, and
+// scalar code finishes the k and channel tails.
+func int8DotRows1AVX2(o []float64, arow []int8, s float32, b *Int8Matrix, K, N int) {
+	k16 := K &^ 15
+	var acc [4]int32
+	j := 0
+	for ; j+4 <= N; j += 4 {
+		if k16 > 0 {
+			int8Dot4K16(&arow[0], &b.Data[j*K], k16, K, &acc[0])
+		} else {
+			acc = [4]int32{}
+		}
+		for c := 0; c < 4; c++ {
+			brow := b.Row(j + c)
+			p := acc[c]
+			for k := k16; k < K; k++ {
+				p += int32(arow[k]) * int32(brow[k])
+			}
+			o[j+c] = float64(float32(p) * s * b.Scales[j+c])
+		}
+	}
+	for ; j < N; j++ {
+		brow := b.Row(j)
+		var p int32
+		for k := 0; k < K; k++ {
+			p += int32(arow[k]) * int32(brow[k])
+		}
+		o[j] = float64(float32(p) * s * b.Scales[j])
+	}
+}

@@ -1,0 +1,103 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func int8Dot4K16(a, b *int8, k16, stride int, out *int32)
+//
+// For c in 0..3: out[c] = Σ_{k < k16} a[k]·b[c·stride+k]; k16 % 16 == 0.
+// Each iteration sign-extends 16 int8 lanes of the activation row and of
+// four weight-channel rows to int16 (VPMOVSXBW), multiply-adds lane pairs
+// into 8 int32 partials (VPMADDWD), and accumulates. The tail after the
+// loop reduces each accumulator horizontally. VPMADDWD's int16×int16+int16×
+// int16 sums cannot overflow int32: operands are ≥ -127·127·2.
+TEXT ·int8Dot4K16(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ k16+16(FP), CX
+	MOVQ stride+24(FP), R8
+	MOVQ out+32(FP), DX
+
+	// Channel row pointers b0..b3 = b + {0,1,2,3}·stride.
+	MOVQ DI, R9
+	LEAQ (DI)(R8*1), R10
+	LEAQ (DI)(R8*2), R11
+	LEAQ (R10)(R8*2), R12
+
+	VPXOR Y4, Y4, Y4 // acc0
+	VPXOR Y5, Y5, Y5 // acc1
+	VPXOR Y6, Y6, Y6 // acc2
+	VPXOR Y7, Y7, Y7 // acc3
+
+	XORQ AX, AX
+
+loop:
+	CMPQ AX, CX
+	JGE  reduce
+	VPMOVSXBW (SI)(AX*1), Y0  // 16 activation lanes → int16
+
+	VPMOVSXBW (R9)(AX*1), Y1
+	VPMADDWD  Y0, Y1, Y1
+	VPADDD    Y1, Y4, Y4
+
+	VPMOVSXBW (R10)(AX*1), Y2
+	VPMADDWD  Y0, Y2, Y2
+	VPADDD    Y2, Y5, Y5
+
+	VPMOVSXBW (R11)(AX*1), Y3
+	VPMADDWD  Y0, Y3, Y3
+	VPADDD    Y3, Y6, Y6
+
+	VPMOVSXBW (R12)(AX*1), Y1
+	VPMADDWD  Y0, Y1, Y1
+	VPADDD    Y1, Y7, Y7
+
+	ADDQ $16, AX
+	JMP  loop
+
+reduce:
+	// Horizontal int32 sum of each accumulator into out[0..3].
+	VEXTRACTI128 $1, Y4, X0
+	VPADDD       X0, X4, X4
+	VPHADDD      X4, X4, X4
+	VPHADDD      X4, X4, X4
+	VMOVD        X4, 0(DX)
+
+	VEXTRACTI128 $1, Y5, X0
+	VPADDD       X0, X5, X5
+	VPHADDD      X5, X5, X5
+	VPHADDD      X5, X5, X5
+	VMOVD        X5, 4(DX)
+
+	VEXTRACTI128 $1, Y6, X0
+	VPADDD       X0, X6, X6
+	VPHADDD      X6, X6, X6
+	VPHADDD      X6, X6, X6
+	VMOVD        X6, 8(DX)
+
+	VEXTRACTI128 $1, Y7, X0
+	VPADDD       X0, X7, X7
+	VPHADDD      X7, X7, X7
+	VPHADDD      X7, X7, X7
+	VMOVD        X7, 12(DX)
+
+	VZEROUPPER
+	RET

@@ -70,7 +70,17 @@ func PoolWorkers() int { return int(poolSize.Load()) }
 // []float64 buffer pool
 // ---------------------------------------------------------------------------
 
-var vecPool sync.Pool
+// vecPool holds recycled buffers boxed in *[]float64; boxPool holds the
+// empty boxes those buffers arrived in. Recycling the boxes matters as much
+// as recycling the buffers: `vecPool.Put(&v)` with a fresh box allocates a
+// slice header on every release, which the allocation profile showed was
+// the single largest allocation source in the batched forward path —
+// PutVec itself. With the box round-trip, the steady-state Get/Put cycle
+// touches the allocator only on genuine capacity misses.
+var (
+	vecPool sync.Pool // *[]float64, len 0, reusable capacity
+	boxPool sync.Pool // *[]float64, nil slice: an empty box awaiting reuse
+)
 
 // GetVec returns a zeroed []float64 of length n, reusing pooled capacity
 // when possible. Pair with PutVec once the buffer is dead; the scratch
@@ -86,7 +96,10 @@ func GetVec(n int) []float64 {
 func GetVecDirty(n int) []float64 {
 	if p, _ := vecPool.Get().(*[]float64); p != nil {
 		if cap(*p) >= n {
-			return (*p)[:n]
+			v := (*p)[:n]
+			*p = nil
+			boxPool.Put(p)
+			return v
 		}
 		// Too small for this caller but fine for another size class —
 		// return it rather than letting the GC eat a reusable buffer.
@@ -109,25 +122,56 @@ func PutVec(v []float64) {
 		return
 	}
 	v = v[:0]
-	vecPool.Put(&v)
+	p, _ := boxPool.Get().(*[]float64)
+	if p == nil {
+		p = new([]float64)
+	}
+	*p = v
+	vecPool.Put(p)
 }
+
+// matrixPool recycles whole *Matrix values — header and backing storage
+// together — so the hot forward/backward paths pay no allocation for either
+// on the steady-state Get/Put cycle.
+var matrixPool sync.Pool
 
 // GetMatrix returns a zeroed rows×cols matrix backed by pooled storage.
 // Release it with PutMatrix when its lifetime ends; matrices that escape
 // into long-lived caches must use New instead.
 func GetMatrix(rows, cols int) *Matrix {
-	return &Matrix{Rows: rows, Cols: cols, Data: GetVec(rows * cols)}
+	m := GetMatrixDirty(rows, cols)
+	clear(m.Data)
+	return m
 }
 
 // GetMatrixDirty is GetMatrix without the clear, for outputs every element
 // of which is assigned before being read (MatMulATInto, attention dAttn).
+// A pooled matrix whose storage is too small for this shape keeps its
+// header and reallocates only the data, so sizes grow monotonically toward
+// the largest working-set shapes instead of thrashing the pool.
 func GetMatrixDirty(rows, cols int) *Matrix {
-	return &Matrix{Rows: rows, Cols: cols, Data: GetVecDirty(rows * cols)}
+	n := rows * cols
+	m, _ := matrixPool.Get().(*Matrix)
+	if m == nil {
+		return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	}
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
 }
 
 // PutMatrix recycles a matrix obtained from GetMatrix. The matrix must not
-// be used afterwards.
+// be used afterwards: its header and storage will be handed to a future
+// GetMatrix caller. The data is truncated to length zero on release, so
+// any use-after-put indexes out of range and panics deterministically, and
+// a double-put (len already zero) is a no-op instead of inserting the same
+// matrix into the pool twice.
 func PutMatrix(m *Matrix) {
-	PutVec(m.Data)
-	m.Data = nil
+	if cap(m.Data) < minPooledCap || len(m.Data) == 0 {
+		return
+	}
+	m.Data = m.Data[:0]
+	matrixPool.Put(m)
 }

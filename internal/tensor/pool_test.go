@@ -145,10 +145,30 @@ func TestGetMatrixShape(t *testing.T) {
 	if m.At(2, 4) != 1 {
 		t.Fatal("pooled matrix not addressable")
 	}
-	PutMatrix(m)
-	if m.Data != nil {
-		t.Fatal("PutMatrix must sever the data reference")
+	PutMatrix(m) // below the pooling floor: dropped, not recycled
+
+	// Matrices above the floor recycle header and storage together (the
+	// steady-state Get/Put cycle stays off the allocator — asserted by the
+	// allocs/op of BenchmarkPredictBatch rather than by pointer identity,
+	// which sync.Pool deliberately randomizes under the race detector).
+	// Whatever comes back must carry the requested shape, fully usable.
+	big := GetMatrix(16, 16)
+	PutMatrix(big)
+	reused := GetMatrixDirty(8, 32)
+	if reused.Rows != 8 || reused.Cols != 32 || len(reused.Data) != 256 {
+		t.Fatalf("reused matrix %dx%d len %d", reused.Rows, reused.Cols, len(reused.Data))
 	}
+	// A pooled matrix smaller than the request regrows its storage.
+	PutMatrix(reused)
+	grown := GetMatrixDirty(32, 32)
+	if grown.Rows != 32 || grown.Cols != 32 || len(grown.Data) != 1024 {
+		t.Fatalf("grown matrix %dx%d len %d", grown.Rows, grown.Cols, len(grown.Data))
+	}
+	grown.Set(31, 31, 1)
+	if grown.At(31, 31) != 1 {
+		t.Fatal("grown matrix not addressable")
+	}
+	PutMatrix(grown)
 }
 
 func TestMatMulATIntoReusesDirtyOutput(t *testing.T) {
