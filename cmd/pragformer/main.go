@@ -6,6 +6,11 @@
 //	pragformer eval  -corpus open_omp.jsonl -task directive -model model.gob
 //	pragformer predict -model model.gob -vocab vocab.txt file.c
 //	pragformer quantize -model model.gob -out model.pfq
+//	pragformer scan -dir src/ -model model.gob -vocab vocab.txt -format sarif
+//
+// Scan walks a C source tree, extracts every for-loop, dedupes by content
+// hash, batch-advises through the directive/clause classifiers, and emits
+// a JSON or SARIF 2.1.0 report (see internal/scan and DESIGN.md).
 //
 // Quantize converts a trained float artifact into the int8 inference
 // backend (per-channel symmetric post-training quantization, PFQNT framed
@@ -53,13 +58,15 @@ func main() {
 		cmdPredict(os.Args[2:])
 	case "quantize":
 		cmdQuantize(os.Args[2:])
+	case "scan":
+		cmdScan(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pragformer {train|eval|predict|quantize} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pragformer {train|eval|predict|quantize|scan} [flags]")
 	os.Exit(2)
 }
 

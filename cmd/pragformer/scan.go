@@ -1,0 +1,172 @@
+package main
+
+// pragformer scan: point the advisor at a C source tree.
+//
+//	pragformer scan -dir src/ -model dir.gob -vocab vocab.txt -format sarif
+//	pragformer scan -dir src/ -backend int8 -cache .pragformer-scan
+//
+// With no -model the three demo classifiers are trained at startup on a
+// generated corpus (deterministic at a fixed -seed — the CI golden diff
+// depends on it). -cache makes re-scans incremental: loops whose content
+// hash is cached never reach the model. -stable strips run-dependent
+// fields (probabilities, backend, root, cache counters), which is what the
+// golden fixtures under examples/scantree are recorded as.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+
+	"pragformer/internal/advisor"
+	"pragformer/internal/core"
+	"pragformer/internal/scan"
+	"pragformer/internal/tokenize"
+)
+
+func cmdScan(args []string) {
+	fs := flag.NewFlagSet("scan", flag.ExitOnError)
+	var (
+		dir        = fs.String("dir", ".", "root of the C source tree to scan")
+		format     = fs.String("format", "json", "report format: json|sarif")
+		outPath    = fs.String("out", "", "write the report here (default stdout)")
+		modelPath  = fs.String("model", "", "directive model path (empty: self-train demo classifiers)")
+		privPath   = fs.String("private", "", "private-clause model path (optional)")
+		redPath    = fs.String("reduction", "", "reduction-clause model path (optional)")
+		vocabPath  = fs.String("vocab", "", "vocabulary path (required with -model)")
+		backend    = fs.String("backend", "", "compute backend: float64|int8 (empty serves artifacts as loaded)")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "parallel parse workers")
+		batch      = fs.Int("batch", 16, "inference batch size")
+		cachePath  = fs.String("cache", "", "persistent loop-hash cache file (incremental re-scans)")
+		stable     = fs.Bool("stable", false, "omit run-dependent fields for golden comparisons")
+		annotated  = fs.Bool("include-annotated", false, "also advise loops that already carry a pragma")
+		noCompar   = fs.Bool("no-compar", false, "skip S2S corroboration")
+		seed       = fs.Int64("seed", 1, "demo training seed")
+		demoTotal  = fs.Int("train-total", 1000, "demo mode: generated corpus size")
+		demoEpochs = fs.Int("train-epochs", 5, "demo mode: training epochs per classifier")
+	)
+	_ = fs.Parse(args)
+	if *format != "json" && *format != "sarif" {
+		fatal(fmt.Errorf("unknown format %q (json|sarif)", *format))
+	}
+
+	modelID, err := scanModelID(*modelPath, *privPath, *redPath, *vocabPath, *seed, *demoTotal, *demoEpochs)
+	if err != nil {
+		fatal(err)
+	}
+	models, err := scanModels(*modelPath, *privPath, *redPath, *vocabPath, *seed, *demoTotal, *demoEpochs)
+	if err != nil {
+		fatal(err)
+	}
+	models.NoCorroborate = *noCompar
+	if models, err = models.WithBackend(*backend); err != nil {
+		fatal(err)
+	}
+
+	// SIGINT cancels the scan; partial work is abandoned (the cache is
+	// only rewritten by completed scans).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := scan.Config{
+		Workers:          *workers,
+		BatchSize:        *batch,
+		CachePath:        *cachePath,
+		Backend:          models.Directive.BackendName(),
+		ModelID:          modelID,
+		IncludeAnnotated: *annotated,
+	}
+	rep, err := scan.Dir(ctx, *dir, cfg, models)
+	if err != nil {
+		fatal(err)
+	}
+
+	c := rep.Counters
+	fmt.Fprintf(os.Stderr, "scanned %d files (%d skipped): %d loops, %d unique, %d cached, %d inferred on %s\n",
+		c.Files, c.Skipped, c.Loops, c.Unique, c.CacheHits, c.Inferred, cfg.Backend)
+
+	if *stable {
+		rep = rep.Stable()
+	}
+	var body []byte
+	if *format == "sarif" {
+		body, err = rep.SARIF()
+	} else {
+		body, err = rep.JSON()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *outPath == "" {
+		if _, err := os.Stdout.Write(body); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := os.WriteFile(*outPath, body, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// scanModelID fingerprints the model bundle for the cache header: the
+// content hash of the loaded artifacts, or the demo-training config
+// (demo runs are deterministic, so equal config means equal models).
+// Verdicts cached under one fingerprint are never replayed under another.
+func scanModelID(model, private, reduction, vocab string, seed int64, total, epochs int) (string, error) {
+	if model == "" {
+		return fmt.Sprintf("demo:seed=%d,total=%d,epochs=%d", seed, total, epochs), nil
+	}
+	h := sha256.New()
+	for _, p := range []string{model, private, reduction, vocab} {
+		if p == "" {
+			continue
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%d|", len(data))
+		h.Write(data)
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)[:8]), nil
+}
+
+// scanModels loads classifier artifacts (PFQNT sniffed like cmd/serve), or
+// trains the demo bundle when no directive model is given.
+func scanModels(model, private, reduction, vocab string, seed int64, total, epochs int) (*advisor.Models, error) {
+	if model == "" {
+		fmt.Fprintf(os.Stderr, "no -model given; training demo classifiers (corpus %d, %d epochs, seed %d)\n",
+			total, epochs, seed)
+		return advisor.TrainDemo(advisor.DemoConfig{
+			Seed: seed, Total: total, Epochs: epochs,
+			Progress: func(s string) { fmt.Fprintln(os.Stderr, " ", s) },
+		})
+	}
+	if vocab == "" {
+		return nil, fmt.Errorf("-vocab is required with -model")
+	}
+	v, err := tokenize.LoadVocabFile(vocab)
+	if err != nil {
+		return nil, err
+	}
+	m := &advisor.Models{Vocab: v}
+	if m.Directive, err = core.LoadClassifierFile(model); err != nil {
+		return nil, err
+	}
+	m.MaxLen = m.Directive.MaxSeqLen()
+	if private != "" {
+		if m.Private, err = core.LoadClassifierFile(private); err != nil {
+			return nil, err
+		}
+	}
+	if reduction != "" {
+		if m.Reduction, err = core.LoadClassifierFile(reduction); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

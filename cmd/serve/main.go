@@ -21,6 +21,7 @@
 //
 //	POST /predict {"code": "..."} | {"codes": [...]} | {"ids": [[...]]}
 //	POST /suggest {"code": "..."} | {"codes": [...]}
+//	POST /scan    {"files": [{"path": "a.c", "source": "..."}], "format": "json"|"sarif"}
 //	POST /reload  (hot-swap models from the -directive/... paths)
 //	GET  /healthz
 package main
@@ -38,12 +39,8 @@ import (
 
 	"pragformer/internal/advisor"
 	"pragformer/internal/core"
-	"pragformer/internal/corpus"
-	"pragformer/internal/dataset"
-	"pragformer/internal/quant"
 	"pragformer/internal/serve"
 	"pragformer/internal/tokenize"
-	"pragformer/internal/train"
 )
 
 func main() {
@@ -156,100 +153,30 @@ func buildModels(directive, private, reduction, vocabPath string,
 		return nil, err
 	}
 	m := &advisor.Models{Vocab: v}
-	if m.Directive, err = loadClassifier(directive); err != nil {
+	if m.Directive, err = core.LoadClassifierFile(directive); err != nil {
 		return nil, err
 	}
 	m.MaxLen = m.Directive.MaxSeqLen()
 	if private != "" {
-		if m.Private, err = loadClassifier(private); err != nil {
+		if m.Private, err = core.LoadClassifierFile(private); err != nil {
 			return nil, err
 		}
 	}
 	if reduction != "" {
-		if m.Reduction, err = loadClassifier(reduction); err != nil {
+		if m.Reduction, err = core.LoadClassifierFile(reduction); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
 }
 
-// loadClassifier reads one classifier artifact, sniffing the format: a
-// PFQNT file (written by `pragformer quantize`) loads as the int8 backend,
-// anything else as a float64 `pragformer train` artifact.
-func loadClassifier(path string) (core.Backend, error) {
-	isQuant, err := quant.SniffFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if isQuant {
-		return quant.LoadFile(path)
-	}
-	return core.LoadFile(path)
-}
-
-// trainDemo fits the three classifiers on a generated corpus, sharing one
-// vocabulary — the same recipe as the advisor example, batch-evaluated.
+// trainDemo fits the three classifiers on a generated corpus through the
+// shared advisor.TrainDemo recipe (also behind `pragformer scan`'s demo
+// mode), sharing one vocabulary.
 func trainDemo(seed int64, total, epochs, workers int) (*advisor.Models, error) {
 	fmt.Printf("no -directive model given; training demo classifiers (corpus %d, %d epochs)\n", total, epochs)
-	c := corpus.Generate(corpus.Config{Seed: seed, Total: total})
-	dirSplit := dataset.Directive(c, dataset.Options{Seed: seed})
-
-	var seqs [][]string
-	for _, in := range dirSplit.Train {
-		toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
-		if err != nil {
-			return nil, err
-		}
-		seqs = append(seqs, toks)
-	}
-	v := tokenize.BuildVocab(seqs, 1)
-
-	fit := func(task dataset.Task, taskSeed int64) (*core.PragFormer, error) {
-		split := dirSplit
-		if task != dataset.TaskDirective {
-			split = dataset.Clause(c, task, dataset.Options{Seed: seed, Balance: true})
-		}
-		encode := func(ins []dataset.Instance) ([]train.Example, error) {
-			out := make([]train.Example, len(ins))
-			for i, in := range ins {
-				toks, err := tokenize.Extract(in.Rec.Code, tokenize.Text)
-				if err != nil {
-					return nil, err
-				}
-				out[i] = train.Example{IDs: v.Encode(toks, core.DefaultMaxLen), Label: in.Label}
-			}
-			return out, nil
-		}
-		m, err := core.New(core.Config{Vocab: v.Size(), D: 32, Heads: 4, Layers: 1}, taskSeed)
-		if err != nil {
-			return nil, err
-		}
-		trainSet, err := encode(split.Train)
-		if err != nil {
-			return nil, err
-		}
-		validSet, err := encode(split.Valid)
-		if err != nil {
-			return nil, err
-		}
-		hist := train.Fit(m, trainSet, validSet, train.Config{
-			Epochs: epochs, BatchSize: 16, LR: 1.5e-3, ClipNorm: 1,
-			Seed: taskSeed, Workers: workers,
-		})
-		fmt.Printf("  %s: valid accuracy %.3f\n", task, hist.Best().ValidAccuracy)
-		return m, nil
-	}
-
-	models := &advisor.Models{Vocab: v, MaxLen: core.DefaultMaxLen}
-	var err error
-	if models.Directive, err = fit(dataset.TaskDirective, seed+10); err != nil {
-		return nil, err
-	}
-	if models.Private, err = fit(dataset.TaskPrivate, seed+11); err != nil {
-		return nil, err
-	}
-	if models.Reduction, err = fit(dataset.TaskReduction, seed+12); err != nil {
-		return nil, err
-	}
-	return models, nil
+	return advisor.TrainDemo(advisor.DemoConfig{
+		Seed: seed, Total: total, Epochs: epochs, Workers: workers,
+		Progress: func(s string) { fmt.Println(" ", s) },
+	})
 }

@@ -1,0 +1,9 @@
+/* Already parallelized by hand: the scanner reports but does not re-advise. */
+
+void axpy(double *y, double *x, double a, int n) {
+    int i;
+#pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        y[i] = y[i] + a * x[i];
+    }
+}

@@ -1,0 +1,9 @@
+/* Deliberately malformed: the for-header is missing its closing paren.
+   The scanner must skip this file with a positioned parse error, not abort. */
+
+void oops(int *x, int n) {
+    int i;
+    for (i = 0; i < n; i++ {
+        x[i] = i;
+    }
+}

@@ -1,0 +1,23 @@
+/* Dense matmul: three nested loops, each its own scan candidate. The
+   scale_copy loop is byte-for-byte the loop in ../stencil.c — the scanner
+   dedupes it by content hash and shares the verdict across both sites. */
+
+void matmul(double *c, double *a, double *b, int n) {
+    int i, j, k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            double acc = 0.0;
+            for (k = 0; k < n; k++) {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+void scale_copy(double *x, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        x[i] = x[i] * 2.0;
+    }
+}

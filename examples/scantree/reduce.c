@@ -1,0 +1,10 @@
+/* A classic sum reduction over a vector. */
+
+double total(double *v, int n) {
+    int i;
+    double sum = 0.0;
+    for (i = 0; i < n; i++) {
+        sum += v[i];
+    }
+    return sum;
+}

@@ -1,0 +1,8 @@
+/* Prefix sum: the loop-carried dependence pins the iteration order. */
+
+void prefix(double *a, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        a[i] = a[i] + a[i - 1];
+    }
+}

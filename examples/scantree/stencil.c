@@ -1,0 +1,17 @@
+#include <stdio.h>
+
+/* Elementwise kernels: both loops are independent across iterations. */
+
+void stencil(double *a, double *b, int n) {
+    int i;
+    for (i = 1; i < n - 1; i++) {
+        b[i] = 0.5 * (a[i - 1] + a[i + 1]);
+    }
+}
+
+void scale(double *x, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        x[i] = x[i] * 2.0;
+    }
+}

@@ -120,6 +120,17 @@ func (m *Models) WithBackend(name string) (*Models, error) {
 	return out, nil
 }
 
+// Suggester is the batch-suggestion capability consumers program against:
+// the repo scanner drives it with chunked batches of unique loop snippets,
+// and the serving engine's /scan endpoint substitutes its micro-batching
+// pipeline for the direct model path. Models is the canonical in-process
+// implementation.
+type Suggester interface {
+	SuggestBatch(codes []string) ([]BatchItem, error)
+}
+
+var _ Suggester = (*Models)(nil)
+
 // Confidence grades how strongly a suggestion is corroborated.
 type Confidence int
 

@@ -83,11 +83,16 @@ type DeclStmt struct {
 }
 
 // For is a C for-loop. Init may be a *DeclStmt or *ExprStmt or nil.
+// Line and Col record the position of the `for` keyword (1-based) when the
+// loop came from the parser; they are zero for synthesized loops and are
+// ignored by the printer, serializer, and structural comparisons.
 type For struct {
 	Init Stmt
 	Cond Expr
 	Post Expr
 	Body Stmt
+
+	Line, Col int
 }
 
 // While is a while-loop.

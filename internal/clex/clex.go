@@ -154,8 +154,20 @@ func (l *Lexer) advance() byte {
 	return c
 }
 
+// Error is a lexical error carrying its 1-based source position, so
+// consumers that skip-and-report unlexable files (the repo scanner) can
+// point at the offending line without parsing the message text.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("clex: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
 func (l *Lexer) errorf(format string, args ...any) error {
-	return fmt.Errorf("clex: line %d col %d: %s", l.line, l.col, fmt.Sprintf(format, args...))
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // skipSpaceAndComments consumes whitespace and // and /* */ comments.

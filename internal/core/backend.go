@@ -46,6 +46,21 @@ var (
 	_ Backend = (*quant.Model)(nil)
 )
 
+// LoadClassifierFile reads one classifier artifact, sniffing the format: a
+// PFQNT file (written by `pragformer quantize`) loads as the int8 backend,
+// anything else as a float64 `pragformer train` artifact. The shared
+// loader behind `cmd/serve` and `pragformer scan`.
+func LoadClassifierFile(path string) (Backend, error) {
+	isQuant, err := quant.SniffFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isQuant {
+		return quant.LoadFile(path)
+	}
+	return LoadFile(path)
+}
+
 // BackendName identifies the float64 reference backend (Backend).
 func (m *PragFormer) BackendName() string { return BackendFloat64 }
 

@@ -88,11 +88,12 @@ func (p *Parser) expect(text string) error {
 		return nil
 	}
 	t := p.cur()
-	return fmt.Errorf("cparse: line %d: expected %q, got %q", t.Line, text, t.Text)
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf("expected %q, got %q", text, t.Text)}
 }
 
 func (p *Parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("cparse: line %d: %s", p.cur().Line, fmt.Sprintf(format, args...))
+	t := p.cur()
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *Parser) parseFile() (*cast.File, error) {
@@ -453,11 +454,11 @@ func (p *Parser) parseStatement() (cast.Stmt, error) {
 }
 
 func (p *Parser) parseFor() (cast.Stmt, error) {
-	p.next() // for
+	kw := p.next() // for
 	if err := p.expect("("); err != nil {
 		return nil, err
 	}
-	f := &cast.For{}
+	f := &cast.For{Line: kw.Line, Col: kw.Col}
 	if p.cur().Text != ";" {
 		if p.startsDecl() {
 			ds, err := p.parseDeclLine() // consumes ';'

@@ -1,0 +1,132 @@
+package cparse
+
+// Loop-extraction coverage lives next to the parser because the walker's
+// contract (positions, pragma attachment) only materializes on parsed
+// trees; the corpus generator synthesizes loops without positions.
+
+import (
+	"testing"
+
+	"pragformer/internal/cast"
+)
+
+func parseForLoops(t *testing.T, src string) []cast.LoopInfo {
+	t.Helper()
+	return cast.ExtractLoops(mustParse(t, src))
+}
+
+func TestExtractLoopsNestingAndFunctions(t *testing.T) {
+	src := `void matmul(double *c, double *a, double *b, int n) {
+    int i, j, k;
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < n; j++) {
+            double acc = 0.0;
+            for (k = 0; k < n; k++) {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+void tail(double *x, int n) {
+    int i;
+    while (n > 0) {
+        for (i = 0; i < n; i++) x[i] = 0.0;
+        n--;
+    }
+}
+for (q = 0; q < 4; q++) s += q;
+`
+	loops := parseForLoops(t, src)
+	if len(loops) != 5 {
+		t.Fatalf("loops = %d, want 5", len(loops))
+	}
+	wantFn := []string{"matmul", "matmul", "matmul", "tail", ""}
+	wantDepth := []int{0, 1, 2, 0, 0}
+	for i, li := range loops {
+		if li.Function != wantFn[i] {
+			t.Errorf("loop %d function = %q, want %q", i, li.Function, wantFn[i])
+		}
+		if li.Depth != wantDepth[i] {
+			t.Errorf("loop %d depth = %d, want %d", i, li.Depth, wantDepth[i])
+		}
+		if li.Loop.Line == 0 || li.Loop.Col == 0 {
+			t.Errorf("loop %d missing position: %d:%d", i, li.Loop.Line, li.Loop.Col)
+		}
+	}
+	// Outer loops come before the loops nested inside them, in file order.
+	for i := 1; i < len(loops)-1; i++ { // the loose snippet trails the funcs
+		if loops[i].Loop.Line < loops[i-1].Loop.Line {
+			t.Errorf("loops out of source order at %d", i)
+		}
+	}
+}
+
+func TestExtractLoopsAttachedPragma(t *testing.T) {
+	src := `void axpy(double *y, double *x, double a, int n) {
+    int i;
+#pragma omp parallel for
+    for (i = 0; i < n; i++) {
+        y[i] = y[i] + a * x[i];
+    }
+    for (i = 0; i < n; i++) y[i] = 0.0;
+}
+`
+	loops := parseForLoops(t, src)
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2", len(loops))
+	}
+	if loops[0].Pragma != "pragma omp parallel for" {
+		t.Errorf("pragma = %q", loops[0].Pragma)
+	}
+	if loops[1].Pragma != "" {
+		t.Errorf("bare loop carries pragma %q", loops[1].Pragma)
+	}
+}
+
+func TestExtractLoopsInsideIfAndDo(t *testing.T) {
+	src := `void f(int n) {
+    int i;
+    if (n > 1) {
+        for (i = 0; i < n; i++) g(i);
+    } else
+        for (i = 0; i < n; i++) h(i);
+    do {
+        for (i = 0; i < n; i++) k(i);
+    } while (n--);
+}
+`
+	loops := parseForLoops(t, src)
+	if len(loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(loops))
+	}
+	for i, li := range loops {
+		if li.Depth != 0 {
+			t.Errorf("loop %d depth = %d (if/do must not add for-depth)", i, li.Depth)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("void f(int n) {\n    for (i = 0; i < n; i++ {\n        x[i] = i;\n    }\n}\n")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	line, col, ok := Position(err)
+	if !ok {
+		t.Fatalf("error carries no position: %v", err)
+	}
+	if line != 2 || col == 0 {
+		t.Errorf("position = %d:%d, want line 2", line, col)
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := Parse("int a = 1;\nchar *s = \"unterminated;\n")
+	if err == nil {
+		t.Fatal("expected lex error")
+	}
+	if line, _, ok := Position(err); !ok || line < 2 {
+		t.Errorf("lex error position not carried: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+package scan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"pragformer/internal/ckpt"
+)
+
+// The persistent scan cache maps normalized loop hashes to their verdicts,
+// making re-scans incremental: a warm scan of an unchanged tree performs
+// zero model forwards. The file is JSON with a small header; a version or
+// backend mismatch discards it (verdicts are not replayed across backends
+// — the label-agreement gate compares backends, it does not assume them
+// equal), and writes go through ckpt.WriteFileAtomic so an interrupted
+// scan never leaves a torn cache.
+
+// cacheVersion guards the on-disk layout.
+const cacheVersion = 1
+
+type cacheData struct {
+	Version int                    `json:"version"`
+	Backend string                 `json:"backend,omitempty"`
+	Model   string                 `json:"model,omitempty"`
+	Entries map[string]*Suggestion `json:"entries"`
+}
+
+// loadCache reads the cache at path. A missing file, an unreadable file, a
+// layout-version bump, or a backend/model mismatch all yield an empty
+// cache — stale caches cost a re-scan, never a wrong report.
+func loadCache(path, backend, modelID string) (map[string]*Suggestion, error) {
+	if path == "" {
+		return map[string]*Suggestion{}, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]*Suggestion{}, nil
+		}
+		return nil, fmt.Errorf("scan: read cache: %w", err)
+	}
+	var cf cacheData
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return map[string]*Suggestion{}, nil //nolint:nilerr // corrupt cache = cold cache
+	}
+	if cf.Version != cacheVersion || cf.Backend != backend || cf.Model != modelID || cf.Entries == nil {
+		return map[string]*Suggestion{}, nil
+	}
+	return cf.Entries, nil
+}
+
+// saveCache writes back the union of the loaded cache and this scan's
+// fresh verdicts. Loops that errored are left out so the next scan retries
+// them.
+func saveCache(path, backend, modelID string, cache map[string]*Suggestion, loops []*Loop) error {
+	if path == "" {
+		return nil
+	}
+	for _, l := range loops {
+		if l.Suggestion != nil && l.Error == "" {
+			cache[l.Hash] = l.Suggestion
+		}
+	}
+	cf := cacheData{Version: cacheVersion, Backend: backend, Model: modelID, Entries: cache}
+	err := ckpt.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(cf)
+	})
+	if err != nil {
+		return fmt.Errorf("scan: write cache: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package scan
+
+import "encoding/json"
+
+// JSON renders the report as indented JSON with a trailing newline — the
+// `pragformer scan -format json` output.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Stable returns a deep copy with every run-dependent field cleared: raw
+// probabilities (which differ between the float64 and int8 backends even
+// when every label agrees), the backend name, the root path, and the cache
+// accounting (which differs between cold and warm runs of the same tree).
+// Two scans of the same tree with agreeing labels produce byte-identical
+// stable JSON regardless of backend or cache temperature — the form the
+// golden fixtures and the CI label-agreement gate diff.
+func (r *Report) Stable() *Report {
+	out := &Report{
+		Tool:     r.Tool,
+		Counters: r.Counters,
+	}
+	out.Counters.CacheHits = 0
+	out.Counters.Inferred = 0
+	out.Loops = make([]Loop, len(r.Loops))
+	for i, l := range r.Loops {
+		c := l
+		c.FromCache = false
+		c.queued = false
+		c.Occurrences = append([]Occurrence(nil), l.Occurrences...)
+		if l.Suggestion != nil {
+			s := l.Suggestion.clone()
+			s.Probability = 0
+			c.Suggestion = s
+		}
+		out.Loops[i] = c
+	}
+	out.Skips = append([]Skip(nil), r.Skips...)
+	return out
+}

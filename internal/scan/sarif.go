@@ -1,0 +1,182 @@
+package scan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SARIF 2.1.0 rendering, so scan results plug into code-scanning UIs
+// (GitHub code scanning, VS Code SARIF viewers). The mapping:
+//
+//   - every occurrence of a loop the advisor wants parallelized becomes a
+//     result under rule PF1001, carrying the suggested directive in the
+//     message and the loop's content hash in partialFingerprints (the
+//     stable identity SARIF consumers use to track findings across scans);
+//   - loops that already carry a pragma surface as PF1002 notes;
+//   - skipped files become toolExecutionNotifications on the invocation,
+//     with the parse position when one is known.
+//
+// Negative verdicts produce no results — SARIF reports findings, and "no
+// directive needed" is the quiet default.
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+
+	// RuleParallelize identifies "loop should carry an OpenMP directive"
+	// results.
+	RuleParallelize = "PF1001"
+	// RuleAnnotated identifies "loop already annotated" notes.
+	RuleAnnotated = "PF1002"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool        sarifTool         `json:"tool"`
+	Invocations []sarifInvocation `json:"invocations"`
+	Results     []sarifResult     `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifInvocation struct {
+	ExecutionSuccessful bool                `json:"executionSuccessful"`
+	Notifications       []sarifNotification `json:"toolExecutionNotifications,omitempty"`
+}
+
+type sarifNotification struct {
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log. Like Stable JSON, the
+// output carries no probabilities or cache accounting, so agreeing
+// backends produce byte-identical SARIF.
+func (r *Report) SARIF() ([]byte, error) {
+	run := sarifRun{
+		Tool: sarifTool{Driver: sarifDriver{
+			Name: "pragformer",
+			Rules: []sarifRule{
+				{ID: RuleParallelize, ShortDescription: sarifMessage{
+					Text: "Loop is a candidate for an OpenMP parallel-for directive"}},
+				{ID: RuleAnnotated, ShortDescription: sarifMessage{
+					Text: "Loop already carries an OpenMP pragma"}},
+			},
+		}},
+		Results: []sarifResult{},
+	}
+	inv := sarifInvocation{ExecutionSuccessful: true}
+	for _, skip := range r.Skips {
+		n := sarifNotification{
+			Level:   "warning",
+			Message: sarifMessage{Text: fmt.Sprintf("file skipped: %s", skip.Reason)},
+		}
+		if skip.Line > 0 {
+			n.Locations = []sarifLocation{location(skip.File, skip.Line, skip.Col)}
+		} else {
+			n.Locations = []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: skip.File}}}}
+		}
+		inv.Notifications = append(inv.Notifications, n)
+	}
+	run.Invocations = []sarifInvocation{inv}
+
+	for _, l := range r.Loops {
+		switch {
+		case l.Suggestion != nil && l.Suggestion.Parallelize:
+			msg := fmt.Sprintf("suggest `%s` (%s)", l.Suggestion.Directive, l.Suggestion.Confidence)
+			for _, occ := range l.Occurrences {
+				run.Results = append(run.Results, sarifResult{
+					RuleID:              RuleParallelize,
+					Level:               "note",
+					Message:             sarifMessage{Text: msg + occContext(occ)},
+					Locations:           []sarifLocation{location(occ.File, occ.Line, occ.Col)},
+					PartialFingerprints: map[string]string{"pragformer/loopHash": l.Hash},
+				})
+			}
+		case l.Annotated:
+			for _, occ := range l.Occurrences {
+				run.Results = append(run.Results, sarifResult{
+					RuleID:              RuleAnnotated,
+					Level:               "none",
+					Message:             sarifMessage{Text: fmt.Sprintf("loop already annotated: `#%s`", occ.Pragma)},
+					Locations:           []sarifLocation{location(occ.File, occ.Line, occ.Col)},
+					PartialFingerprints: map[string]string{"pragformer/loopHash": l.Hash},
+				})
+			}
+		}
+	}
+
+	log := sarifLog{Schema: sarifSchema, Version: sarifVersion, Runs: []sarifRun{run}}
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func occContext(occ Occurrence) string {
+	if occ.Function == "" {
+		return ""
+	}
+	return fmt.Sprintf(" in function %s", occ.Function)
+}
+
+func location(file string, line, col int) sarifLocation {
+	loc := sarifLocation{PhysicalLocation: sarifPhysicalLocation{
+		ArtifactLocation: sarifArtifactLocation{URI: file},
+	}}
+	if line > 0 {
+		loc.PhysicalLocation.Region = &sarifRegion{StartLine: line, StartColumn: col}
+	}
+	return loc
+}

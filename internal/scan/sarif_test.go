@@ -1,0 +1,161 @@
+package scan
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// sarif mirrors the 2.1.0 shape the report must produce; decoding with
+// DisallowUnknownFields is deliberately NOT used — extra properties are
+// legal SARIF — but every asserted field is required by the spec.
+type sarifShape struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID               string `json:"id"`
+					ShortDescription struct {
+						Text string `json:"text"`
+					} `json:"shortDescription"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Invocations []struct {
+			ExecutionSuccessful bool `json:"executionSuccessful"`
+			Notifications       []struct {
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+			} `json:"toolExecutionNotifications"`
+		} `json:"invocations"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Level   string `json:"level"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine   int `json:"startLine"`
+						StartColumn int `json:"startColumn"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+			PartialFingerprints map[string]string `json:"partialFingerprints"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+func TestSARIFShape(t *testing.T) {
+	rep, err := Dir(context.Background(), fixtureTree, Config{Workers: 2}, &stubSuggester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.SARIF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifShape
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if log.Schema != sarifSchema {
+		t.Errorf("$schema = %q", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("runs = %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "pragformer" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s missing shortDescription", r.ID)
+		}
+		ruleIDs[r.ID] = true
+	}
+	if !ruleIDs[RuleParallelize] || !ruleIDs[RuleAnnotated] {
+		t.Errorf("rules = %v", ruleIDs)
+	}
+
+	// Fixture: the stub parallelizes the four "+=" loops (sum + three
+	// matmul levels), and axpy surfaces as an annotated note — 5 results.
+	if len(run.Results) != 5 {
+		t.Fatalf("results = %d, want 5", len(run.Results))
+	}
+	annotated := 0
+	for _, res := range run.Results {
+		if !ruleIDs[res.RuleID] {
+			t.Errorf("result rule %q not declared by the driver", res.RuleID)
+		}
+		if res.Message.Text == "" {
+			t.Error("result missing message text")
+		}
+		if len(res.Locations) != 1 {
+			t.Fatalf("result locations = %d", len(res.Locations))
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" {
+			t.Error("result missing artifact URI")
+		}
+		if loc.Region.StartLine < 1 || loc.Region.StartColumn < 1 {
+			t.Errorf("result region = %+v", loc.Region)
+		}
+		if res.PartialFingerprints["pragformer/loopHash"] == "" {
+			t.Error("result missing loop-hash fingerprint")
+		}
+		if res.RuleID == RuleAnnotated {
+			annotated++
+		}
+	}
+	if annotated != 1 {
+		t.Errorf("annotated results = %d, want 1", annotated)
+	}
+
+	// The broken fixture file surfaces as an invocation notification.
+	if len(run.Invocations) != 1 || !run.Invocations[0].ExecutionSuccessful {
+		t.Fatalf("invocations = %+v", run.Invocations)
+	}
+	notes := run.Invocations[0].Notifications
+	if len(notes) != 1 || notes[0].Level != "warning" || notes[0].Message.Text == "" {
+		t.Errorf("notifications = %+v", notes)
+	}
+}
+
+// TestSARIFBackendStable pins the claim that SARIF output carries nothing
+// run-dependent: two reports that agree on labels but differ in
+// probabilities and cache temperature render identical SARIF.
+func TestSARIFBackendStable(t *testing.T) {
+	a, err := Dir(context.Background(), fixtureTree, Config{Workers: 1}, &stubSuggester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dir(context.Background(), fixtureTree, Config{Workers: 8}, &stubSuggester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b.Loops {
+		if b.Loops[i].Suggestion != nil {
+			b.Loops[i].Suggestion.Probability += 0.01 // simulate backend drift
+		}
+	}
+	sa, _ := a.SARIF()
+	sb, _ := b.SARIF()
+	if string(sa) != string(sb) {
+		t.Error("SARIF output depends on probabilities or worker count")
+	}
+}

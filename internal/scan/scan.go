@@ -1,0 +1,585 @@
+// Package scan is the repo-scale front end of the advisor: it walks a
+// directory tree of C sources (or an in-memory file set), parses each file
+// with cparse, extracts every for-loop with file:line provenance through
+// cast.ExtractLoops, dedupes loops by normalized content hash, and drives
+// an advisor.Suggester — the in-process Models bundle or the serving
+// engine's micro-batchers — with chunked batches of unique snippets.
+//
+// The pipeline is a bounded producer→parser→inference stream: one producer
+// feeds Config.Workers parallel parse workers, a collector dedupes their
+// loops on the fly, and full chunks of Config.BatchSize cache-missed
+// snippets go to a dedicated inference goroutine while parsing continues.
+// Unparseable files are skipped and counted, never fatal; a persistent
+// content-hash cache (Config.CachePath) makes re-scans incremental —
+// unchanged loops never reach the model. The accumulated Report renders as
+// JSON (Report.JSON) or SARIF 2.1.0 (Report.SARIF).
+package scan
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"pragformer/internal/advisor"
+	"pragformer/internal/cast"
+	"pragformer/internal/cparse"
+)
+
+// Config tunes a scan. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the parallel parse worker count (default 4). Parsing and
+	// hashing scale with it; inference batching is independent.
+	Workers int
+	// BatchSize chunks unique snippets per Suggester call (default 16 —
+	// the serving engine's MaxBatch sweet spot, see BENCH_SERVE.json).
+	BatchSize int
+	// CachePath names the persistent content-hash cache file. Loops whose
+	// hash appears in the cache skip inference entirely; a scan rewrites
+	// the file with every verdict it holds at the end. Empty disables.
+	CachePath string
+	// Backend names the compute backend the suggester runs on; recorded in
+	// the report and the cache header (a cache written by one backend is
+	// not replayed against another).
+	Backend string
+	// ModelID fingerprints the model bundle behind the suggester (artifact
+	// content hash, demo-training config, ...). It is recorded in the
+	// cache header next to Backend: verdicts cached under one model are
+	// never replayed against another — a stale cache costs a re-scan,
+	// never a wrong report.
+	ModelID string
+	// Exts lists the file extensions to scan (default [".c"]).
+	Exts []string
+	// MaxFileBytes skips files larger than this (default 1 MiB).
+	MaxFileBytes int64
+	// IncludeAnnotated also advises loops every occurrence of which
+	// already carries a pragma; by default they are reported but not
+	// re-advised.
+	IncludeAnnotated bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if len(c.Exts) == 0 {
+		c.Exts = []string{".c"}
+	}
+	if c.MaxFileBytes <= 0 {
+		c.MaxFileBytes = 1 << 20
+	}
+}
+
+// Source is one input file: a path plus, for in-memory scans (the /scan
+// endpoint), its contents. Data nil means "read Path from disk".
+type Source struct {
+	Path string
+	Data []byte
+}
+
+// Occurrence is one site where a loop appears.
+type Occurrence struct {
+	File string `json:"file"`
+	// Line/Col locate the `for` keyword, 1-based.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Function names the enclosing function, "" at file scope.
+	Function string `json:"function,omitempty"`
+	// Depth is the for-nesting depth (0 = outermost).
+	Depth int `json:"depth,omitempty"`
+	// Pragma is an existing pragma line attached to this occurrence.
+	Pragma string `json:"pragma,omitempty"`
+}
+
+// Suggestion is the advisor verdict for a unique loop, flattened to a
+// serializable form shared by the JSON report and the cache file.
+type Suggestion struct {
+	Parallelize bool    `json:"parallelize"`
+	Probability float64 `json:"probability,omitempty"`
+	// Directive is the rendered pragma line (empty when Parallelize is
+	// false).
+	Directive  string   `json:"directive,omitempty"`
+	Confidence string   `json:"confidence,omitempty"`
+	Notes      []string `json:"notes,omitempty"`
+}
+
+// Loop is one unique loop (by normalized content hash) with every site it
+// occurs at. The verdict is shared across occurrences: inferred once,
+// reported everywhere.
+type Loop struct {
+	// Hash is the sha-256 of the canonically printed loop, so formatting
+	// differences between occurrences collapse to one entry.
+	Hash string `json:"hash"`
+	// Snippet is the canonical source text (also what the model sees).
+	Snippet     string       `json:"snippet"`
+	Occurrences []Occurrence `json:"occurrences"`
+	Suggestion  *Suggestion  `json:"suggestion,omitempty"`
+	// Error reports a per-loop inference failure (the scan continues).
+	Error string `json:"error,omitempty"`
+	// FromCache marks verdicts replayed from the persistent cache.
+	FromCache bool `json:"from_cache,omitempty"`
+	// Annotated marks loops every occurrence of which already carries a
+	// pragma; they are not advised unless Config.IncludeAnnotated.
+	Annotated bool `json:"annotated,omitempty"`
+
+	queued bool // already handed to the inference stage
+}
+
+// Skip reports one file the scan could not use, with the parse position
+// when one is known.
+type Skip struct {
+	File   string `json:"file"`
+	Line   int    `json:"line,omitempty"`
+	Col    int    `json:"col,omitempty"`
+	Reason string `json:"reason"`
+}
+
+// Counters aggregates scan accounting.
+type Counters struct {
+	// Files parsed successfully; Skipped could not be read or parsed.
+	Files   int `json:"files"`
+	Skipped int `json:"skipped"`
+	// Loops counts occurrences; Unique counts distinct content hashes.
+	Loops  int `json:"loops"`
+	Unique int `json:"unique"`
+	// Annotated counts unique loops left unadvised because every
+	// occurrence already carries a pragma.
+	Annotated int `json:"annotated"`
+	// CacheHits counts unique loops answered from the persistent cache;
+	// Inferred counts snippets that actually reached the model. A fully
+	// warm re-scan has Inferred == 0.
+	CacheHits int `json:"cache_hits"`
+	Inferred  int `json:"inferred"`
+}
+
+// Report is the scan outcome.
+type Report struct {
+	Tool     string   `json:"tool"`
+	Root     string   `json:"root,omitempty"`
+	Backend  string   `json:"backend,omitempty"`
+	Counters Counters `json:"counters"`
+	Loops    []Loop   `json:"loops"`
+	Skips    []Skip   `json:"skips,omitempty"`
+}
+
+// Dir scans the C files under root. Unreadable or unparseable files are
+// skipped and counted; the returned error is reserved for setup problems
+// (bad root, cache I/O) and context cancellation.
+func Dir(ctx context.Context, root string, cfg Config, sg advisor.Suggester) (*Report, error) {
+	cfg.fillDefaults()
+	if _, err := os.Stat(root); err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	// Walk errors (an unreadable subdirectory, a path deleted mid-walk)
+	// follow the same skip-and-count contract as unparseable files: the
+	// producer records them and the walk continues. Only the producer
+	// goroutine appends; run() joins it before returning, so the merge
+	// below is ordered.
+	rel := func(path string) string {
+		if r, err := filepath.Rel(root, path); err == nil {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(path)
+	}
+	var walkSkips []Skip
+	produce := func(ctx context.Context, srcs chan<- Source) error {
+		return filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				walkSkips = append(walkSkips, Skip{File: rel(path), Reason: err.Error()})
+				if d != nil && d.IsDir() {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if d.IsDir() {
+				// Hidden directories (.git and friends) hold no sources.
+				if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			ext := filepath.Ext(path)
+			match := false
+			for _, want := range cfg.Exts {
+				if ext == want {
+					match = true
+					break
+				}
+			}
+			if !match {
+				return nil
+			}
+			select {
+			case srcs <- Source{Path: path}:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+	}
+	rep, err := run(ctx, cfg, sg, produce, rel)
+	if err != nil {
+		return nil, err
+	}
+	if len(walkSkips) > 0 {
+		rep.Skips = append(rep.Skips, walkSkips...)
+		rep.Counters.Skipped += len(walkSkips)
+		sortSkips(rep.Skips)
+	}
+	rep.Root = root
+	return rep, nil
+}
+
+// Files scans an in-memory file set — the POST /scan payload path. Sources
+// without Data are read from disk.
+func Files(ctx context.Context, files []Source, cfg Config, sg advisor.Suggester) (*Report, error) {
+	cfg.fillDefaults()
+	produce := func(ctx context.Context, srcs chan<- Source) error {
+		for _, f := range files {
+			select {
+			case srcs <- f:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	return run(ctx, cfg, sg, produce, filepath.ToSlash)
+}
+
+// fileOut is one parse worker's result for one file.
+type fileOut struct {
+	loops []occLoop
+	skip  *Skip
+}
+
+// occLoop is one extracted loop occurrence with its canonical snippet.
+type occLoop struct {
+	snippet string
+	occ     Occurrence
+}
+
+// run wires the bounded pipeline: produce → parse workers → collector,
+// with a side inference goroutine consuming chunks of unique snippets.
+func run(
+	ctx context.Context, cfg Config, sg advisor.Suggester,
+	produce func(context.Context, chan<- Source) error,
+	rel func(string) string,
+) (*Report, error) {
+	if sg == nil {
+		return nil, fmt.Errorf("scan: a suggester is required")
+	}
+	cache, err := loadCache(cfg.CachePath, cfg.Backend, cfg.ModelID)
+	if err != nil {
+		return nil, err
+	}
+
+	srcs := make(chan Source, cfg.Workers)
+	outs := make(chan fileOut, cfg.Workers)
+
+	// Producer.
+	var produceErr error
+	var produceWG sync.WaitGroup
+	produceWG.Add(1)
+	go func() {
+		defer produceWG.Done()
+		defer close(srcs)
+		produceErr = produce(ctx, srcs)
+	}()
+
+	// Parse workers.
+	var parseWG sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		parseWG.Add(1)
+		go func() {
+			defer parseWG.Done()
+			for src := range srcs {
+				select {
+				case outs <- parseSource(src, cfg, rel):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		parseWG.Wait()
+		close(outs)
+	}()
+
+	// Inference stage: full chunks of cache-missed unique loops run
+	// through the suggester while parsing continues. The goroutine is the
+	// sole writer of Loop.Suggestion/Error after handoff; the collector
+	// keeps appending occurrences to the same Loop values, which is safe —
+	// the two stages touch disjoint fields.
+	chunks := make(chan []*Loop, 2)
+	infDone := make(chan struct{})
+	inferred := 0
+	go func() {
+		defer close(infDone)
+		for chunk := range chunks {
+			if ctx.Err() != nil {
+				continue // drain without inferring
+			}
+			codes := make([]string, len(chunk))
+			for i, l := range chunk {
+				codes[i] = l.Snippet
+			}
+			items, err := sg.SuggestBatch(codes)
+			inferred += len(codes)
+			if err != nil {
+				for _, l := range chunk {
+					l.Error = err.Error()
+				}
+				continue
+			}
+			for i, l := range chunk {
+				if items[i].Err != nil {
+					l.Error = items[i].Err.Error()
+					continue
+				}
+				l.Suggestion = fromAdvisor(items[i].Suggestion)
+			}
+		}
+	}()
+
+	// Collector: dedupe, cache lookup, chunk assembly.
+	rep := &Report{Tool: "pragformer scan", Backend: cfg.Backend}
+	byHash := map[string]*Loop{}
+	var loops []*Loop
+	var pending []*Loop
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		chunk := pending
+		pending = nil
+		select {
+		case chunks <- chunk:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	enqueue := func(l *Loop) error {
+		l.queued = true
+		pending = append(pending, l)
+		if len(pending) >= cfg.BatchSize {
+			return flush()
+		}
+		return nil
+	}
+	var collectErr error
+collect:
+	for {
+		select {
+		case fo, ok := <-outs:
+			if !ok {
+				break collect
+			}
+			if fo.skip != nil {
+				rep.Counters.Skipped++
+				rep.Skips = append(rep.Skips, *fo.skip)
+				continue
+			}
+			rep.Counters.Files++
+			for _, ol := range fo.loops {
+				rep.Counters.Loops++
+				h := hashSnippet(ol.snippet)
+				l, seen := byHash[h]
+				if !seen {
+					l = &Loop{Hash: h, Snippet: ol.snippet}
+					byHash[h] = l
+					loops = append(loops, l)
+					if hit, ok := cache[h]; ok {
+						l.Suggestion = hit.clone()
+						l.FromCache = true
+						l.queued = true
+						rep.Counters.CacheHits++
+					}
+				}
+				l.Occurrences = append(l.Occurrences, ol.occ)
+				advisable := ol.occ.Pragma == "" || cfg.IncludeAnnotated
+				if !l.queued && advisable {
+					if err := enqueue(l); err != nil {
+						collectErr = err
+						break collect
+					}
+				}
+			}
+		case <-ctx.Done():
+			collectErr = ctx.Err()
+			break collect
+		}
+	}
+	if collectErr == nil {
+		collectErr = flush()
+	}
+	close(chunks)
+	<-infDone
+	produceWG.Wait()
+	parseWG.Wait()
+	if collectErr != nil {
+		return nil, collectErr
+	}
+	if produceErr != nil {
+		return nil, fmt.Errorf("scan: %w", produceErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	rep.Counters.Unique = len(loops)
+	rep.Counters.Inferred = inferred
+	finalize(rep, loops, cfg.IncludeAnnotated)
+	if err := saveCache(cfg.CachePath, cfg.Backend, cfg.ModelID, cache, loops); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseSource reads (if needed) and parses one file, extracting its loops.
+func parseSource(src Source, cfg Config, rel func(string) string) fileOut {
+	name := rel(src.Path)
+	data := src.Data
+	if data == nil {
+		info, err := os.Stat(src.Path)
+		if err != nil {
+			return fileOut{skip: &Skip{File: name, Reason: err.Error()}}
+		}
+		if info.Size() > cfg.MaxFileBytes {
+			return fileOut{skip: &Skip{File: name,
+				Reason: fmt.Sprintf("file too large (%d bytes > %d)", info.Size(), cfg.MaxFileBytes)}}
+		}
+		if data, err = os.ReadFile(src.Path); err != nil {
+			return fileOut{skip: &Skip{File: name, Reason: err.Error()}}
+		}
+	}
+	f, err := cparse.Parse(string(data))
+	if err != nil {
+		skip := &Skip{File: name, Reason: err.Error()}
+		if line, col, ok := cparse.Position(err); ok {
+			skip.Line, skip.Col = line, col
+		}
+		return fileOut{skip: skip}
+	}
+	infos := cast.ExtractLoops(f)
+	out := fileOut{loops: make([]occLoop, 0, len(infos))}
+	for _, li := range infos {
+		out.loops = append(out.loops, occLoop{
+			snippet: cast.Print(li.Loop),
+			occ: Occurrence{
+				File: name, Line: li.Loop.Line, Col: li.Loop.Col,
+				Function: li.Function, Depth: li.Depth, Pragma: li.Pragma,
+			},
+		})
+	}
+	return out
+}
+
+// hashSnippet is the normalized content hash: parsing and re-printing
+// canonicalizes formatting, so the hash collapses occurrences that differ
+// only in whitespace or brace style.
+func hashSnippet(snippet string) string {
+	sum := sha256.Sum256([]byte(snippet))
+	return hex.EncodeToString(sum[:])
+}
+
+// finalize orders the report deterministically (parse workers race on
+// discovery order) and settles per-loop flags and counters.
+func finalize(rep *Report, loops []*Loop, includeAnnotated bool) {
+	for _, l := range loops {
+		sort.Slice(l.Occurrences, func(i, j int) bool {
+			a, b := l.Occurrences[i], l.Occurrences[j]
+			if a.File != b.File {
+				return a.File < b.File
+			}
+			if a.Line != b.Line {
+				return a.Line < b.Line
+			}
+			return a.Col < b.Col
+		})
+		annotated := true
+		for _, occ := range l.Occurrences {
+			if occ.Pragma == "" {
+				annotated = false
+				break
+			}
+		}
+		l.Annotated = annotated
+		// The cache is looked up before a loop's annotation status is
+		// known; a verdict cached by an -include-annotated run must not
+		// leak onto an annotated loop in a scan without the flag, or warm
+		// and cold reports would diverge.
+		if annotated && !includeAnnotated && l.FromCache {
+			l.Suggestion = nil
+			l.FromCache = false
+			rep.Counters.CacheHits--
+		}
+		if annotated && !includeAnnotated {
+			rep.Counters.Annotated++
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		a, b := loops[i].Occurrences[0], loops[j].Occurrences[0]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return loops[i].Hash < loops[j].Hash
+	})
+	rep.Loops = make([]Loop, len(loops))
+	for i, l := range loops {
+		rep.Loops[i] = *l
+	}
+	sortSkips(rep.Skips)
+}
+
+func sortSkips(skips []Skip) {
+	sort.Slice(skips, func(i, j int) bool {
+		if skips[i].File != skips[j].File {
+			return skips[i].File < skips[j].File
+		}
+		return skips[i].Line < skips[j].Line
+	})
+}
+
+// fromAdvisor flattens an advisor suggestion into the report form.
+func fromAdvisor(s *advisor.Suggestion) *Suggestion {
+	if s == nil {
+		return nil
+	}
+	out := &Suggestion{
+		Parallelize: s.Parallelize,
+		Probability: s.Probability,
+		Confidence:  s.Confidence.String(),
+	}
+	out.Notes = append(out.Notes, s.Notes...)
+	if s.Directive != nil {
+		out.Directive = s.Directive.String()
+	}
+	return out
+}
+
+func (s *Suggestion) clone() *Suggestion {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Notes = append([]string(nil), s.Notes...)
+	return &c
+}

@@ -485,6 +485,27 @@ func (e *Engine) Suggest(ctx context.Context, code string) (*advisor.Suggestion,
 	return out.s, out.err
 }
 
+// SuggestBatch fans a batch of snippets out through the suggest batcher
+// concurrently: the dispatcher coalesces them (together with any other
+// in-flight callers) into batched forwards, so a repo scan riding the
+// engine shares batches with live traffic instead of bypassing it.
+// Engine-level failures (cancellation, close) surface per item, matching
+// advisor.Models.SuggestBatch's per-item error contract.
+func (e *Engine) SuggestBatch(ctx context.Context, codes []string) ([]advisor.BatchItem, error) {
+	items := make([]advisor.BatchItem, len(codes))
+	var wg sync.WaitGroup
+	for i, code := range codes {
+		wg.Add(1)
+		go func(i int, code string) {
+			defer wg.Done()
+			s, err := e.Suggest(ctx, code)
+			items[i] = advisor.BatchItem{Suggestion: s, Err: err}
+		}(i, code)
+	}
+	wg.Wait()
+	return items, nil
+}
+
 // Models exposes the currently served bundle (the HTTP layer needs the
 // vocabulary). The pointer may be superseded by a concurrent Reload; one
 // request sees one coherent bundle.

@@ -13,6 +13,7 @@ import (
 //
 //	POST /predict {"code": "..."} | {"codes": [...]} | {"ids": [[...]]}
 //	POST /suggest {"code": "..."} | {"codes": [...]}
+//	POST /scan    {"files": [{"path": "a.c", "source": "..."}], "format": "json"|"sarif"}
 //	POST /reload  (empty body — hot-swaps models from the configured source)
 //	GET  /healthz
 //
@@ -68,6 +69,7 @@ func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /predict", e.handlePredict)
 	mux.HandleFunc("POST /suggest", e.handleSuggest)
+	mux.HandleFunc("POST /scan", e.handleScan)
 	mux.HandleFunc("POST /reload", e.handleReload)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	return mux

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pragformer/internal/scan"
+)
+
+const scanBody = `{"files": [
+  {"path": "kernels.c", "source": "void f(double *x, double *y, int n) {\n    int i;\n    for (i = 0; i < n; i++) x[i] = y[i] * 2.0;\n    for (i = 0; i < n; i++) x[i] = y[i] * 2.0;\n}\n"},
+  {"path": "broken.c", "source": "void g( {\n"}
+]}`
+
+func scanOnce(t *testing.T, e *Engine, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest("POST", "/scan", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	e.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// TestHTTPScan drives /scan end to end: multi-file payload in, deduped
+// report out, with the inference riding the engine's suggest batcher.
+func TestHTTPScan(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	w := scanOnce(t, e, scanBody)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var rep scan.Report
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Counters
+	if c.Files != 1 || c.Skipped != 1 {
+		t.Errorf("files/skipped = %d/%d, want 1/1", c.Files, c.Skipped)
+	}
+	if c.Loops != 2 || c.Unique != 1 {
+		t.Errorf("loops/unique = %d/%d, want 2/1 (identical loops must dedupe)", c.Loops, c.Unique)
+	}
+	if c.Inferred != 1 {
+		t.Errorf("inferred = %d, want 1", c.Inferred)
+	}
+	if len(rep.Loops) != 1 || len(rep.Loops[0].Occurrences) != 2 {
+		t.Fatalf("loops = %+v", rep.Loops)
+	}
+	occ := rep.Loops[0].Occurrences[0]
+	if occ.File != "kernels.c" || occ.Line != 3 || occ.Function != "f" {
+		t.Errorf("occurrence = %+v", occ)
+	}
+	if rep.Loops[0].Suggestion == nil {
+		t.Error("loop missing suggestion")
+	}
+	if rep.Backend != e.Stats().Backend {
+		t.Errorf("report backend %q != engine %q", rep.Backend, e.Stats().Backend)
+	}
+
+	// The scan's inference went through the suggest batcher, and a repeat
+	// scan of the same payload is answered from the engine's LRU.
+	st := e.Stats().Suggest
+	if st.Requests == 0 || st.Batches == 0 {
+		t.Errorf("scan bypassed the suggest batcher: %+v", st)
+	}
+	scanOnce(t, e, scanBody)
+	if hits := e.Stats().Suggest.CacheHits; hits == 0 {
+		t.Errorf("repeat scan produced no engine cache hits")
+	}
+}
+
+// TestHTTPScanParity pins /scan suggestions to the direct engine suggest
+// path for the same snippet.
+func TestHTTPScanParity(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	w := scanOnce(t, e, scanBody)
+	var rep scan.Report
+	if err := json.Unmarshal(w.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := e.Suggest(context.Background(), rep.Loops[0].Snippet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Loops[0].Suggestion.Probability; got != direct.Probability {
+		t.Errorf("scan probability %v != direct %v", got, direct.Probability)
+	}
+}
+
+func TestHTTPScanSARIF(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	body := strings.Replace(scanBody, `]}`, `], "format": "sarif"}`, 1)
+	w := scanOnce(t, e, body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []json.RawMessage
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Errorf("sarif version %q runs %d", log.Version, len(log.Runs))
+	}
+}
+
+func TestHTTPScanRejects(t *testing.T) {
+	models := testModels(t)
+	e, err := New(models, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	for _, tc := range []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed", `{"files": [`, http.StatusBadRequest},
+		{"empty", `{"files": []}`, http.StatusBadRequest},
+		{"no path", `{"files": [{"source": "int x;"}]}`, http.StatusBadRequest},
+		{"bad format", `{"files": [{"path": "a.c", "source": ""}], "format": "xml"}`, http.StatusBadRequest},
+	} {
+		if w := scanOnce(t, e, tc.body); w.Code != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, w.Code, tc.status)
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(`{"files": [`)
+	for i := 0; i < maxScanFiles+1; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`{"path": "a.c", "source": ""}`)
+	}
+	b.WriteString(`]}`)
+	if w := scanOnce(t, e, b.String()); w.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized file count: status %d", w.Code)
+	}
+}
