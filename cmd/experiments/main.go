@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "pipeline seed")
 		workers = flag.Int("workers", 1, "data-parallel training workers (<=1 sequential)")
 		ckDir   = flag.String("checkpoint-dir", "", "checkpoint each model training here; reruns resume/restore")
+		tree    = flag.String("scantree", "examples/scantree", "fixture tree for the agreement study (empty: corpus only)")
 		quiet   = flag.Bool("q", false, "suppress progress output")
 		list    = flag.Bool("list", false, "list experiment names and exit")
 	)
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Workers: *workers, CheckpointDir: *ckDir}
+	cfg := experiments.Config{Seed: *seed, Workers: *workers, CheckpointDir: *ckDir, ScanTree: *tree}
 	if *ckDir != "" {
 		if err := os.MkdirAll(*ckDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)

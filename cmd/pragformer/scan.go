@@ -86,8 +86,8 @@ func cmdScan(args []string) {
 	}
 
 	c := rep.Counters
-	fmt.Fprintf(os.Stderr, "scanned %d files (%d skipped): %d loops, %d unique, %d cached, %d inferred on %s\n",
-		c.Files, c.Skipped, c.Loops, c.Unique, c.CacheHits, c.Inferred, cfg.Backend)
+	fmt.Fprintf(os.Stderr, "scanned %d files (%d skipped): %d loops, %d unique, %d cached, %d inferred, %d disagreements on %s\n",
+		c.Files, c.Skipped, c.Loops, c.Unique, c.CacheHits, c.Inferred, c.Disagreements, cfg.Backend)
 
 	if *stable {
 		rep = rep.Stable()

@@ -60,7 +60,7 @@ func main() {
 		if s.Parallelize {
 			verdict = "add " + s.Directive.String()
 		}
-		fmt.Printf("  PragFormer: p=%.2f → %s [%s]\n", s.Probability, verdict, s.Confidence)
+		fmt.Printf("  PragFormer: p=%.2f → %s [%s]\n", s.Probability, verdict, s.Corroboration.Tier)
 		for _, note := range s.Notes {
 			fmt.Printf("  note:       %s\n", note)
 		}

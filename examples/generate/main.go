@@ -1,7 +1,7 @@
 // Generate: the paper's §6 end-goal — produce entire OpenMP directives.
 // Three PragFormer classifiers (directive / private / reduction) gate the
 // decision, the dependence analysis supplies clause variables, and ComPar
-// corroboration grades confidence, exactly the combined workflow the paper
+// corroboration grades the verdict tier, exactly the combined workflow the paper
 // proposes ("in cases both the model and the S2S compilers agree on a
 // directive, it will remain").
 package main
@@ -37,7 +37,7 @@ func main() {
 		fmt.Println(strings.Repeat("─", 64))
 		if s.Directive != nil {
 			fmt.Println(s.Annotate(src))
-			fmt.Printf("  (p=%.2f, confidence: %s)\n", s.Probability, s.Confidence)
+			fmt.Printf("  (p=%.2f, tier: %s)\n", s.Probability, s.Corroboration.Tier)
 		} else {
 			fmt.Println(src)
 			fmt.Printf("  left serial (p=%.2f)\n", s.Probability)

@@ -1,0 +1,11 @@
+/* A carried dependence dressed up as a reduction: each element folds in
+ * its predecessor, so iteration order matters and the loop must stay
+ * serial. The directive classifier tends to flag the compound update —
+ * this is the disagreement fixture behind SARIF rule PF1003. */
+
+void smooth(double *s, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        s[i] += s[i - 1];
+    }
+}

@@ -13,13 +13,17 @@
 package advisor
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"pragformer/internal/cast"
 	"pragformer/internal/core"
 	"pragformer/internal/cparse"
 	"pragformer/internal/dep"
+	"pragformer/internal/lime"
 	"pragformer/internal/pragma"
 	"pragformer/internal/s2s"
 	"pragformer/internal/tokenize"
@@ -45,10 +49,18 @@ type Models struct {
 	// suggestions. Nil wires the default s2s.NewComPar trio on first use —
 	// once per Models, not once per call.
 	ComPar s2s.Compiler
-	// NoCorroborate skips the S2S corroboration entirely; Confidence then
-	// never reaches ComParAgrees. Serving paths that cannot afford the
-	// member-compiler passes set this.
+	// NoCorroborate skips the S2S corroboration entirely; the tier then
+	// never reaches TierCorroborated and Corroboration.S2S stays empty.
+	// Serving paths that cannot afford the member-compiler passes set this.
 	NoCorroborate bool
+	// NoExplain skips the LIME attribution on disagreements (the
+	// perturbation forwards dominate a disagreement's cost). Attributions
+	// are then always empty.
+	NoExplain bool
+	// LimeSamples overrides the perturbation sample count for disagreement
+	// attributions (default 120). Changing it changes attribution values, so
+	// every entry point over one tree must use the same setting.
+	LimeSamples int
 
 	comparOnce sync.Once
 }
@@ -106,6 +118,7 @@ func (m *Models) WithBackend(name string) (*Models, error) {
 	out := &Models{
 		Vocab: m.Vocab, MaxLen: m.MaxLen,
 		ComPar: m.ComPar, NoCorroborate: m.NoCorroborate,
+		NoExplain: m.NoExplain, LimeSamples: m.LimeSamples,
 	}
 	var err error
 	if out.Directive, err = convert(m.Directive); err != nil {
@@ -129,32 +142,107 @@ type Suggester interface {
 	SuggestBatch(codes []string) ([]BatchItem, error)
 }
 
-var _ Suggester = (*Models)(nil)
+// SnippetSuggester is the AST-threading extension of Suggester: callers
+// that already parsed a snippet (the scanner holds every loop's *cast.For)
+// hand the loop over so corroboration does not parse it a second time.
+// Models implements it; the serving engine's string-keyed batcher does not
+// and falls back to SuggestBatch.
+type SnippetSuggester interface {
+	SuggestSnippets(snippets []Snippet) ([]BatchItem, error)
+}
 
-// Confidence grades how strongly a suggestion is corroborated.
-type Confidence int
-
-const (
-	// ModelOnly means only PragFormer supports the directive.
-	ModelOnly Confidence = iota
-	// AnalysisAgrees means the dependence analysis also finds the loop
-	// parallelizable.
-	AnalysisAgrees
-	// ComParAgrees means the S2S compiler independently inserted a
-	// directive too — the paper's "verifying the correctness" case.
-	ComParAgrees
+var (
+	_ Suggester        = (*Models)(nil)
+	_ SnippetSuggester = (*Models)(nil)
 )
 
-// String names the confidence grade.
-func (c Confidence) String() string {
-	switch c {
-	case ComParAgrees:
+// Tier grades how the model's positive verdict relates to the classical
+// analyses. The ordering is meaningful for the agreeing tiers (higher =
+// more independent support); TierDisagree sits below zero because it is not
+// a weaker form of agreement but its own outcome — the paper's mined
+// disagreement case.
+type Tier int
+
+const (
+	// TierDisagree means the dependence analysis ran and found the loop NOT
+	// parallelizable while the model says parallelize — the review case
+	// (SARIF PF1003). The witness carries the analysis' reasons.
+	TierDisagree Tier = iota - 1
+	// TierModelOnly means only PragFormer supports the directive: the
+	// dependence analysis could not run (unparseable snippet, no affine
+	// loop header to analyze).
+	TierModelOnly
+	// TierAnalysisAgrees means the dependence analysis also finds the loop
+	// parallelizable.
+	TierAnalysisAgrees
+	// TierCorroborated means an S2S member compiler independently inserted
+	// a directive on top of analysis agreement — the paper's "verifying the
+	// correctness" case. S2S results never upgrade a disagreement.
+	TierCorroborated
+)
+
+// String names the tier.
+func (t Tier) String() string {
+	switch t {
+	case TierCorroborated:
 		return "model+analysis+compar"
-	case AnalysisAgrees:
+	case TierAnalysisAgrees:
 		return "model+analysis"
+	case TierDisagree:
+		return "disagree"
 	default:
 		return "model-only"
 	}
+}
+
+// ParseTier inverts String. Unknown strings map to TierModelOnly, the
+// tier that claims the least.
+func ParseTier(s string) Tier {
+	switch s {
+	case "model+analysis+compar":
+		return TierCorroborated
+	case "model+analysis":
+		return TierAnalysisAgrees
+	case "disagree":
+		return TierDisagree
+	default:
+		return TierModelOnly
+	}
+}
+
+// CompilerVerdict is one S2S compiler's outcome on a snippet, kept as
+// corroboration evidence.
+type CompilerVerdict struct {
+	// Compiler is the member name (Par4All, AutoPar, Cetus — or the
+	// combined compiler's name when Models.ComPar is not a *s2s.ComPar).
+	Compiler string
+	// Compiled is false when the compiler's frontend rejected the snippet.
+	Parallelized bool
+	Compiled     bool
+	// Detail carries the compile error or the decisive reason the compiler
+	// declined to parallelize.
+	Detail string
+}
+
+// Corroboration is the structured evidence behind a positive suggestion:
+// instead of a single ratcheting confidence grade, it records what each
+// analysis actually concluded so a disagreement is representable, not
+// silently dropped.
+type Corroboration struct {
+	// Tier summarizes the evidence.
+	Tier Tier
+	// DepRan reports whether the dependence analysis produced a verdict
+	// (the loop header was an analyzable normalized for-loop).
+	DepRan bool
+	// DepAgrees is the analysis' parallelizability verdict (meaningful only
+	// when DepRan).
+	DepAgrees bool
+	// DepWitness carries the analysis' reasons — the carried-dependence or
+	// reduction-pattern evidence from dep.Analysis.Reasons.
+	DepWitness []string
+	// S2S holds the per-compiler corroboration verdicts (empty under
+	// NoCorroborate).
+	S2S []CompilerVerdict
 }
 
 // Suggestion is the advisor's output for one snippet.
@@ -165,17 +253,36 @@ type Suggestion struct {
 	Probability float64
 	// Directive is the generated pragma (nil when Parallelize is false).
 	Directive *pragma.Directive
-	// Confidence grades corroboration.
-	Confidence Confidence
+	// Corroboration is the evidence behind a positive verdict.
+	Corroboration Corroboration
+	// Attributions is the LIME token attribution computed for
+	// disagreements (TierDisagree): which tokens pushed the directive
+	// classifier toward "parallelize" against the analysis' verdict. Fitted
+	// on the classifier's hard labels and seeded from the snippet's content
+	// hash, so agreeing backends produce identical attributions. Entries
+	// are in token order, one per (truncated) input token.
+	Attributions []lime.Attribution
 	// Notes explains the clause decisions.
 	Notes []string
 }
+
+// Tier is shorthand for s.Corroboration.Tier.
+func (s *Suggestion) Tier() Tier { return s.Corroboration.Tier }
 
 // BatchItem is one snippet's outcome within a SuggestBatch call: either a
 // suggestion or a per-snippet error (unlexable input), never both.
 type BatchItem struct {
 	Suggestion *Suggestion
 	Err        error
+}
+
+// Snippet is one unit of advice: the source text plus, optionally, its
+// already-parsed loop. A nil Loop means "parse Code on demand" — the
+// single-snippet and HTTP paths; the scanner threads the loop it extracted
+// so corroboration never re-parses on the scan hot path.
+type Snippet struct {
+	Code string
+	Loop *cast.For
 }
 
 // Suggest runs the full pipeline over a single code snippet.
@@ -193,24 +300,37 @@ func (m *Models) Suggest(code string) (*Suggestion, error) {
 // the whole batch, so the per-call model overhead is amortized across
 // snippets; results are identical to calling Suggest per snippet.
 func (m *Models) SuggestBatch(codes []string) ([]BatchItem, error) {
+	snippets := make([]Snippet, len(codes))
+	for i, code := range codes {
+		snippets[i] = Snippet{Code: code}
+	}
+	return m.SuggestSnippets(snippets)
+}
+
+// SuggestSnippets is SuggestBatch over snippets that may carry their parsed
+// loop. Verdicts are identical either way — a threaded loop only skips the
+// re-parse inside the dependence analysis.
+func (m *Models) SuggestSnippets(snippets []Snippet) ([]BatchItem, error) {
 	if m.Directive == nil || m.Vocab == nil {
 		return nil, fmt.Errorf("advisor: directive model and vocabulary are required")
 	}
 	maxLen := m.EffectiveMaxLen()
-	items := make([]BatchItem, len(codes))
+	items := make([]BatchItem, len(snippets))
 
 	// Tokenize everything up front; the encodable snippets form the batch.
 	var (
-		idsBatch [][]int // encoded id sequences, one per encodable snippet
-		at       []int   // items index of each batch position
+		idsBatch [][]int    // encoded id sequences, one per encodable snippet
+		tokBatch [][]string // raw tokens, reused by the LIME attribution
+		at       []int      // items index of each batch position
 	)
-	for i, code := range codes {
-		toks, err := tokenize.Extract(code, tokenize.Text)
+	for i, sn := range snippets {
+		toks, err := tokenize.Extract(sn.Code, tokenize.Text)
 		if err != nil {
 			items[i].Err = fmt.Errorf("advisor: %w", err)
 			continue
 		}
 		idsBatch = append(idsBatch, m.Vocab.Encode(toks, maxLen))
+		tokBatch = append(tokBatch, toks)
 		at = append(at, i)
 	}
 	if len(idsBatch) == 0 {
@@ -221,8 +341,9 @@ func (m *Models) SuggestBatch(codes []string) ([]BatchItem, error) {
 	// classifier over the positive subset only.
 	probs := m.Directive.PredictBatch(idsBatch)
 	var (
-		posIDs [][]int
-		posAt  []int // items index of each positive
+		posIDs  [][]int
+		posAt   []int // items index of each positive
+		posToks [][]string
 	)
 	for j, i := range at {
 		s := &Suggestion{Probability: probs[j], Parallelize: probs[j] > 0.5}
@@ -230,6 +351,7 @@ func (m *Models) SuggestBatch(codes []string) ([]BatchItem, error) {
 		if s.Parallelize {
 			posIDs = append(posIDs, idsBatch[j])
 			posAt = append(posAt, i)
+			posToks = append(posToks, tokBatch[j])
 		} else {
 			s.Notes = append(s.Notes, "directive classifier below threshold")
 		}
@@ -246,18 +368,18 @@ func (m *Models) SuggestBatch(codes []string) ([]BatchItem, error) {
 		wantReduction = m.Reduction.PredictLabelBatch(posIDs)
 	}
 	for k, i := range posAt {
-		m.finish(items[i].Suggestion, codes[i], wantPrivate[k], wantReduction[k])
+		m.finish(items[i].Suggestion, snippets[i], posToks[k], wantPrivate[k], wantReduction[k])
 	}
 	return items, nil
 }
 
 // finish completes a positive suggestion: dependence analysis, clause
-// assembly, schedule hint, and confidence grading. wantPrivate and
+// assembly, schedule hint, and corroboration grading. wantPrivate and
 // wantReduction carry the clause classifiers' verdicts (false when the
 // classifier is absent — the analysis then decides).
-func (m *Models) finish(s *Suggestion, code string, wantPrivate, wantReduction bool) {
+func (m *Models) finish(s *Suggestion, sn Snippet, toks []string, wantPrivate, wantReduction bool) {
 	d := &pragma.Directive{ParallelFor: true}
-	analysis := analyze(code)
+	analysis := analyzeSnippet(sn)
 
 	if analysis != nil {
 		if m.Private == nil {
@@ -293,35 +415,152 @@ func (m *Models) finish(s *Suggestion, code string, wantPrivate, wantReduction b
 	}
 	s.Directive = d
 
-	// Confidence grading.
-	if analysis != nil && analysis.Parallelizable {
-		s.Confidence = AnalysisAgrees
+	// Corroboration grading. Unlike the old ratchet-up confidence ladder, a
+	// dependence-analysis disagreement is terminal: a successful S2S compile
+	// must not overwrite "the analysis found a carried dependence" — that is
+	// exactly the disagreement the paper mines.
+	cor := &s.Corroboration
+	if analysis != nil && analysis.Header.OK {
+		cor.DepRan = true
+		cor.DepAgrees = analysis.Parallelizable
+		cor.DepWitness = append(cor.DepWitness, analysis.Reasons...)
+	}
+	switch {
+	case cor.DepRan && cor.DepAgrees:
+		cor.Tier = TierAnalysisAgrees
+	case cor.DepRan:
+		cor.Tier = TierDisagree
+	default:
+		cor.Tier = TierModelOnly
 	}
 	if !m.NoCorroborate {
-		if res, err := m.comparator().Compile(code); err == nil && res.Directive != nil {
-			s.Confidence = ComParAgrees
+		cor.S2S = m.compileEach(sn.Code)
+		if cor.Tier == TierAnalysisAgrees {
+			for _, v := range cor.S2S {
+				if v.Parallelized {
+					cor.Tier = TierCorroborated
+					break
+				}
+			}
 		}
 	}
+	if cor.Tier == TierDisagree && !m.NoExplain {
+		s.Attributions = m.explainDisagreement(sn.Code, toks)
+	}
+}
+
+// compileEach collects the per-compiler corroboration evidence. A ComPar
+// comparator is unwrapped into its member verdicts; any other Compiler
+// yields a single verdict under its own name.
+func (m *Models) compileEach(code string) []CompilerVerdict {
+	flatten := func(name string, res s2s.Result, err error) CompilerVerdict {
+		v := CompilerVerdict{Compiler: name}
+		if err != nil {
+			v.Detail = err.Error()
+			return v
+		}
+		v.Compiled = true
+		v.Parallelized = res.Directive != nil
+		if !v.Parallelized && len(res.Reasons) > 0 {
+			// The last reason is the decisive one (analyses append their
+			// verdict on exit).
+			v.Detail = res.Reasons[len(res.Reasons)-1]
+		}
+		return v
+	}
+	comp := m.comparator()
+	if cp, ok := comp.(*s2s.ComPar); ok {
+		vs := cp.CompileEach(code)
+		out := make([]CompilerVerdict, len(vs))
+		for i, v := range vs {
+			out[i] = flatten(v.Compiler, v.Result, v.Err)
+		}
+		return out
+	}
+	res, err := comp.Compile(code)
+	return []CompilerVerdict{flatten(comp.Name(), res, err)}
+}
+
+// explainDisagreement runs LIME over the directive classifier's HARD label
+// for a disagreeing snippet: which tokens push the model toward
+// "parallelize" against the dependence analysis. Two determinism rules keep
+// attributions reproducible across entry points and backends:
+//
+//   - the explainer is seeded from the snippet's content hash (the same
+//     sha-256 the scanner dedupes on), not from any run state;
+//   - the surrogate is fitted on thresholded labels (1.0/0.0), so backends
+//     that agree on every perturbation label produce identical weights,
+//     while raw probabilities would differ between float64 and int8.
+//
+// Attributions are returned in token order covering every (truncated)
+// input token; consumers pick their own top-K by |weight|.
+func (m *Models) explainDisagreement(code string, toks []string) []lime.Attribution {
+	maxLen := m.EffectiveMaxLen()
+	if len(toks) > maxLen {
+		// The classifier never sees past the encode cap, and the surrogate
+		// fit is cubic in token count — explain what the model reads.
+		toks = toks[:maxLen]
+	}
+	ex := lime.New(limeSeed(code))
+	ex.Samples = m.LimeSamples
+	if ex.Samples <= 0 {
+		ex.Samples = 120
+	}
+	predict := func(batch [][]string) []float64 {
+		ids := make([][]int, len(batch))
+		for i, ts := range batch {
+			ids[i] = m.Vocab.Encode(ts, maxLen)
+		}
+		probs := m.Directive.PredictBatch(ids)
+		labels := make([]float64, len(probs))
+		for i, p := range probs {
+			if p > 0.5 {
+				labels[i] = 1
+			}
+		}
+		return labels
+	}
+	attrs := ex.ExplainBatch(toks, predict, 0)
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Index < attrs[j].Index })
+	return attrs
+}
+
+// limeSeed derives the attribution seed from the snippet text itself, so
+// every entry point (CLI, HTTP, direct advisor) and every backend explains
+// a given loop identically.
+func limeSeed(code string) int64 {
+	sum := sha256.Sum256([]byte(code))
+	return int64(binary.BigEndian.Uint64(sum[:8]))
+}
+
+// analyzeSnippet runs the dependence analysis over the snippet's target
+// loop, parsing only when the caller did not thread one in; nil when no
+// loop is analyzable.
+func analyzeSnippet(sn Snippet) *dep.Analysis {
+	loop := sn.Loop
+	funcs := map[string]*cast.FuncDef{}
+	if loop == nil {
+		f, err := cparse.Parse(sn.Code)
+		if err != nil {
+			return nil
+		}
+		loop = s2s.FirstLoop(f)
+		for _, it := range f.Items {
+			if fd, ok := it.(*cast.FuncDef); ok {
+				funcs[fd.Name] = fd
+			}
+		}
+	}
+	if loop == nil {
+		return nil
+	}
+	return dep.AnalyzeLoop(loop, funcs)
 }
 
 // analyze parses the snippet and runs the dependence analysis over its
 // target loop; nil when no loop is analyzable.
 func analyze(code string) *dep.Analysis {
-	f, err := cparse.Parse(code)
-	if err != nil {
-		return nil
-	}
-	loop := s2s.FirstLoop(f)
-	if loop == nil {
-		return nil
-	}
-	funcs := map[string]*cast.FuncDef{}
-	for _, it := range f.Items {
-		if fd, ok := it.(*cast.FuncDef); ok {
-			funcs[fd.Name] = fd
-		}
-	}
-	return dep.AnalyzeLoop(loop, funcs)
+	return analyzeSnippet(Snippet{Code: code})
 }
 
 // Annotate returns the snippet with the suggested directive prepended, or

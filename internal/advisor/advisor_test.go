@@ -6,7 +6,9 @@ import (
 
 	"pragformer/internal/core"
 	"pragformer/internal/corpus"
+	"pragformer/internal/cparse"
 	"pragformer/internal/dataset"
+	"pragformer/internal/pragma"
 	"pragformer/internal/s2s"
 	"pragformer/internal/tokenize"
 	"pragformer/internal/train"
@@ -86,8 +88,11 @@ func TestSuggestReduction(t *testing.T) {
 	if s.Directive == nil || !s.Directive.HasReduction() {
 		t.Errorf("directive = %v, want reduction clause", s.Directive)
 	}
-	if s.Confidence < AnalysisAgrees {
-		t.Errorf("confidence = %v, analysis should agree", s.Confidence)
+	if s.Corroboration.Tier < TierAnalysisAgrees {
+		t.Errorf("tier = %v, analysis should agree", s.Corroboration.Tier)
+	}
+	if !s.Corroboration.DepRan || !s.Corroboration.DepAgrees {
+		t.Errorf("corroboration = %+v, want dep ran and agreed", s.Corroboration)
 	}
 }
 
@@ -178,8 +183,14 @@ func TestSuggestBatchMatchesSuggest(t *testing.T) {
 			continue
 		}
 		if got.Parallelize != want.Parallelize || got.Probability != want.Probability ||
-			got.Confidence != want.Confidence {
+			got.Corroboration.Tier != want.Corroboration.Tier {
 			t.Errorf("snippet %d: batch %+v != single %+v", i, got, want)
+		}
+		if strings.Join(got.Corroboration.DepWitness, "|") != strings.Join(want.Corroboration.DepWitness, "|") {
+			t.Errorf("snippet %d: witness %v != %v", i, got.Corroboration.DepWitness, want.Corroboration.DepWitness)
+		}
+		if len(got.Attributions) != len(want.Attributions) {
+			t.Errorf("snippet %d: %d attributions != %d", i, len(got.Attributions), len(want.Attributions))
 		}
 		if (got.Directive == nil) != (want.Directive == nil) {
 			t.Errorf("snippet %d: directive presence mismatch", i)
@@ -201,8 +212,8 @@ func TestSuggestBatchEmpty(t *testing.T) {
 	}
 }
 
-// TestNoCorroborate asserts the S2S pass can be disabled: confidence stays
-// below ComParAgrees and the stub comparator is never consulted.
+// TestNoCorroborate asserts the S2S pass can be disabled: the tier stays
+// below TierCorroborated and the stub comparator is never consulted.
 func TestNoCorroborate(t *testing.T) {
 	base := models(t)
 	m := &Models{
@@ -215,8 +226,11 @@ func TestNoCorroborate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Confidence == ComParAgrees {
+	if s.Corroboration.Tier == TierCorroborated {
 		t.Error("corroboration ran despite NoCorroborate")
+	}
+	if len(s.Corroboration.S2S) != 0 {
+		t.Errorf("S2S evidence %v recorded despite NoCorroborate", s.Corroboration.S2S)
 	}
 }
 
@@ -228,12 +242,20 @@ func (panicCompiler) Compile(string) (s2s.Result, error) {
 	panic("advisor consulted the comparator with NoCorroborate set")
 }
 
-func TestConfidenceString(t *testing.T) {
-	if ModelOnly.String() == "" || AnalysisAgrees.String() == "" || ComParAgrees.String() == "" {
-		t.Error("empty confidence names")
+func TestTierString(t *testing.T) {
+	names := map[string]bool{}
+	for _, tier := range []Tier{TierDisagree, TierModelOnly, TierAnalysisAgrees, TierCorroborated} {
+		name := tier.String()
+		if name == "" {
+			t.Errorf("tier %d has no name", tier)
+		}
+		if names[name] {
+			t.Errorf("tier name %q collides", name)
+		}
+		names[name] = true
 	}
-	if ModelOnly.String() == ComParAgrees.String() {
-		t.Error("confidence names collide")
+	if TierDisagree.String() != "disagree" {
+		t.Errorf("TierDisagree = %q, the scan layer matches on \"disagree\"", TierDisagree)
 	}
 }
 
@@ -247,5 +269,214 @@ func TestAnalyzeHelper(t *testing.T) {
 	a := analyze("for (i = 0; i < n; i++) a[i] = 0;")
 	if a == nil || !a.Parallelizable {
 		t.Error("simple loop should analyze parallelizable")
+	}
+}
+
+// yesBackend is a stub directive classifier that likes every loop — it
+// lets the corroboration tests force a model-positive verdict without
+// training anything.
+type yesBackend struct{}
+
+func (yesBackend) BackendName() string { return "stub" }
+func (yesBackend) VocabSize() int      { return 1 << 20 }
+func (yesBackend) MaxSeqLen() int      { return 64 }
+func (yesBackend) Predict([]int) float64 {
+	return 0.9
+}
+func (yesBackend) PredictLabel([]int) bool { return true }
+func (yesBackend) PredictBatch(idsBatch [][]int) []float64 {
+	out := make([]float64, len(idsBatch))
+	for i := range out {
+		out[i] = 0.9
+	}
+	return out
+}
+func (yesBackend) PredictBatchProbs(idsBatch [][]int) [][2]float64 {
+	out := make([][2]float64, len(idsBatch))
+	for i := range out {
+		out[i] = [2]float64{0.1, 0.9}
+	}
+	return out
+}
+func (yesBackend) PredictLabelBatch(idsBatch [][]int) []bool {
+	out := make([]bool, len(idsBatch))
+	for i := range out {
+		out[i] = true
+	}
+	return out
+}
+
+// yesCompiler is a stub S2S compiler that parallelizes everything.
+type yesCompiler struct{}
+
+func (yesCompiler) Name() string { return "yes" }
+func (yesCompiler) Compile(string) (s2s.Result, error) {
+	return s2s.Result{Directive: &pragma.Directive{ParallelFor: true}}, nil
+}
+
+// stubModels wires the yes-to-everything classifier with a real vocabulary
+// so the pipeline's tokenize/encode path runs for real.
+func stubModels(t *testing.T, comp s2s.Compiler) *Models {
+	t.Helper()
+	toks, err := tokenize.Extract("for (i = 1; i < n; i++) s[i] += s[i-1] * a[i];", tokenize.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Models{Directive: yesBackend{}, Vocab: tokenize.BuildVocab([][]string{toks}, 1), MaxLen: 64, ComPar: comp}
+}
+
+// TestDisagreementIsTerminal is the confidence-ladder regression: before
+// the tiered Corroboration, a successful ComPar compile unconditionally
+// overwrote the grade with ComParAgrees, erasing "the dependence analysis
+// found a loop-carried dependence". A carried-dep snippet with a compiler
+// that happily parallelizes must stay at TierDisagree.
+func TestDisagreementIsTerminal(t *testing.T) {
+	m := stubModels(t, yesCompiler{})
+	s, err := m.Suggest("for (i = 1; i < n; i++) s[i] += s[i-1];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Parallelize {
+		t.Fatal("stub classifier should parallelize")
+	}
+	cor := s.Corroboration
+	if cor.Tier != TierDisagree {
+		t.Fatalf("tier = %v, want %v: an S2S compile must not upgrade a dependence disagreement", cor.Tier, TierDisagree)
+	}
+	if !cor.DepRan || cor.DepAgrees {
+		t.Errorf("corroboration = %+v, want dep ran and disagreed", cor)
+	}
+	witness := strings.Join(cor.DepWitness, "\n")
+	if !strings.Contains(witness, "dependence") {
+		t.Errorf("witness %q does not name the carried dependence", witness)
+	}
+	// The S2S verdict is still recorded as evidence — it just cannot
+	// outvote the analysis.
+	if len(cor.S2S) != 1 || !cor.S2S[0].Parallelized {
+		t.Errorf("S2S evidence = %+v, want the yes-compiler verdict recorded", cor.S2S)
+	}
+	if len(s.Attributions) == 0 {
+		t.Fatal("disagreement carries no LIME attribution")
+	}
+	for i, a := range s.Attributions {
+		if a.Index != i {
+			t.Fatalf("attributions out of token order at %d: %+v", i, a)
+		}
+	}
+}
+
+// TestTierLadder covers the remaining grades: analysis agreement upgrades
+// to TierCorroborated only through an S2S parallelization, and a snippet
+// the analysis cannot run on stays TierModelOnly even when S2S compiles.
+func TestTierLadder(t *testing.T) {
+	agreeing := "for (i = 0; i < n; i++) s[i] += a[i];"
+	m := stubModels(t, yesCompiler{})
+	s, err := m.Suggest(agreeing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Corroboration.Tier != TierCorroborated {
+		t.Errorf("tier = %v, want %v (analysis + S2S agree)", s.Corroboration.Tier, TierCorroborated)
+	}
+	if len(s.Attributions) != 0 {
+		t.Errorf("agreeing verdict has attributions %v (LIME is disagreement-only)", s.Attributions)
+	}
+
+	m = stubModels(t, s2s.NewComPar())
+	if s, err = m.Suggest(agreeing); err != nil {
+		t.Fatal(err)
+	}
+	if s.Corroboration.Tier != TierCorroborated {
+		t.Errorf("tier = %v, want %v under the real ComPar trio", s.Corroboration.Tier, TierCorroborated)
+	}
+	if len(s.Corroboration.S2S) != 3 {
+		t.Errorf("S2S evidence = %+v, want one verdict per ComPar member", s.Corroboration.S2S)
+	}
+
+	// No analyzable loop: dep cannot run, and S2S parse failures must not
+	// invent agreement.
+	if s, err = m.Suggest("x = y + 1;"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Corroboration.Tier != TierModelOnly || s.Corroboration.DepRan {
+		t.Errorf("corroboration = %+v, want model-only with DepRan false", s.Corroboration)
+	}
+}
+
+// TestSnippetThreadingParity pins SuggestSnippets with a pre-parsed loop to
+// the parse-on-demand path: threading the scanner's AST must not change a
+// single field of the verdict.
+func TestSnippetThreadingParity(t *testing.T) {
+	codes := []string{
+		"for (i = 1; i < n; i++) s[i] += s[i-1];",
+		"for (i = 0; i < n; i++) s[i] += a[i];",
+	}
+	m := stubModels(t, yesCompiler{})
+	for _, code := range codes {
+		f, err := cparse.Parse(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loop := s2s.FirstLoop(f)
+		if loop == nil {
+			t.Fatalf("no loop in %q", code)
+		}
+		threaded, err := m.SuggestSnippets([]Snippet{{Code: code, Loop: loop}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := m.SuggestBatch([]string{code})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := threaded[0].Suggestion, parsed[0].Suggestion
+		if got.Corroboration.Tier != want.Corroboration.Tier ||
+			strings.Join(got.Corroboration.DepWitness, "|") != strings.Join(want.Corroboration.DepWitness, "|") {
+			t.Errorf("%q: threaded %+v != parsed %+v", code, got.Corroboration, want.Corroboration)
+		}
+		if len(got.Attributions) != len(want.Attributions) {
+			t.Fatalf("%q: attribution count %d != %d", code, len(got.Attributions), len(want.Attributions))
+		}
+		for i := range got.Attributions {
+			if got.Attributions[i] != want.Attributions[i] {
+				t.Errorf("%q: attribution %d differs: %+v != %+v", code, i, got.Attributions[i], want.Attributions[i])
+			}
+		}
+	}
+}
+
+// TestAttributionDeterminism: attributions are seeded from the snippet
+// content, so two independent Models over the same vocabulary explain a
+// disagreement identically — the property the scan cache and the
+// cross-entry-point parity gates rely on.
+func TestAttributionDeterminism(t *testing.T) {
+	code := "for (i = 1; i < n; i++) s[i] += s[i-1];"
+	a := stubModels(t, yesCompiler{})
+	b := stubModels(t, yesCompiler{})
+	sa, err := a.Suggest(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.Suggest(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sa.Attributions) == 0 || len(sa.Attributions) != len(sb.Attributions) {
+		t.Fatalf("attribution counts %d vs %d", len(sa.Attributions), len(sb.Attributions))
+	}
+	for i := range sa.Attributions {
+		if sa.Attributions[i] != sb.Attributions[i] {
+			t.Errorf("attribution %d differs: %+v != %+v", i, sa.Attributions[i], sb.Attributions[i])
+		}
+	}
+	if noEx := stubModels(t, yesCompiler{}); true {
+		noEx.NoExplain = true
+		s, err := noEx.Suggest(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Attributions) != 0 {
+			t.Errorf("NoExplain still produced attributions: %v", s.Attributions)
+		}
 	}
 }

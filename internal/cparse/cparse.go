@@ -8,6 +8,7 @@ package cparse
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pragformer/internal/cast"
 	"pragformer/internal/clex"
@@ -30,8 +31,18 @@ type Parser struct {
 	typedefs map[string]bool
 }
 
+// parses counts Parse calls process-wide; see Parses.
+var parses atomic.Int64
+
+// Parses reports the cumulative number of Parse calls in this process — a
+// testing hook for no-reparse guarantees (the scan pipeline promises each
+// file is parsed exactly once, with the loop AST threaded through to the
+// advisor's corroboration instead of being re-derived from text).
+func Parses() int64 { return parses.Load() }
+
 // Parse parses C source text into an AST.
 func Parse(src string) (*cast.File, error) {
+	parses.Add(1)
 	toks, err := clex.Lex(src)
 	if err != nil {
 		return nil, err

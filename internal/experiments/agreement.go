@@ -1,0 +1,140 @@
+package experiments
+
+// The agreement study audits the corroborated-verdict ladder end to end:
+// it runs the trained directive classifier through the advisor (dependence
+// analysis + S2S corroboration, LIME off — attribution values are not
+// tabulated here) over the held-out test split and the examples/scantree
+// fixture tree, and reports how the positive verdicts distribute across
+// the tiers. On the corpus rows the ground-truth labels additionally say
+// who wins a disagreement: "dep right" counts disagreements where the
+// label sides with the dependence analysis — the number that justifies
+// rendering PF1003 at warning level instead of trusting the model.
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"pragformer/internal/advisor"
+	"pragformer/internal/dataset"
+	"pragformer/internal/scan"
+	"pragformer/internal/tokenize"
+)
+
+// AgreementRow tabulates one source of loops.
+type AgreementRow struct {
+	Source   string
+	Loops    int // suggestions audited (negatives included)
+	Positive int // model verdicts with Parallelize=true
+
+	// Tier distribution over the positive verdicts.
+	ModelOnly    int // dependence analysis could not run
+	AnalysisOnly int // analysis agrees, no S2S member parallelized
+	Corroborated int // analysis agrees and an S2S member parallelized
+	Disagree     int // analysis refutes the model
+
+	// HasTruth marks corpus rows, where labels adjudicate disagreements.
+	HasTruth bool
+	DepRight int // disagreements where the ground truth sides with the analysis
+}
+
+// AgreementTable is the pop_setbench-style one-driver table: every row is
+// produced by the same advisor object, so the numbers are comparable
+// across sources by construction.
+type AgreementTable struct {
+	Rows []AgreementRow
+}
+
+// AdvisorModels bundles the pipeline's trained Text-representation
+// directive classifier into an advisor the way cmd/pragformer would,
+// minus the clause models (the tier ladder only consumes the RQ1
+// verdict). LIME is disabled: this study tabulates tiers, not tokens.
+func (p *Pipeline) AdvisorModels() *advisor.Models {
+	t := p.Model(dataset.TaskDirective, tokenize.Text)
+	return &advisor.Models{
+		Directive: t.Model,
+		Vocab:     p.Vocab(tokenize.Text),
+		MaxLen:    p.P.MaxLen,
+		NoExplain: true,
+	}
+}
+
+// RunAgreement measures model/analysis/S2S agreement on the directive
+// test split and, when scanTree is non-empty, on the loops of that fixture
+// tree (scanned through the same advisor object as the corpus row).
+func (p *Pipeline) RunAgreement(scanTree string) AgreementTable {
+	models := p.AdvisorModels()
+	split := p.DirectiveSplit()
+
+	tab := AgreementTable{}
+	codes := make([]string, len(split.Test))
+	for i, in := range split.Test {
+		codes[i] = in.Rec.Code
+	}
+	p.progress("agreement study: corroborating %d test snippets", len(codes))
+	items, err := models.SuggestBatch(codes)
+	if err != nil {
+		panic(err) // corpus snippets are generated, always lexable
+	}
+	row := AgreementRow{Source: "corpus-test", HasTruth: true}
+	for i, it := range items {
+		if it.Suggestion == nil {
+			continue
+		}
+		tallyTier(&row, it.Suggestion.Corroboration.Tier, it.Suggestion.Parallelize)
+		if it.Suggestion.Corroboration.Tier == advisor.TierDisagree && !split.Test[i].Label {
+			row.DepRight++
+		}
+	}
+	tab.Rows = append(tab.Rows, row)
+
+	if scanTree != "" {
+		p.progress("agreement study: scanning %s", scanTree)
+		rep, err := scan.Dir(context.Background(), scanTree, scan.Config{}, models)
+		if err != nil {
+			panic(fmt.Sprintf("agreement study: scan %s: %v", scanTree, err))
+		}
+		row := AgreementRow{Source: scanTree}
+		for _, l := range rep.Loops {
+			if l.Suggestion == nil {
+				continue
+			}
+			tallyTier(&row, advisor.ParseTier(l.Suggestion.Tier), l.Suggestion.Parallelize)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab
+}
+
+func tallyTier(row *AgreementRow, tier advisor.Tier, positive bool) {
+	row.Loops++
+	if !positive {
+		return
+	}
+	row.Positive++
+	switch tier {
+	case advisor.TierDisagree:
+		row.Disagree++
+	case advisor.TierAnalysisAgrees:
+		row.AnalysisOnly++
+	case advisor.TierCorroborated:
+		row.Corroborated++
+	default:
+		row.ModelOnly++
+	}
+}
+
+// Print renders the table.
+func (t AgreementTable) Print(w io.Writer) {
+	fmt.Fprintln(w, "Corroborated verdicts: tier distribution of positive model verdicts")
+	fmt.Fprintf(w, "  %-18s %6s %9s %11s %15s %21s %9s %10s\n",
+		"source", "loops", "positive", "model-only", "model+analysis", "model+analysis+compar", "disagree", "dep right")
+	for _, r := range t.Rows {
+		right := "—"
+		if r.HasTruth {
+			right = fmt.Sprintf("%d/%d", r.DepRight, r.Disagree)
+		}
+		fmt.Fprintf(w, "  %-18s %6d %9d %11d %15d %21d %9d %10s\n",
+			r.Source, r.Loops, r.Positive, r.ModelOnly, r.AnalysisOnly, r.Corroborated, r.Disagree, right)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAgreementStudy runs the corroboration audit over the Fast-mode
+// pipeline plus the scantree fixture and checks the tier arithmetic: the
+// four tier buckets partition the positives, disagreement adjudication is
+// bounded by the disagreement count, and the fixture row matches the
+// scanner's own loop census.
+func TestAgreementStudy(t *testing.T) {
+	p := testPipeline(t)
+	tab := p.RunAgreement("../../examples/scantree")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("agreement table has %d rows, want 2", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Loops == 0 {
+			t.Fatalf("row %q audited no loops", r.Source)
+		}
+		if got := r.ModelOnly + r.AnalysisOnly + r.Corroborated + r.Disagree; got != r.Positive {
+			t.Errorf("row %q: tier buckets sum to %d, positives = %d", r.Source, got, r.Positive)
+		}
+		if r.Positive > r.Loops {
+			t.Errorf("row %q: positives %d > loops %d", r.Source, r.Positive, r.Loops)
+		}
+		if r.DepRight > r.Disagree {
+			t.Errorf("row %q: dep-right %d > disagreements %d", r.Source, r.DepRight, r.Disagree)
+		}
+	}
+	corpus, tree := tab.Rows[0], tab.Rows[1]
+	if !corpus.HasTruth || tree.HasTruth {
+		t.Errorf("HasTruth: corpus %v tree %v", corpus.HasTruth, tree.HasTruth)
+	}
+	// examples/scantree dedupes to 9 loops, 8 of which reach the advisor
+	// (the annotated axpy loop is reported, not advised).
+	if tree.Loops != 8 {
+		t.Errorf("scantree row audited %d loops, want 8", tree.Loops)
+	}
+}
+
+// TestAgreementExperimentPrints wires the study into the experiment
+// runner under its registered name.
+func TestAgreementExperimentPrints(t *testing.T) {
+	p := testPipeline(t)
+	var buf bytes.Buffer
+	if err := p.Run("agreement", &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Corroborated verdicts", "corpus-test", "disagree", "dep right"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("agreement output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// straight from their checkpoints (best-epoch weights), partial runs
 	// resume bit-identically, and only untrained models start fresh.
 	CheckpointDir string
+	// ScanTree points the agreement study at a fixture tree to scan
+	// alongside the corpus test split; empty skips that row (tests run
+	// from package directories, cmd/experiments points it at
+	// examples/scantree).
+	ScanTree string
 	// Progress, when set, receives status lines during long stages.
 	Progress func(string)
 }

@@ -39,6 +39,22 @@ func New(seed int64) *Explainer {
 // individual tokens, returning attributions sorted by |weight| descending,
 // truncated to topK (topK <= 0 returns all).
 func (e *Explainer) Explain(tokens []string, predict func([]string) float64, topK int) []Attribution {
+	return e.ExplainBatch(tokens, func(batch [][]string) []float64 {
+		out := make([]float64, len(batch))
+		for i, ts := range batch {
+			out[i] = predict(ts)
+		}
+		return out
+	}, topK)
+}
+
+// ExplainBatch is Explain with a batched model: every perturbed variant is
+// collected first and predict is called exactly once over all of them, so a
+// backend with batched forwards (core.PredictBatch, the serving engine)
+// amortizes its per-call overhead across the whole perturbation set. The
+// sampling, weighting and fit are identical to Explain — for a given Seed
+// the two return the same attributions.
+func (e *Explainer) ExplainBatch(tokens []string, predict func([][]string) []float64, topK int) []Attribution {
 	T := len(tokens)
 	if T == 0 {
 		return nil
@@ -55,8 +71,8 @@ func (e *Explainer) Explain(tokens []string, predict func([]string) float64, top
 
 	// Design matrix with intercept column 0.
 	X := make([][]float64, 0, nSamples+1)
-	y := make([]float64, 0, nSamples+1)
 	w := make([]float64, 0, nSamples+1)
+	variants := make([][]string, 0, nSamples+1)
 
 	// Include the unperturbed instance with maximal weight.
 	full := make([]float64, T+1)
@@ -64,10 +80,9 @@ func (e *Explainer) Explain(tokens []string, predict func([]string) float64, top
 		full[i] = 1
 	}
 	X = append(X, full)
-	y = append(y, predict(tokens))
+	variants = append(variants, tokens)
 	w = append(w, 1)
 
-	scratch := make([]string, 0, T)
 	for s := 0; s < nSamples; s++ {
 		mask := make([]float64, T+1)
 		mask[0] = 1 // intercept
@@ -78,26 +93,27 @@ func (e *Explainer) Explain(tokens []string, predict func([]string) float64, top
 		for len(removed) < nRemove {
 			removed[rng.Intn(T)] = true
 		}
-		scratch = scratch[:0]
+		variant := make([]string, 0, T-nRemove)
 		for i, tok := range tokens {
 			if removed[i] {
 				continue
 			}
 			mask[i+1] = 1
 			kept++
-			scratch = append(scratch, tok)
+			variant = append(variant, tok)
 		}
 		if kept == 0 {
 			continue
 		}
 		X = append(X, mask)
-		y = append(y, predict(scratch))
+		variants = append(variants, variant)
 		// Cosine distance between the mask and the all-ones vector is
 		// 1 - sqrt(kept/T); the kernel turns it into a locality weight.
 		d := 1 - math.Sqrt(float64(kept)/float64(T))
 		w = append(w, math.Exp(-(d*d)/(kw*kw)))
 	}
 
+	y := predict(variants)
 	beta := weightedRidge(X, y, w, e.Ridge)
 	attrs := make([]Attribution, T)
 	for i := 0; i < T; i++ {

@@ -17,8 +17,8 @@ import (
 //     loops still get directives (hurting directive precision, Table 8);
 //   - always-static scheduling: unbalanced loops are never given
 //     schedule(dynamic) (§1.1 example #2);
-//   - a frontend that rejects `register`, `restrict` and unknown typedef
-//     names outright.
+//   - a frontend that rejects `register`, `restrict`, `union` and unknown
+//     typedef names outright (the Table 8–10 compile failures).
 type Cetus struct{}
 
 // Name implements Compiler.

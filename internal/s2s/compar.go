@@ -23,23 +23,41 @@ func NewComPar() *ComPar {
 // Name implements Compiler.
 func (*ComPar) Name() string { return "ComPar" }
 
+// MemberVerdict is one member compiler's outcome on a snippet. Err is the
+// member's compile failure; Result is meaningful only when Err is nil.
+type MemberVerdict struct {
+	Compiler string
+	Result   Result
+	Err      error
+}
+
+// CompileEach runs every member compiler and returns the per-member
+// verdicts in Members order — the evidence form the advisor attaches to
+// corroborated suggestions, where "which compiler parallelized" matters,
+// not just the combined best.
+func (c *ComPar) CompileEach(src string) []MemberVerdict {
+	out := make([]MemberVerdict, 0, len(c.Members))
+	for _, m := range c.Members {
+		res, err := m.Compile(src)
+		out = append(out, MemberVerdict{Compiler: m.Name(), Result: res, Err: err})
+	}
+	return out
+}
+
 // Compile implements Compiler: runs all members and keeps the best result.
 func (c *ComPar) Compile(src string) (Result, error) {
 	var (
-		best     Result
-		bestSet  bool
-		failures int
-		lastErr  error
+		best    Result
+		bestSet bool
+		lastErr error
 	)
-	for _, m := range c.Members {
-		res, err := m.Compile(src)
-		if err != nil {
-			failures++
-			lastErr = err
+	for _, v := range c.CompileEach(src) {
+		if v.Err != nil {
+			lastErr = v.Err
 			continue
 		}
-		if !bestSet || score(res) > score(best) {
-			best = res
+		if !bestSet || score(v.Result) > score(best) {
+			best = v.Result
 			bestSet = true
 		}
 	}

@@ -70,7 +70,11 @@ func benchModels(tb testing.TB) *advisor.Models {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return &advisor.Models{Directive: m, Vocab: v, MaxLen: 64, NoCorroborate: true}
+	// NoCorroborate+NoExplain: the bench measures the scan pipeline
+	// (walk/parse/dedupe/batch inference), not the evidence passes — an
+	// untrained model's arbitrary disagreements would otherwise swamp the
+	// metric with LIME perturbation forwards.
+	return &advisor.Models{Directive: m, Vocab: v, MaxLen: 64, NoCorroborate: true, NoExplain: true}
 }
 
 // BenchmarkScanThroughput measures the full pipeline — walk, parse,

@@ -17,8 +17,11 @@ import (
 // equal), and writes go through ckpt.WriteFileAtomic so an interrupted
 // scan never leaves a torn cache.
 
-// cacheVersion guards the on-disk layout.
-const cacheVersion = 1
+// cacheVersion guards the on-disk layout. v2 added the tier, witness, S2S
+// and attribution evidence to Suggestion; v1 entries predate them, so
+// replaying a v1 cache would make a warm scan's bytes diverge from a cold
+// scan's — bump on every Suggestion field change.
+const cacheVersion = 2
 
 type cacheData struct {
 	Version int                    `json:"version"`

@@ -35,6 +35,13 @@ func (r *Report) Stable() *Report {
 		if l.Suggestion != nil {
 			s := l.Suggestion.clone()
 			s.Probability = 0
+			// Attribution weights are backend-identical only while every
+			// perturbation label agrees; the stable form keeps the
+			// attributed token list but drops the numbers so the
+			// cross-backend golden gate stays strictly label-driven.
+			for k := range s.Attributions {
+				s.Attributions[k].Weight = 0
+			}
 			c.Suggestion = s
 		}
 		out.Loops[i] = c

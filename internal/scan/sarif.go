@@ -3,6 +3,9 @@ package scan
 import (
 	"encoding/json"
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 )
 
 // SARIF 2.1.0 rendering, so scan results plug into code-scanning UIs
@@ -13,6 +16,11 @@ import (
 //     message and the loop's content hash in partialFingerprints (the
 //     stable identity SARIF consumers use to track findings across scans);
 //   - loops that already carry a pragma surface as PF1002 notes;
+//   - loops where the model and the dependence analysis disagree (tier
+//     "disagree") become PF1003 warnings instead of PF1001, with the
+//     dependence witness and the top LIME token attributions in the
+//     message and result properties — these are review items, not
+//     apply-me suggestions;
 //   - skipped files become toolExecutionNotifications on the invocation,
 //     with the parse position when one is known.
 //
@@ -28,6 +36,9 @@ const (
 	RuleParallelize = "PF1001"
 	// RuleAnnotated identifies "loop already annotated" notes.
 	RuleAnnotated = "PF1002"
+	// RuleDisagree identifies "model and dependence analysis disagree"
+	// review warnings.
+	RuleDisagree = "PF1003"
 )
 
 type sarifLog struct {
@@ -74,6 +85,7 @@ type sarifResult struct {
 	Message             sarifMessage      `json:"message"`
 	Locations           []sarifLocation   `json:"locations"`
 	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+	Properties          map[string]any    `json:"properties,omitempty"`
 }
 
 type sarifMessage struct {
@@ -99,8 +111,11 @@ type sarifRegion struct {
 }
 
 // SARIF renders the report as a SARIF 2.1.0 log. Like Stable JSON, the
-// output carries no probabilities or cache accounting, so agreeing
-// backends produce byte-identical SARIF.
+// output carries no raw probabilities or cache accounting, so warm and
+// cold scans render identical SARIF. PF1003 properties do carry LIME
+// attribution weights — identical across backends whenever the backends
+// agree on every perturbation label (the hard-label fit), which the
+// cross-backend gate diffs Stable JSON, not SARIF, to avoid assuming.
 func (r *Report) SARIF() ([]byte, error) {
 	run := sarifRun{
 		Tool: sarifTool{Driver: sarifDriver{
@@ -110,6 +125,8 @@ func (r *Report) SARIF() ([]byte, error) {
 					Text: "Loop is a candidate for an OpenMP parallel-for directive"}},
 				{ID: RuleAnnotated, ShortDescription: sarifMessage{
 					Text: "Loop already carries an OpenMP pragma"}},
+				{ID: RuleDisagree, ShortDescription: sarifMessage{
+					Text: "review: model and dependence analysis disagree"}},
 			},
 		}},
 		Results: []sarifResult{},
@@ -132,8 +149,34 @@ func (r *Report) SARIF() ([]byte, error) {
 
 	for _, l := range r.Loops {
 		switch {
+		case l.Suggestion != nil && l.Suggestion.Parallelize && l.Suggestion.Tier == "disagree":
+			s := l.Suggestion
+			msg := fmt.Sprintf("review: model suggests `%s` but the dependence analysis disagrees", s.Directive)
+			if w := witnessSummary(s.Witness); w != "" {
+				msg += fmt.Sprintf(" (%s)", w)
+			}
+			if toks := topTokens(s.Attributions, 3); len(toks) > 0 {
+				msg += fmt.Sprintf("; influential tokens: %s", strings.Join(toks, " "))
+			}
+			props := map[string]any{"tier": s.Tier}
+			if len(s.Witness) > 0 {
+				props["witness"] = s.Witness
+			}
+			if top := topAttributions(s.Attributions, 3); len(top) > 0 {
+				props["attributions"] = top
+			}
+			for _, occ := range l.Occurrences {
+				run.Results = append(run.Results, sarifResult{
+					RuleID:              RuleDisagree,
+					Level:               "warning",
+					Message:             sarifMessage{Text: msg + occContext(occ)},
+					Locations:           []sarifLocation{location(occ.File, occ.Line, occ.Col)},
+					PartialFingerprints: map[string]string{"pragformer/loopHash": l.Hash},
+					Properties:          props,
+				})
+			}
 		case l.Suggestion != nil && l.Suggestion.Parallelize:
-			msg := fmt.Sprintf("suggest `%s` (%s)", l.Suggestion.Directive, l.Suggestion.Confidence)
+			msg := fmt.Sprintf("suggest `%s` (%s)", l.Suggestion.Directive, l.Suggestion.Tier)
 			for _, occ := range l.Occurrences {
 				run.Results = append(run.Results, sarifResult{
 					RuleID:              RuleParallelize,
@@ -162,6 +205,41 @@ func (r *Report) SARIF() ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// witnessSummary picks the decisive dependence reason for the PF1003
+// message: the last witness line names the analysis' verdict.
+func witnessSummary(witness []string) string {
+	if len(witness) == 0 {
+		return ""
+	}
+	return witness[len(witness)-1]
+}
+
+// topAttributions returns the topK attributions by |weight| (ties broken
+// by token order) — the evidence subset PF1003 results carry.
+func topAttributions(attrs []Attribution, topK int) []Attribution {
+	if len(attrs) == 0 {
+		return nil
+	}
+	top := append([]Attribution(nil), attrs...)
+	sort.SliceStable(top, func(i, j int) bool {
+		return math.Abs(top[i].Weight) > math.Abs(top[j].Weight)
+	})
+	if topK > 0 && topK < len(top) {
+		top = top[:topK]
+	}
+	return top
+}
+
+// topTokens renders the top attribution tokens for the message text.
+func topTokens(attrs []Attribution, topK int) []string {
+	top := topAttributions(attrs, topK)
+	out := make([]string, 0, len(top))
+	for _, a := range top {
+		out = append(out, "`"+a.Token+"`")
+	}
+	return out
 }
 
 func occContext(occ Occurrence) string {

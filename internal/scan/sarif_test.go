@@ -3,6 +3,7 @@ package scan
 import (
 	"context"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -88,16 +89,18 @@ func TestSARIFShape(t *testing.T) {
 		}
 		ruleIDs[r.ID] = true
 	}
-	if !ruleIDs[RuleParallelize] || !ruleIDs[RuleAnnotated] {
+	if !ruleIDs[RuleParallelize] || !ruleIDs[RuleAnnotated] || !ruleIDs[RuleDisagree] {
 		t.Errorf("rules = %v", ruleIDs)
 	}
 
-	// Fixture: the stub parallelizes the four "+=" loops (sum + three
-	// matmul levels), and axpy surfaces as an annotated note — 5 results.
-	if len(run.Results) != 5 {
-		t.Fatalf("results = %d, want 5", len(run.Results))
+	// Fixture: the stub parallelizes the five "+=" loops (sum + three
+	// matmul levels + the recur.c disagreement), and axpy surfaces as an
+	// annotated note — 6 results.
+	if len(run.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(run.Results))
 	}
 	annotated := 0
+	disagree := 0
 	for _, res := range run.Results {
 		if !ruleIDs[res.RuleID] {
 			t.Errorf("result rule %q not declared by the driver", res.RuleID)
@@ -121,9 +124,18 @@ func TestSARIFShape(t *testing.T) {
 		if res.RuleID == RuleAnnotated {
 			annotated++
 		}
+		if res.RuleID == RuleDisagree {
+			disagree++
+			if res.Level != "warning" {
+				t.Errorf("PF1003 level = %q, want warning", res.Level)
+			}
+		}
 	}
 	if annotated != 1 {
 		t.Errorf("annotated results = %d, want 1", annotated)
+	}
+	if disagree != 1 {
+		t.Errorf("disagree results = %d, want 1 (the recur.c loop)", disagree)
 	}
 
 	// The broken fixture file surfaces as an invocation notification.
@@ -157,5 +169,57 @@ func TestSARIFBackendStable(t *testing.T) {
 	sb, _ := b.SARIF()
 	if string(sa) != string(sb) {
 		t.Error("SARIF output depends on probabilities or worker count")
+	}
+}
+
+// TestSARIFDisagreeProperties: PF1003 results carry the dependence witness
+// and the top LIME attributions in both the message and the properties bag.
+func TestSARIFDisagreeProperties(t *testing.T) {
+	rep, err := Dir(context.Background(), fixtureTree, Config{}, &stubSuggester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := rep.SARIF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Results []struct {
+				RuleID     string `json:"ruleId"`
+				Message    struct{ Text string }
+				Properties struct {
+					Tier         string        `json:"tier"`
+					Witness      []string      `json:"witness"`
+					Attributions []Attribution `json:"attributions"`
+				} `json:"properties"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(raw, &log); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, res := range log.Runs[0].Results {
+		if res.RuleID != RuleDisagree {
+			continue
+		}
+		found = true
+		if res.Properties.Tier != "disagree" {
+			t.Errorf("properties.tier = %q", res.Properties.Tier)
+		}
+		if len(res.Properties.Witness) == 0 {
+			t.Error("PF1003 result missing witness property")
+		}
+		if len(res.Properties.Attributions) == 0 || res.Properties.Attributions[0].Token == "" {
+			t.Errorf("PF1003 attributions = %+v", res.Properties.Attributions)
+		}
+		if !strings.Contains(res.Message.Text, "dependence analysis disagrees") ||
+			!strings.Contains(res.Message.Text, "influential tokens") {
+			t.Errorf("PF1003 message = %q", res.Message.Text)
+		}
+	}
+	if !found {
+		t.Fatal("no PF1003 result in fixture SARIF")
 	}
 }

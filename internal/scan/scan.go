@@ -107,9 +107,38 @@ type Suggestion struct {
 	Probability float64 `json:"probability,omitempty"`
 	// Directive is the rendered pragma line (empty when Parallelize is
 	// false).
-	Directive  string   `json:"directive,omitempty"`
-	Confidence string   `json:"confidence,omitempty"`
-	Notes      []string `json:"notes,omitempty"`
+	Directive string `json:"directive,omitempty"`
+	// Tier grades the corroboration evidence (advisor.Tier.String());
+	// "disagree" marks the model-positive / analysis-negative loops that
+	// surface as SARIF PF1003.
+	Tier string `json:"tier,omitempty"`
+	// Witness carries the dependence analysis' reasons — the carried
+	// dependence or reduction pattern behind the tier.
+	Witness []string `json:"witness,omitempty"`
+	// S2S holds the per-compiler corroboration verdicts.
+	S2S []S2SVerdict `json:"s2s,omitempty"`
+	// Attributions is the LIME token attribution attached to disagreeing
+	// verdicts, in token order.
+	Attributions []Attribution `json:"attributions,omitempty"`
+	Notes        []string      `json:"notes,omitempty"`
+}
+
+// S2SVerdict is one S2S compiler's corroboration outcome.
+type S2SVerdict struct {
+	Compiler     string `json:"compiler"`
+	Compiled     bool   `json:"compiled"`
+	Parallelized bool   `json:"parallelized,omitempty"`
+	Detail       string `json:"detail,omitempty"`
+}
+
+// Attribution is one token's LIME weight toward the model's positive
+// verdict. Weight is run-independent for agreeing backends (the advisor
+// fits hard labels) but still numeric evidence — Stable() zeroes it so the
+// cross-backend golden gate stays label-only.
+type Attribution struct {
+	Index  int     `json:"index"`
+	Token  string  `json:"token"`
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // Loop is one unique loop (by normalized content hash) with every site it
@@ -132,6 +161,11 @@ type Loop struct {
 	Annotated bool `json:"annotated,omitempty"`
 
 	queued bool // already handed to the inference stage
+	// ast is the loop as parsed by the scan worker, threaded to the advisor
+	// so corroboration skips the second parse. Set once by the collector at
+	// creation, read by the inference stage — same handoff discipline as
+	// Snippet.
+	ast *cast.For
 }
 
 // Skip reports one file the scan could not use, with the parse position
@@ -154,6 +188,10 @@ type Counters struct {
 	// Annotated counts unique loops left unadvised because every
 	// occurrence already carries a pragma.
 	Annotated int `json:"annotated"`
+	// Disagreements counts unique loops whose verdict is the review tier:
+	// model says parallelize, dependence analysis found a carried
+	// dependence (SARIF PF1003).
+	Disagreements int `json:"disagreements"`
 	// CacheHits counts unique loops answered from the persistent cache;
 	// Inferred counts snippets that actually reached the model. A fully
 	// warm re-scan has Inferred == 0.
@@ -262,9 +300,11 @@ type fileOut struct {
 	skip  *Skip
 }
 
-// occLoop is one extracted loop occurrence with its canonical snippet.
+// occLoop is one extracted loop occurrence with its canonical snippet and
+// parsed form.
 type occLoop struct {
 	snippet string
+	loop    *cast.For
 	occ     Occurrence
 }
 
@@ -330,12 +370,8 @@ func run(
 			if ctx.Err() != nil {
 				continue // drain without inferring
 			}
-			codes := make([]string, len(chunk))
-			for i, l := range chunk {
-				codes[i] = l.Snippet
-			}
-			items, err := sg.SuggestBatch(codes)
-			inferred += len(codes)
+			items, err := suggestChunk(sg, chunk)
+			inferred += len(chunk)
 			if err != nil {
 				for _, l := range chunk {
 					l.Error = err.Error()
@@ -397,7 +433,7 @@ collect:
 				h := hashSnippet(ol.snippet)
 				l, seen := byHash[h]
 				if !seen {
-					l = &Loop{Hash: h, Snippet: ol.snippet}
+					l = &Loop{Hash: h, Snippet: ol.snippet, ast: ol.loop}
 					byHash[h] = l
 					loops = append(loops, l)
 					if hit, ok := cache[h]; ok {
@@ -447,6 +483,25 @@ collect:
 	return rep, nil
 }
 
+// suggestChunk hands one chunk of unique loops to the suggester, threading
+// the already-parsed loop ASTs when the suggester can take them (the
+// in-process Models path); string-only suggesters (the serving engine's
+// batcher) re-parse inside corroboration instead.
+func suggestChunk(sg advisor.Suggester, chunk []*Loop) ([]advisor.BatchItem, error) {
+	if ss, ok := sg.(advisor.SnippetSuggester); ok {
+		snippets := make([]advisor.Snippet, len(chunk))
+		for i, l := range chunk {
+			snippets[i] = advisor.Snippet{Code: l.Snippet, Loop: l.ast}
+		}
+		return ss.SuggestSnippets(snippets)
+	}
+	codes := make([]string, len(chunk))
+	for i, l := range chunk {
+		codes[i] = l.Snippet
+	}
+	return sg.SuggestBatch(codes)
+}
+
 // parseSource reads (if needed) and parses one file, extracting its loops.
 func parseSource(src Source, cfg Config, rel func(string) string) fileOut {
 	name := rel(src.Path)
@@ -477,6 +532,7 @@ func parseSource(src Source, cfg Config, rel func(string) string) fileOut {
 	for _, li := range infos {
 		out.loops = append(out.loops, occLoop{
 			snippet: cast.Print(li.Loop),
+			loop:    li.Loop,
 			occ: Occurrence{
 				File: name, Line: li.Loop.Line, Col: li.Loop.Col,
 				Function: li.Function, Depth: li.Depth, Pragma: li.Pragma,
@@ -528,6 +584,9 @@ func finalize(rep *Report, loops []*Loop, includeAnnotated bool) {
 		if annotated && !includeAnnotated {
 			rep.Counters.Annotated++
 		}
+		if l.Suggestion != nil && l.Suggestion.Tier == advisor.TierDisagree.String() {
+			rep.Counters.Disagreements++
+		}
 	}
 	sort.Slice(loops, func(i, j int) bool {
 		a, b := loops[i].Occurrences[0], loops[j].Occurrences[0]
@@ -566,7 +625,19 @@ func fromAdvisor(s *advisor.Suggestion) *Suggestion {
 	out := &Suggestion{
 		Parallelize: s.Parallelize,
 		Probability: s.Probability,
-		Confidence:  s.Confidence.String(),
+		Tier:        s.Corroboration.Tier.String(),
+	}
+	out.Witness = append(out.Witness, s.Corroboration.DepWitness...)
+	for _, v := range s.Corroboration.S2S {
+		out.S2S = append(out.S2S, S2SVerdict{
+			Compiler: v.Compiler, Compiled: v.Compiled,
+			Parallelized: v.Parallelized, Detail: v.Detail,
+		})
+	}
+	for _, a := range s.Attributions {
+		out.Attributions = append(out.Attributions, Attribution{
+			Index: a.Index, Token: a.Token, Weight: a.Weight,
+		})
 	}
 	out.Notes = append(out.Notes, s.Notes...)
 	if s.Directive != nil {
@@ -580,6 +651,9 @@ func (s *Suggestion) clone() *Suggestion {
 		return nil
 	}
 	c := *s
+	c.Witness = append([]string(nil), s.Witness...)
+	c.S2S = append([]S2SVerdict(nil), s.S2S...)
+	c.Attributions = append([]Attribution(nil), s.Attributions...)
 	c.Notes = append([]string(nil), s.Notes...)
 	return &c
 }

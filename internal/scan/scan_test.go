@@ -3,6 +3,7 @@ package scan
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"os"
@@ -13,19 +14,24 @@ import (
 
 	"pragformer/internal/advisor"
 	"pragformer/internal/core"
+	"pragformer/internal/cparse"
+	"pragformer/internal/lime"
 	"pragformer/internal/pragma"
 	"pragformer/internal/tokenize"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files")
 
-// fixtureTree is the shared scan fixture: six C files (one deliberately
-// broken, one pre-annotated, one duplicating a loop from another file).
+// fixtureTree is the shared scan fixture: seven C files (one deliberately
+// broken, one pre-annotated, one duplicating a loop from another file, one
+// carrying a dependence the model still likes — the PF1003 case).
 const fixtureTree = "../../examples/scantree"
 
 // stubSuggester is a deterministic model stand-in: a loop is
-// "parallelizable" iff its snippet contains a compound assignment. It
-// counts calls so cache tests can assert zero model forwards.
+// "parallelizable" iff its snippet contains a compound assignment, and a
+// compound update that reads the previous element ("i - 1") is flagged as
+// a model-vs-analysis disagreement with witness and attribution evidence.
+// It counts calls so cache tests can assert zero model forwards.
 type stubSuggester struct {
 	mu     sync.Mutex
 	calls  int
@@ -55,8 +61,18 @@ func (s *stubSuggester) SuggestBatch(codes []string) ([]advisor.BatchItem, error
 			sg.Parallelize = true
 			sg.Probability = 0.75
 			sg.Directive = &pragma.Directive{ParallelFor: true}
-			sg.Confidence = advisor.AnalysisAgrees
 			sg.Notes = []string{"stub verdict"}
+			if strings.Contains(code, "i - 1") {
+				sg.Corroboration = advisor.Corroboration{
+					Tier: advisor.TierDisagree, DepRan: true,
+					DepWitness: []string{"stub: carried dependence"},
+				}
+				sg.Attributions = []lime.Attribution{{Index: 0, Token: "for", Weight: 0.5}}
+			} else {
+				sg.Corroboration = advisor.Corroboration{
+					Tier: advisor.TierAnalysisAgrees, DepRan: true, DepAgrees: true,
+				}
+			}
 		}
 		out[i] = advisor.BatchItem{Suggestion: sg}
 	}
@@ -105,14 +121,17 @@ func TestScanDirGolden(t *testing.T) {
 func TestScanCountersAndDedupe(t *testing.T) {
 	rep := scanFixture(t, Config{Workers: 4}, &stubSuggester{})
 	c := rep.Counters
-	if c.Files != 5 || c.Skipped != 1 {
-		t.Errorf("files/skipped = %d/%d, want 5/1", c.Files, c.Skipped)
+	if c.Files != 6 || c.Skipped != 1 {
+		t.Errorf("files/skipped = %d/%d, want 6/1", c.Files, c.Skipped)
 	}
-	if c.Loops != 9 || c.Unique != 8 {
-		t.Errorf("loops/unique = %d/%d, want 9/8", c.Loops, c.Unique)
+	if c.Loops != 10 || c.Unique != 9 {
+		t.Errorf("loops/unique = %d/%d, want 10/9", c.Loops, c.Unique)
 	}
 	if c.Annotated != 1 {
 		t.Errorf("annotated = %d, want 1", c.Annotated)
+	}
+	if c.Disagreements != 1 {
+		t.Errorf("disagreements = %d, want 1 (the recur.c carried-dep loop)", c.Disagreements)
 	}
 	// The scale loop appears in stencil.c and nested/kernel.c; the verdict
 	// must be shared across one deduped entry.
@@ -135,10 +154,10 @@ func TestScanCountersAndDedupe(t *testing.T) {
 	if shared.Suggestion == nil {
 		t.Error("deduped loop missing shared verdict")
 	}
-	// Inference ran once per advisable unique loop: 8 unique minus the
+	// Inference ran once per advisable unique loop: 9 unique minus the
 	// annotated axpy loop.
-	if c.Inferred != 7 {
-		t.Errorf("inferred = %d, want 7", c.Inferred)
+	if c.Inferred != 8 {
+		t.Errorf("inferred = %d, want 8", c.Inferred)
 	}
 }
 
@@ -266,7 +285,7 @@ func TestScanAnnotatedCacheDoesNotLeak(t *testing.T) {
 	cachePath := filepath.Join(t.TempDir(), "scan.cache")
 	inclCfg := Config{CachePath: cachePath, Backend: "stub", IncludeAnnotated: true}
 	inclRep := scanFixture(t, inclCfg, &stubSuggester{})
-	if inclRep.Counters.Annotated != 0 || inclRep.Counters.Inferred != 8 {
+	if inclRep.Counters.Annotated != 0 || inclRep.Counters.Inferred != 9 {
 		t.Fatalf("include-annotated counters = %+v", inclRep.Counters)
 	}
 
@@ -417,5 +436,109 @@ func TestScanWorkersParallel(t *testing.T) {
 	b, _ := wide.Stable().JSON()
 	if !bytes.Equal(a, b) {
 		t.Error("report depends on worker count")
+	}
+}
+
+// TestScanCacheVersionMismatch: v1 cache entries predate the tier/witness/
+// attribution evidence, so replaying them would make warm scans diverge
+// from cold — an old-layout cache file must be discarded, not replayed.
+func TestScanCacheVersionMismatch(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "scan.cache")
+	cfg := Config{CachePath: cachePath, Backend: "stub"}
+	scanFixture(t, cfg, &stubSuggester{})
+
+	// Rewrite the valid cache as a v1 file, keeping its entries.
+	data, err := os.ReadFile(cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cf map[string]any
+	if err := json.Unmarshal(data, &cf); err != nil {
+		t.Fatal(err)
+	}
+	if int(cf["version"].(float64)) != cacheVersion {
+		t.Fatalf("cache version = %v, want %d", cf["version"], cacheVersion)
+	}
+	cf["version"] = 1
+	if data, err = json.Marshal(cf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cachePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sg := &stubSuggester{}
+	rep := scanFixture(t, cfg, sg)
+	if calls, _ := sg.counts(); calls == 0 {
+		t.Error("v1 cache was replayed; scan should run cold")
+	}
+	if rep.Counters.CacheHits != 0 {
+		t.Errorf("cache hits from v1 cache = %d, want 0", rep.Counters.CacheHits)
+	}
+}
+
+// TestScanParsesOncePerFile is the no-reparse gate: the scanner threads
+// each loop's parsed AST into the advisor, so a whole scan performs
+// exactly one cparse.Parse per input file — corroboration must not parse
+// snippets a second time.
+func TestScanParsesOncePerFile(t *testing.T) {
+	v := tokenize.BuildVocab([][]string{{"for", "(", ";", ")", "i", "n", "s", "=", "+="}}, 1)
+	m, err := core.New(core.Config{Vocab: v.Size() + 16, MaxLen: 64, D: 16, Heads: 2, Layers: 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := &advisor.Models{Directive: m, Vocab: v, MaxLen: 64, NoCorroborate: true}
+
+	before := cparse.Parses()
+	rep := scanFixture(t, Config{Workers: 4, BatchSize: 2}, models)
+	parses := cparse.Parses() - before
+	// Every file is parsed exactly once, including the broken one (its
+	// parse fails but still counts as a call).
+	want := int64(rep.Counters.Files + rep.Counters.Skipped)
+	if parses != want {
+		t.Errorf("scan performed %d parses for %d files — corroboration re-parsed snippets", parses, want)
+	}
+}
+
+// TestScanDisagreementEvidence checks the evidence flow end to end at the
+// scan layer: the disagreeing loop carries tier, witness and attributions
+// in the JSON report, and Stable() keeps the tokens but zeroes the weights.
+func TestScanDisagreementEvidence(t *testing.T) {
+	rep := scanFixture(t, Config{}, &stubSuggester{})
+	var disagree *Loop
+	for i := range rep.Loops {
+		if s := rep.Loops[i].Suggestion; s != nil && s.Tier == "disagree" {
+			if disagree != nil {
+				t.Fatal("more than one disagreement in stub fixture scan")
+			}
+			disagree = &rep.Loops[i]
+		}
+	}
+	if disagree == nil {
+		t.Fatal("no disagreement in fixture scan")
+	}
+	if disagree.Occurrences[0].File != "recur.c" {
+		t.Errorf("disagreement at %+v, want recur.c", disagree.Occurrences[0])
+	}
+	s := disagree.Suggestion
+	if len(s.Witness) == 0 || len(s.Attributions) == 0 {
+		t.Fatalf("disagreement missing evidence: %+v", s)
+	}
+	if s.Attributions[0].Weight == 0 {
+		t.Error("report attributions lost their weights")
+	}
+	stable := rep.Stable()
+	for _, l := range stable.Loops {
+		if l.Suggestion == nil {
+			continue
+		}
+		for _, a := range l.Suggestion.Attributions {
+			if a.Weight != 0 {
+				t.Errorf("stable report keeps attribution weight %v", a.Weight)
+			}
+			if a.Token == "" {
+				t.Error("stable report lost attribution tokens")
+			}
+		}
 	}
 }

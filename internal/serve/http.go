@@ -45,12 +45,25 @@ type suggestRequest struct {
 
 // suggestResult is one /suggest outcome.
 type suggestResult struct {
-	Parallelize bool     `json:"parallelize"`
-	Probability float64  `json:"probability"`
-	Directive   string   `json:"directive,omitempty"`
-	Confidence  string   `json:"confidence,omitempty"`
-	Notes       []string `json:"notes,omitempty"`
-	Error       string   `json:"error,omitempty"`
+	Parallelize bool    `json:"parallelize"`
+	Probability float64 `json:"probability"`
+	Directive   string  `json:"directive,omitempty"`
+	// Tier grades the corroboration evidence; "disagree" marks
+	// model-positive / analysis-negative verdicts.
+	Tier    string   `json:"tier,omitempty"`
+	Witness []string `json:"witness,omitempty"`
+	// Attributions carries the LIME token attribution computed for
+	// disagreeing verdicts, in token order.
+	Attributions []suggestAttribution `json:"attributions,omitempty"`
+	Notes        []string             `json:"notes,omitempty"`
+	Error        string               `json:"error,omitempty"`
+}
+
+// suggestAttribution is one token's LIME weight in a /suggest response.
+type suggestAttribution struct {
+	Index  int     `json:"index"`
+	Token  string  `json:"token"`
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // healthzResponse is the /healthz body. Backend and Generation surface the
@@ -169,7 +182,12 @@ func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			}
 			out.Parallelize = s.Parallelize
 			out.Probability = s.Probability
-			out.Confidence = s.Confidence.String()
+			out.Tier = s.Corroboration.Tier.String()
+			out.Witness = s.Corroboration.DepWitness
+			for _, a := range s.Attributions {
+				out.Attributions = append(out.Attributions,
+					suggestAttribution{Index: a.Index, Token: a.Token, Weight: a.Weight})
+			}
 			out.Notes = s.Notes
 			if s.Directive != nil {
 				out.Directive = s.Directive.String()

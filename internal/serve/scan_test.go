@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -161,5 +163,104 @@ func TestHTTPScanRejects(t *testing.T) {
 	b.WriteString(`]}`)
 	if w := scanOnce(t, e, b.String()); w.Code != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized file count: status %d", w.Code)
+	}
+}
+
+// TestScanVerdictParityAcrossEntryPoints pins the corroboration evidence
+// (tier, dep witness, S2S verdicts, LIME attributions) to a single source
+// of truth: the advisor. The same carried-dependence snippet scanned via
+// HTTP /scan, via scan.Files with the models object directly, and via a
+// bare advisor batch must agree on every evidence field — and a
+// warm-cache re-scan must replay the evidence byte-identically.
+func TestScanVerdictParityAcrossEntryPoints(t *testing.T) {
+	models := testModels(t)
+	const src = "void f(double *s, int n) {\n    int i;\n    for (i = 1; i < n; i++) {\n        s[i] += s[i - 1];\n    }\n}\n"
+
+	e, err := New(models, Config{MaxBatch: 4, MaxWait: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	body, _ := json.Marshal(map[string]any{
+		"files": []map[string]string{{"path": "recur.c", "source": src}},
+	})
+	w := scanOnce(t, e, string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var httpRep scan.Report
+	if err := json.Unmarshal(w.Body.Bytes(), &httpRep); err != nil {
+		t.Fatal(err)
+	}
+	if len(httpRep.Loops) != 1 || httpRep.Loops[0].Suggestion == nil {
+		t.Fatalf("http loops = %+v", httpRep.Loops)
+	}
+
+	direct, err := scan.Files(context.Background(),
+		[]scan.Source{{Path: "recur.c", Data: []byte(src)}}, scan.Config{}, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Loops) != 1 || direct.Loops[0].Suggestion == nil {
+		t.Fatalf("direct loops = %+v", direct.Loops)
+	}
+
+	asJSON := func(s *scan.Suggestion) string {
+		t.Helper()
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if asJSON(httpRep.Loops[0].Suggestion) != asJSON(direct.Loops[0].Suggestion) {
+		t.Errorf("HTTP /scan verdict differs from direct scan.Files:\nhttp:   %s\ndirect: %s",
+			asJSON(httpRep.Loops[0].Suggestion), asJSON(direct.Loops[0].Suggestion))
+	}
+
+	// The bare advisor batch over the deduped snippet is the reference.
+	items, err := models.SuggestBatch([]string{direct.Loops[0].Snippet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := items[0].Suggestion
+	got := direct.Loops[0].Suggestion
+	if got.Tier != adv.Corroboration.Tier.String() {
+		t.Errorf("scan tier %q != advisor tier %q", got.Tier, adv.Corroboration.Tier.String())
+	}
+	if len(got.Witness) != len(adv.Corroboration.DepWitness) {
+		t.Errorf("scan witness %v != advisor %v", got.Witness, adv.Corroboration.DepWitness)
+	}
+	if len(got.S2S) != len(adv.Corroboration.S2S) {
+		t.Errorf("scan s2s %v != advisor %v", got.S2S, adv.Corroboration.S2S)
+	}
+	if len(got.Attributions) != len(adv.Attributions) {
+		t.Errorf("scan attributions %d != advisor %d", len(got.Attributions), len(adv.Attributions))
+	}
+
+	// Warm cache: the evidence must replay from disk bit-for-bit.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "recur.c"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := scan.Config{CachePath: filepath.Join(dir, "scan.cache"), Backend: "test", ModelID: "test"}
+	cold, err := scan.Dir(context.Background(), dir, cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := scan.Dir(context.Background(), dir, cfg, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Counters.CacheHits != 1 || warm.Counters.Inferred != 0 {
+		t.Fatalf("warm counters = %+v", warm.Counters)
+	}
+	if asJSON(cold.Loops[0].Suggestion) != asJSON(warm.Loops[0].Suggestion) {
+		t.Errorf("warm-cache verdict differs from cold:\ncold: %s\nwarm: %s",
+			asJSON(cold.Loops[0].Suggestion), asJSON(warm.Loops[0].Suggestion))
+	}
+	if asJSON(cold.Loops[0].Suggestion) != asJSON(direct.Loops[0].Suggestion) {
+		t.Errorf("cached scan verdict differs from uncached scan.Files verdict")
 	}
 }
