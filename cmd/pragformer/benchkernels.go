@@ -1,0 +1,86 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pragformer/internal/tensor"
+)
+
+// cmdBenchKernels prints a scalar-vs-AVX2 comparison of the float64 and
+// int8 matmul kernels at 64³/128³/256³, so a kernel regression is visible
+// from one table instead of a JSON diff. Kernels are toggled with
+// tensor.SetSIMD between timed sections, which is only safe because nothing
+// else is running matmuls in this process.
+func cmdBenchKernels(args []string) {
+	fs := flag.NewFlagSet("bench-kernels", flag.ExitOnError)
+	benchtime := fs.Duration("benchtime", 200*time.Millisecond, "minimum measurement time per table cell")
+	fs.Parse(args)
+
+	simd := tensor.SIMDAvailable()
+	fmt.Printf("matmul kernels, ns/op (AVX2 kernels available: %v)\n\n", simd)
+	fmt.Printf("%8s  %14s  %14s  %8s  %14s  %14s  %8s\n",
+		"size", "f64-scalar", "f64-avx2", "speedup", "int8-scalar", "int8-avx2", "speedup")
+
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{64, 128, 256} {
+		x := tensor.New(n, n).Randn(rng, 1)
+		y := tensor.New(n, n).Randn(rng, 1)
+		fout := tensor.New(n, n)
+		a := randomInt8(rng, n)
+		w := randomInt8(rng, n)
+		qout := tensor.New(n, n)
+
+		tensor.SetSIMD(false)
+		fScalar := timeKernel(*benchtime, func() { tensor.MatMulInto(fout, x, y) })
+		iScalar := timeKernel(*benchtime, func() { tensor.MatMulInt8BTInto(qout, a, w) })
+		fSIMD, iSIMD := -1.0, -1.0
+		if tensor.SetSIMD(true) {
+			fSIMD = timeKernel(*benchtime, func() { tensor.MatMulInto(fout, x, y) })
+			iSIMD = timeKernel(*benchtime, func() { tensor.MatMulInt8BTInto(qout, a, w) })
+		}
+
+		fmt.Printf("%7d³  %14.0f  %14s  %8s  %14.0f  %14s  %8s\n",
+			n, fScalar, cell(fSIMD), ratio(fScalar, fSIMD), iScalar, cell(iSIMD), ratio(iScalar, iSIMD))
+	}
+}
+
+// timeKernel reports ns per call, running fn for at least minTime after one
+// untimed warm-up call.
+func timeKernel(minTime time.Duration, fn func()) float64 {
+	fn()
+	var iters int
+	start := time.Now()
+	for time.Since(start) < minTime {
+		fn()
+		iters++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+func randomInt8(rng *rand.Rand, n int) *tensor.Int8Matrix {
+	m := tensor.NewInt8(n, n)
+	for i := range m.Data {
+		m.Data[i] = int8(rng.Intn(255) - 127)
+	}
+	for i := range m.Scales {
+		m.Scales[i] = float32(rng.Float64() + 0.01)
+	}
+	return m
+}
+
+func cell(ns float64) string {
+	if ns < 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f", ns)
+}
+
+func ratio(scalar, simd float64) string {
+	if simd <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1fx", scalar/simd)
+}

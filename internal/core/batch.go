@@ -1,7 +1,6 @@
 package core
 
 import (
-	"pragformer/internal/nn"
 	"pragformer/internal/tensor"
 )
 
@@ -54,9 +53,8 @@ func (m *PragFormer) PredictBatchProbs(idsBatch [][]int) [][2]float64 {
 	m.FinalLN.ApplyInto(hidden, cls)
 	tensor.PutMatrix(cls)
 	h := tensor.GetMatrixDirty(B, m.Cfg.FCHidden)
-	m.FC1.ApplyInto(h, hidden)
+	m.FC1.ApplyReLUInto(h, hidden) // fused bias+ReLU epilogue
 	tensor.PutMatrix(hidden)
-	nn.ReLUInPlace(h)
 	logits := tensor.GetMatrixDirty(B, 2)
 	m.FC2.ApplyInto(logits, h)
 	tensor.PutMatrix(h)

@@ -107,6 +107,71 @@ func TestPredictBatchEmpty(t *testing.T) {
 	m.PredictBatch([][]int{{}})
 }
 
+// TestPredictBatchRaggedEdges pins the strided attention layout on the
+// degenerate ragged shapes: a lone [CLS] token (T=1, where a head's score
+// matrix is 1×1 and softmax is the identity), a batch of nothing but
+// single-token sequences, exact-MaxLen sequences, and over-length inputs
+// that truncate — each bit-identical to the single-sequence path, on both
+// backends.
+func TestPredictBatchRaggedEdges(t *testing.T) {
+	m := batchTestModel(t, 2, 16)
+	q, err := Quantize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := make([]int, 16)
+	over := make([]int, 40)
+	full[0], over[0] = 2, 2
+	for i := 1; i < len(full); i++ {
+		full[i] = 4 + i
+	}
+	for i := 1; i < len(over); i++ {
+		over[i] = 4 + i%100
+	}
+	batches := map[string][][]int{
+		"B=1 single token":  {{2}},
+		"all single token":  {{2}, {2}, {2}},
+		"single+full+over":  {{2}, full, over},
+		"exact MaxLen only": {full, full},
+	}
+	for name, batch := range batches {
+		for _, backend := range []Backend{m, q} {
+			probs := backend.PredictBatchProbs(batch)
+			got := backend.PredictBatch(batch)
+			if len(got) != len(batch) {
+				t.Fatalf("%s/%s: %d results for %d sequences", name, backend.BackendName(), len(got), len(batch))
+			}
+			for i, ids := range batch {
+				want := backend.Predict(ids)
+				if got[i] != want || probs[i][1] != want {
+					t.Errorf("%s/%s seq %d: batch %v probs[1] %v != single %v",
+						name, backend.BackendName(), i, got[i], probs[i][1], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchAllocs is the allocation gate for the pooled forward
+// path: the 16-sequence benchmark workload must not regress toward
+// per-call matmul allocations (seed level was 13 allocs/op; the pooled
+// kernels run at 6).
+func TestPredictBatchAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs steady-state pools")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation changes escape analysis and inflates allocs/op")
+	}
+	m := batchTestModel(t, 1, 64)
+	batch := raggedIDs(rand.New(rand.NewSource(3)), 16, 12, 64, m.Cfg.Vocab)
+	m.PredictBatch(batch) // prime the pools
+	allocs := testing.AllocsPerRun(20, func() { m.PredictBatch(batch) })
+	if allocs > 12 {
+		t.Errorf("PredictBatch allocates %.1f objects/op, want <= 12 (pool regression)", allocs)
+	}
+}
+
 // TestPredictBatchConcurrent hammers one model from several goroutines so
 // the race detector can see the forward path is read-only.
 func TestPredictBatchConcurrent(t *testing.T) {

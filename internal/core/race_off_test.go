@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled mirrors the race build tag so allocation-count gates can
+// skip under -race, where instrumentation changes escape analysis and
+// inflates allocs/op.
+const raceEnabled = false

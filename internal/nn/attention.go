@@ -59,7 +59,13 @@ func headSlice(m *tensor.Matrix, i, h, dh int) []float64 {
 	return row[h*dh : (h+1)*dh]
 }
 
-// Forward computes self-attention over x (T×D).
+// Forward computes self-attention over x (T×D). All heads run as one
+// strided batched GEMM per product: QKᵀ scores land in a single
+// (H·T)×T matrix (head h at rows [h·T, (h+1)·T)), softmax runs over all
+// H·T rows in one call, and the value mix writes every head's column band
+// of concat in one pass (tensor.AttnScoresInto / AttnMixInto) — the same
+// helpers the inference paths use, keeping training and serving forwards
+// bit-identical.
 func (m *MultiHeadAttention) Forward(x *tensor.Matrix) (*tensor.Matrix, *AttnCache) {
 	T := x.Rows
 	dh := m.D / m.Heads
@@ -70,25 +76,17 @@ func (m *MultiHeadAttention) Forward(x *tensor.Matrix) (*tensor.Matrix, *AttnCac
 	c.concat = tensor.New(T, m.D)
 	scale := 1 / math.Sqrt(float64(dh))
 
+	scores := tensor.New(m.Heads*T, T)
+	tensor.AttnScoresInto(scores, c.q, c.k, m.Heads, scale)
+	tensor.RowSoftmax(scores)
+	c.attn = make([]*tensor.Matrix, m.Heads)
 	for h := 0; h < m.Heads; h++ {
-		scores := tensor.New(T, T)
-		for i := 0; i < T; i++ {
-			qi := headSlice(c.q, i, h, dh)
-			srow := scores.Row(i)
-			for j := 0; j < T; j++ {
-				srow[j] = tensor.Dot(qi, headSlice(c.k, j, h, dh)) * scale
-			}
-		}
-		tensor.RowSoftmax(scores)
-		c.attn = append(c.attn, scores)
-		for i := 0; i < T; i++ {
-			orow := headSlice(c.concat, i, h, dh)
-			arow := scores.Row(i)
-			for j := 0; j < T; j++ {
-				tensor.Axpy(arow[j], headSlice(c.v, j, h, dh), orow)
-			}
-		}
+		// Per-head T×T views share the batched buffer; Backward and the
+		// explainability study read them in the pre-batching layout.
+		c.attn[h] = tensor.FromSlice(T, T, scores.Data[h*T*T:(h+1)*T*T])
 	}
+	tensor.AttnMixInto(c.concat, scores, c.v, m.Heads)
+
 	out, co := m.WO.Forward(c.concat)
 	c.co = co
 	return out, c

@@ -51,13 +51,19 @@ func maxSeqLen(offs []int) int {
 	return maxT
 }
 
-// ApplyInto computes dst = x·W + b without retaining a cache. dst must not
-// alias x; it is fully assigned.
+// ApplyInto computes dst = x·W + b without retaining a cache, via the same
+// fused bias kernel Forward uses (bit-identical). dst must not alias x; it
+// is fully assigned.
 func (l *Linear) ApplyInto(dst, x *tensor.Matrix) {
-	tensor.MatMulInto(dst, x, l.W.W)
-	for i := 0; i < dst.Rows; i++ {
-		tensor.Axpy(1, l.B.W.Row(0), dst.Row(i))
-	}
+	tensor.MatMulBiasInto(dst, x, l.W.W, l.B.W.Row(0))
+}
+
+// ApplyReLUInto computes dst = max(0, x·W + b) with the activation folded
+// into the kernel's store loop — the FFN/classifier hidden-layer epilogue.
+// Value-identical to ApplyInto followed by ReLUInPlace. dst must not alias
+// x; it is fully assigned.
+func (l *Linear) ApplyReLUInto(dst, x *tensor.Matrix) {
+	tensor.MatMulBiasReLUInto(dst, x, l.W.W, l.B.W.Row(0))
 }
 
 // ApplyInto normalizes x row-wise into dst without retaining a cache,
@@ -80,11 +86,7 @@ func (ln *LayerNorm) ApplyInto(dst, x *tensor.Matrix) {
 		}
 		vr /= float64(d)
 		inv := 1 / math.Sqrt(vr+ln.Eps)
-		or := dst.Row(i)
-		for j, v := range row {
-			xh := (v - mean) * inv
-			or[j] = xh*g[j] + b[j]
-		}
+		tensor.NormScaleInto(dst.Row(i), row, mean, inv, g, b)
 	}
 }
 
@@ -108,39 +110,32 @@ func (m *MultiHeadAttention) ApplyBatchInto(dst, x *tensor.Matrix, offs []int) {
 	m.WQ.ApplyInto(q, x)
 	m.WK.ApplyInto(k, x)
 	m.WV.ApplyInto(v, x)
-	concat := tensor.GetMatrix(x.Rows, m.D) // zeroed: attention rows accumulate
+	// Dirty is safe: every row belongs to some non-empty sequence and the
+	// strided mix fully assigns those rows.
+	concat := tensor.GetMatrixDirty(x.Rows, m.D)
 
-	// One score scratch sized for the longest sequence serves every
-	// sequence of the batch as a T×T view — per-sequence pool traffic for
-	// matrices too small to pool was the batch path's last allocation
-	// hot spot.
+	// One score scratch sized for all heads of the longest sequence serves
+	// every sequence of the batch as an (H·T)×T view — per-sequence pool
+	// traffic for matrices too small to pool was the batch path's last
+	// allocation hot spot.
 	maxT := maxSeqLen(offs)
-	scoresBuf := tensor.GetVecDirty(maxT * maxT)
-	var scores tensor.Matrix
+	scoresBuf := tensor.GetVecDirty(m.Heads * maxT * maxT)
 	for s := 0; s+1 < len(offs); s++ {
 		lo, hi := offs[s], offs[s+1]
 		T := hi - lo
 		if T == 0 {
 			continue
 		}
-		scores = tensor.Matrix{Rows: T, Cols: T, Data: scoresBuf[:T*T]}
-		for h := 0; h < m.Heads; h++ {
-			for i := 0; i < T; i++ {
-				qi := headSlice(q, lo+i, h, dh)
-				srow := scores.Row(i)
-				for j := 0; j < T; j++ {
-					srow[j] = tensor.Dot(qi, headSlice(k, lo+j, h, dh)) * scale
-				}
-			}
-			tensor.RowSoftmax(&scores)
-			for i := 0; i < T; i++ {
-				orow := headSlice(concat, lo+i, h, dh)
-				arow := scores.Row(i)
-				for j := 0; j < T; j++ {
-					tensor.Axpy(arow[j], headSlice(v, lo+j, h, dh), orow)
-				}
-			}
-		}
+		// All heads of the sequence in one strided batched GEMM each:
+		// scores, softmax over every head-row, then the value mix.
+		qs := tensor.Matrix{Rows: T, Cols: m.D, Data: q.Data[lo*m.D : hi*m.D]}
+		ks := tensor.Matrix{Rows: T, Cols: m.D, Data: k.Data[lo*m.D : hi*m.D]}
+		vs := tensor.Matrix{Rows: T, Cols: m.D, Data: v.Data[lo*m.D : hi*m.D]}
+		cs := tensor.Matrix{Rows: T, Cols: m.D, Data: concat.Data[lo*m.D : hi*m.D]}
+		scores := tensor.Matrix{Rows: m.Heads * T, Cols: T, Data: scoresBuf[:m.Heads*T*T]}
+		tensor.AttnScoresInto(&scores, &qs, &ks, m.Heads, scale)
+		tensor.RowSoftmax(&scores)
+		tensor.AttnMixInto(&cs, &scores, &vs, m.Heads)
 	}
 	tensor.PutVec(scoresBuf)
 	m.WO.ApplyInto(dst, concat)
@@ -173,28 +168,24 @@ func (m *MultiHeadAttention) ApplyCLSInto(dst, x *tensor.Matrix, offs []int) {
 	m.WQ.ApplyInto(q, xcls)
 	tensor.PutMatrix(xcls)
 
-	concat := tensor.GetMatrix(B, m.D) // zeroed: attention rows accumulate
-	scoresBuf := tensor.GetVecDirty(maxSeqLen(offs))
-	var scores tensor.Matrix
+	concat := tensor.GetMatrix(B, m.D) // zeroed: empty sequences keep zero rows
+	scoresBuf := tensor.GetVecDirty(m.Heads * maxSeqLen(offs))
 	for s := 0; s < B; s++ {
 		lo, hi := offs[s], offs[s+1]
 		T := hi - lo
 		if T == 0 {
 			continue
 		}
-		scores = tensor.Matrix{Rows: 1, Cols: T, Data: scoresBuf[:T]}
-		for h := 0; h < m.Heads; h++ {
-			qi := headSlice(q, s, h, dh)
-			srow := scores.Row(0)
-			for j := 0; j < T; j++ {
-				srow[j] = tensor.Dot(qi, headSlice(k, lo+j, h, dh)) * scale
-			}
-			tensor.RowSoftmax(&scores)
-			orow := headSlice(concat, s, h, dh)
-			for j := 0; j < T; j++ {
-				tensor.Axpy(srow[j], headSlice(v, lo+j, h, dh), orow)
-			}
-		}
+		// One query row per head: scores is H×T (Tq = 1 in the strided
+		// batched layout), mixed into the single concat row.
+		qs := tensor.Matrix{Rows: 1, Cols: m.D, Data: q.Data[s*m.D : (s+1)*m.D]}
+		ks := tensor.Matrix{Rows: T, Cols: m.D, Data: k.Data[lo*m.D : hi*m.D]}
+		vs := tensor.Matrix{Rows: T, Cols: m.D, Data: v.Data[lo*m.D : hi*m.D]}
+		cs := tensor.Matrix{Rows: 1, Cols: m.D, Data: concat.Data[s*m.D : (s+1)*m.D]}
+		scores := tensor.Matrix{Rows: m.Heads, Cols: T, Data: scoresBuf[:m.Heads*T]}
+		tensor.AttnScoresInto(&scores, &qs, &ks, m.Heads, scale)
+		tensor.RowSoftmax(&scores)
+		tensor.AttnMixInto(&cs, &scores, &vs, m.Heads)
 	}
 	tensor.PutVec(scoresBuf)
 	m.WO.ApplyInto(dst, concat)
@@ -219,8 +210,7 @@ func (b *EncoderBlock) InferBatch(x *tensor.Matrix, offs []int) *tensor.Matrix {
 	n2 := a // a is dead after the residual
 	b.LN2.ApplyInto(n2, h)
 	hid := tensor.GetMatrixDirty(rows, b.FF.L1.W.W.Cols)
-	b.FF.L1.ApplyInto(hid, n2)
-	ReLUInPlace(hid)
+	b.FF.L1.ApplyReLUInto(hid, n2) // fused bias+ReLU epilogue
 	f := n2 // n2 is dead after the first FFN layer
 	b.FF.L2.ApplyInto(f, hid)
 	tensor.PutMatrix(hid)
@@ -258,8 +248,7 @@ func (b *EncoderBlock) InferCLS(x *tensor.Matrix, offs []int) *tensor.Matrix {
 	n2 := a // a is dead after the residual
 	b.LN2.ApplyInto(n2, h)
 	hid := tensor.GetMatrixDirty(B, b.FF.L1.W.W.Cols)
-	b.FF.L1.ApplyInto(hid, n2)
-	ReLUInPlace(hid)
+	b.FF.L1.ApplyReLUInto(hid, n2) // fused bias+ReLU epilogue
 	f := n2
 	b.FF.L2.ApplyInto(f, hid)
 	tensor.PutMatrix(hid)

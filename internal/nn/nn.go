@@ -107,12 +107,12 @@ func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 // LinearCache holds the forward input for backprop.
 type LinearCache struct{ x *tensor.Matrix }
 
-// Forward computes y = x·W + b.
+// Forward computes y = x·W + b in one fused kernel pass: the bias seeds
+// each output accumulator (see tensor.MatMulBiasInto), which is also what
+// the inference ApplyInto runs, keeping the two paths bit-identical.
 func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, *LinearCache) {
-	y := tensor.MatMul(x, l.W.W)
-	for i := 0; i < y.Rows; i++ {
-		tensor.Axpy(1, l.B.W.Row(0), y.Row(i))
-	}
+	y := tensor.New(x.Rows, l.W.W.Cols)
+	tensor.MatMulBiasInto(y, x, l.W.W, l.B.W.Row(0))
 	return y, &LinearCache{x: x}
 }
 

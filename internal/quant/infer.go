@@ -3,7 +3,6 @@ package quant
 import (
 	"math"
 
-	"pragformer/internal/nn"
 	"pragformer/internal/tensor"
 )
 
@@ -27,12 +26,6 @@ func (m *Model) EmbedBatchInto(dst *tensor.Matrix, seqs [][]int) {
 			r++
 		}
 	}
-}
-
-// headSlice returns the column sub-slice view [h*dh, (h+1)*dh) of row i.
-func headSlice(m *tensor.Matrix, i, h, dh int) []float64 {
-	row := m.Row(i)
-	return row[h*dh : (h+1)*dh]
 }
 
 // maxSeqLen returns the longest sequence length in a ragged batch layout
@@ -62,37 +55,29 @@ func (a *Attention) ApplyBatchInto(dst, x *tensor.Matrix, offs []int) {
 	a.WK.ApplyQuantizedInto(k, xq)
 	a.WV.ApplyQuantizedInto(v, xq)
 	tensor.PutInt8Matrix(xq)
-	concat := tensor.GetMatrix(x.Rows, a.D) // zeroed: attention rows accumulate
+	// Dirty is safe: every row belongs to some non-empty sequence and the
+	// strided mix fully assigns those rows.
+	concat := tensor.GetMatrixDirty(x.Rows, a.D)
 
-	// As in the float mirror: one score scratch sized for the longest
-	// sequence serves every sequence as a T×T view.
+	// As in the float mirror: one score scratch sized for all heads of the
+	// longest sequence serves every sequence as an (H·T)×T view.
 	maxT := maxSeqLen(offs)
-	scoresBuf := tensor.GetVecDirty(maxT * maxT)
-	var scores tensor.Matrix
+	scoresBuf := tensor.GetVecDirty(a.Heads * maxT * maxT)
 	for s := 0; s+1 < len(offs); s++ {
 		lo, hi := offs[s], offs[s+1]
 		T := hi - lo
 		if T == 0 {
 			continue
 		}
-		scores = tensor.Matrix{Rows: T, Cols: T, Data: scoresBuf[:T*T]}
-		for h := 0; h < a.Heads; h++ {
-			for i := 0; i < T; i++ {
-				qi := headSlice(q, lo+i, h, dh)
-				srow := scores.Row(i)
-				for j := 0; j < T; j++ {
-					srow[j] = tensor.Dot(qi, headSlice(k, lo+j, h, dh)) * scale
-				}
-			}
-			tensor.RowSoftmax(&scores)
-			for i := 0; i < T; i++ {
-				orow := headSlice(concat, lo+i, h, dh)
-				arow := scores.Row(i)
-				for j := 0; j < T; j++ {
-					tensor.Axpy(arow[j], headSlice(v, lo+j, h, dh), orow)
-				}
-			}
-		}
+		// All heads of the sequence in one strided batched GEMM each.
+		qs := tensor.Matrix{Rows: T, Cols: a.D, Data: q.Data[lo*a.D : hi*a.D]}
+		ks := tensor.Matrix{Rows: T, Cols: a.D, Data: k.Data[lo*a.D : hi*a.D]}
+		vs := tensor.Matrix{Rows: T, Cols: a.D, Data: v.Data[lo*a.D : hi*a.D]}
+		cs := tensor.Matrix{Rows: T, Cols: a.D, Data: concat.Data[lo*a.D : hi*a.D]}
+		scores := tensor.Matrix{Rows: a.Heads * T, Cols: T, Data: scoresBuf[:a.Heads*T*T]}
+		tensor.AttnScoresInto(&scores, &qs, &ks, a.Heads, scale)
+		tensor.RowSoftmax(&scores)
+		tensor.AttnMixInto(&cs, &scores, &vs, a.Heads)
 	}
 	tensor.PutVec(scoresBuf)
 	a.WO.ApplyInto(dst, concat)
@@ -124,28 +109,24 @@ func (a *Attention) ApplyCLSInto(dst, x *tensor.Matrix, offs []int) {
 	a.WQ.ApplyInto(q, xcls)
 	tensor.PutMatrix(xcls)
 
-	concat := tensor.GetMatrix(B, a.D) // zeroed: attention rows accumulate
-	scoresBuf := tensor.GetVecDirty(maxSeqLen(offs))
-	var scores tensor.Matrix
+	concat := tensor.GetMatrix(B, a.D) // zeroed: empty sequences keep zero rows
+	scoresBuf := tensor.GetVecDirty(a.Heads * maxSeqLen(offs))
 	for s := 0; s < B; s++ {
 		lo, hi := offs[s], offs[s+1]
 		T := hi - lo
 		if T == 0 {
 			continue
 		}
-		scores = tensor.Matrix{Rows: 1, Cols: T, Data: scoresBuf[:T]}
-		for h := 0; h < a.Heads; h++ {
-			qi := headSlice(q, s, h, dh)
-			srow := scores.Row(0)
-			for j := 0; j < T; j++ {
-				srow[j] = tensor.Dot(qi, headSlice(k, lo+j, h, dh)) * scale
-			}
-			tensor.RowSoftmax(&scores)
-			orow := headSlice(concat, s, h, dh)
-			for j := 0; j < T; j++ {
-				tensor.Axpy(srow[j], headSlice(v, lo+j, h, dh), orow)
-			}
-		}
+		// One query row per head: scores is H×T (Tq = 1), mixed into the
+		// single concat row.
+		qs := tensor.Matrix{Rows: 1, Cols: a.D, Data: q.Data[s*a.D : (s+1)*a.D]}
+		ks := tensor.Matrix{Rows: T, Cols: a.D, Data: k.Data[lo*a.D : hi*a.D]}
+		vs := tensor.Matrix{Rows: T, Cols: a.D, Data: v.Data[lo*a.D : hi*a.D]}
+		cs := tensor.Matrix{Rows: 1, Cols: a.D, Data: concat.Data[s*a.D : (s+1)*a.D]}
+		scores := tensor.Matrix{Rows: a.Heads, Cols: T, Data: scoresBuf[:a.Heads*T]}
+		tensor.AttnScoresInto(&scores, &qs, &ks, a.Heads, scale)
+		tensor.RowSoftmax(&scores)
+		tensor.AttnMixInto(&cs, &scores, &vs, a.Heads)
 	}
 	tensor.PutVec(scoresBuf)
 	a.WO.ApplyInto(dst, concat)
@@ -169,8 +150,7 @@ func (b *Block) InferBatch(x *tensor.Matrix, offs []int) *tensor.Matrix {
 	n2 := a // a is dead after the residual
 	b.LN2.ApplyInto(n2, h)
 	hid := tensor.GetMatrixDirty(rows, b.FF1.Wq.Rows)
-	b.FF1.ApplyInto(hid, n2)
-	nn.ReLUInPlace(hid)
+	b.FF1.ApplyReLUInto(hid, n2) // fused dequant+bias+ReLU epilogue
 	f := n2 // n2 is dead after the first FFN layer
 	b.FF2.ApplyInto(f, hid)
 	tensor.PutMatrix(hid)
@@ -206,8 +186,7 @@ func (b *Block) InferCLS(x *tensor.Matrix, offs []int) *tensor.Matrix {
 	n2 := a // a is dead after the residual
 	b.LN2.ApplyInto(n2, h)
 	hid := tensor.GetMatrixDirty(B, b.FF1.Wq.Rows)
-	b.FF1.ApplyInto(hid, n2)
-	nn.ReLUInPlace(hid)
+	b.FF1.ApplyReLUInto(hid, n2) // fused dequant+bias+ReLU epilogue
 	f := n2
 	b.FF2.ApplyInto(f, hid)
 	tensor.PutMatrix(hid)
@@ -254,9 +233,8 @@ func (m *Model) PredictBatchProbs(idsBatch [][]int) [][2]float64 {
 	m.FinalLN.ApplyInto(hidden, cls)
 	tensor.PutMatrix(cls)
 	h := tensor.GetMatrixDirty(B, m.Cfg.FCHidden)
-	m.FC1.ApplyInto(h, hidden)
+	m.FC1.ApplyReLUInto(h, hidden) // fused dequant+bias+ReLU epilogue
 	tensor.PutMatrix(hidden)
-	nn.ReLUInPlace(h)
 	logits := tensor.GetMatrixDirty(B, 2)
 	m.FC2.ApplyInto(logits, h)
 	tensor.PutMatrix(h)

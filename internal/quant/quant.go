@@ -108,7 +108,9 @@ func (l *Linear) Dequantize() *tensor.Matrix {
 }
 
 // ApplyInto mirrors nn.Linear.ApplyInto: dst = x·W + b, with x dynamically
-// quantized per row. dst must not alias x; it is fully assigned.
+// quantized per row. The bias add rides in the kernel's fused epilogue
+// (tensor.MatMulInt8BTFusedInto) instead of a separate output sweep. dst
+// must not alias x; it is fully assigned.
 func (l *Linear) ApplyInto(dst, x *tensor.Matrix) {
 	xq := tensor.GetInt8Matrix(x.Rows, x.Cols)
 	tensor.QuantizeRowsInto(xq, x)
@@ -116,14 +118,21 @@ func (l *Linear) ApplyInto(dst, x *tensor.Matrix) {
 	tensor.PutInt8Matrix(xq)
 }
 
+// ApplyReLUInto is ApplyInto with the ReLU activation also folded into the
+// kernel epilogue — the quantized FFN/classifier hidden-layer fast path,
+// value-identical to ApplyInto followed by nn.ReLUInPlace.
+func (l *Linear) ApplyReLUInto(dst, x *tensor.Matrix) {
+	xq := tensor.GetInt8Matrix(x.Rows, x.Cols)
+	tensor.QuantizeRowsInto(xq, x)
+	tensor.MatMulInt8BTFusedInto(dst, xq, l.Wq, l.B, true)
+	tensor.PutInt8Matrix(xq)
+}
+
 // ApplyQuantizedInto runs the int8 kernel over an already-quantized input.
 // Attention quantizes its input once and shares it across the Q/K/V
 // projections — three matmuls for one quantization pass.
 func (l *Linear) ApplyQuantizedInto(dst *tensor.Matrix, xq *tensor.Int8Matrix) {
-	tensor.MatMulInt8BTInto(dst, xq, l.Wq)
-	for i := 0; i < dst.Rows; i++ {
-		tensor.Axpy(1, l.B, dst.Row(i))
-	}
+	tensor.MatMulInt8BTFusedInto(dst, xq, l.Wq, l.B, false)
 }
 
 // LayerNorm carries the float layer-norm parameters; its arithmetic is the
@@ -146,8 +155,9 @@ func FromLayerNorm(ln *nn.LayerNorm) *LayerNorm {
 // nn.LayerNorm.ApplyInto bit for bit. dst may alias x.
 func (ln *LayerNorm) ApplyInto(dst, x *tensor.Matrix) {
 	d := x.Cols
+	gamma, beta := ln.Gamma[:d], ln.Beta[:d]
 	for i := 0; i < x.Rows; i++ {
-		row := x.Row(i)
+		row := x.Row(i)[:d]
 		mean := 0.0
 		for _, v := range row {
 			mean += v
@@ -160,11 +170,7 @@ func (ln *LayerNorm) ApplyInto(dst, x *tensor.Matrix) {
 		}
 		vr /= float64(d)
 		inv := 1 / math.Sqrt(vr+ln.Eps)
-		or := dst.Row(i)
-		for j, v := range row {
-			xh := (v - mean) * inv
-			or[j] = xh*ln.Gamma[j] + ln.Beta[j]
-		}
+		tensor.NormScaleInto(dst.Row(i)[:d], row, mean, inv, gamma, beta)
 	}
 }
 

@@ -1,0 +1,139 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refAttnScores is the naive per-head reference (plain mul-add dots).
+func refAttnScores(q, k *Matrix, heads int, scale float64) *Matrix {
+	dh := q.Cols / heads
+	out := New(heads*q.Rows, k.Rows)
+	for h := 0; h < heads; h++ {
+		for i := 0; i < q.Rows; i++ {
+			for j := 0; j < k.Rows; j++ {
+				s := 0.0
+				for d := 0; d < dh; d++ {
+					s += q.At(i, h*dh+d) * k.At(j, h*dh+d)
+				}
+				out.Set(h*q.Rows+i, j, s*scale)
+			}
+		}
+	}
+	return out
+}
+
+// refAttnMix is the naive per-head value mix reference.
+func refAttnMix(attn, v *Matrix, heads int) *Matrix {
+	dh := v.Cols / heads
+	Tq := attn.Rows / heads
+	out := New(Tq, v.Cols)
+	for h := 0; h < heads; h++ {
+		for i := 0; i < Tq; i++ {
+			for j := 0; j < v.Rows; j++ {
+				a := attn.At(h*Tq+i, j)
+				for d := 0; d < dh; d++ {
+					out.Data[i*v.Cols+h*dh+d] += a * v.At(j, h*dh+d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+var attnShapes = []struct{ Tq, Tk, D, H int }{
+	{1, 1, 4, 1}, {1, 1, 8, 2}, {3, 3, 8, 2}, {5, 7, 12, 3},
+	{2, 9, 32, 4}, {17, 17, 32, 8}, {64, 64, 32, 4}, {4, 4, 6, 6},
+}
+
+func TestAttnScoresIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sh := range attnShapes {
+		q := New(sh.Tq, sh.D).Randn(rng, 1)
+		k := New(sh.Tk, sh.D).Randn(rng, 1)
+		scale := 1 / math.Sqrt(float64(sh.D/sh.H))
+		got := GetMatrixDirty(sh.H*sh.Tq, sh.Tk)
+		AttnScoresInto(got, q, k, sh.H, scale)
+		assertClose(t, got, refAttnScores(q, k, sh.H, scale), 1e-12, "AttnScoresInto")
+		PutMatrix(got)
+	}
+}
+
+func TestAttnMixIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, sh := range attnShapes {
+		attn := New(sh.H*sh.Tq, sh.Tk).Randn(rng, 1)
+		v := New(sh.Tk, sh.D).Randn(rng, 1)
+		got := GetMatrixDirty(sh.Tq, sh.D)
+		AttnMixInto(got, attn, v, sh.H)
+		assertClose(t, got, refAttnMix(attn, v, sh.H), 1e-12, "AttnMixInto")
+		PutMatrix(got)
+	}
+}
+
+// TestAttnHelpersScalarSIMDAgree extends the float kernel bit-identity
+// contract to the strided attention entry points.
+func TestAttnHelpersScalarSIMDAgree(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels installed on this platform")
+	}
+	defer SetSIMD(true)
+	rng := rand.New(rand.NewSource(14))
+	for _, sh := range attnShapes {
+		q := New(sh.Tq, sh.D).Randn(rng, 1)
+		k := New(sh.Tk, sh.D).Randn(rng, 1)
+		attn := New(sh.H*sh.Tq, sh.Tk).Randn(rng, 1)
+		v := New(sh.Tk, sh.D).Randn(rng, 1)
+		scale := 1 / math.Sqrt(float64(sh.D/sh.H))
+
+		s1 := New(sh.H*sh.Tq, sh.Tk)
+		m1 := New(sh.Tq, sh.D)
+		SetSIMD(true)
+		AttnScoresInto(s1, q, k, sh.H, scale)
+		AttnMixInto(m1, attn, v, sh.H)
+
+		s2 := New(sh.H*sh.Tq, sh.Tk)
+		m2 := New(sh.Tq, sh.D)
+		SetSIMD(false)
+		AttnScoresInto(s2, q, k, sh.H, scale)
+		AttnMixInto(m2, attn, v, sh.H)
+		SetSIMD(true)
+
+		for i := range s1.Data {
+			if s1.Data[i] != s2.Data[i] {
+				t.Fatalf("scores %+v: element %d: simd %v != scalar %v", sh, i, s1.Data[i], s2.Data[i])
+			}
+		}
+		for i := range m1.Data {
+			if m1.Data[i] != m2.Data[i] {
+				t.Fatalf("mix %+v: element %d: simd %v != scalar %v", sh, i, m1.Data[i], m2.Data[i])
+			}
+		}
+	}
+}
+
+// TestAttnHelpersDegenerate pins the edge geometries: empty sequences and
+// single-token heads must neither panic nor leave dirty output.
+func TestAttnHelpersDegenerate(t *testing.T) {
+	// Tq=1, Tk=1, one head: a 1×1 score block per head.
+	q := FromSlice(1, 2, []float64{3, 4})
+	k := FromSlice(1, 2, []float64{5, 6})
+	s := GetMatrixDirty(1, 1)
+	AttnScoresInto(s, q, k, 1, 0.5)
+	if want := (3*5 + 4*6) * 0.5; s.At(0, 0) != want {
+		t.Fatalf("1-token score = %v, want %v", s.At(0, 0), want)
+	}
+	PutMatrix(s)
+
+	// Dirty output fully overwritten by the mix.
+	attn := FromSlice(1, 1, []float64{1})
+	v := FromSlice(1, 2, []float64{7, 8})
+	out := GetMatrixDirty(1, 2)
+	out.Data[0], out.Data[1] = 99, 99
+	AttnMixInto(out, attn, v, 1)
+	if out.At(0, 0) != 7 || out.At(0, 1) != 8 {
+		t.Fatalf("1-token mix = %v", out.Data)
+	}
+	PutMatrix(out)
+}

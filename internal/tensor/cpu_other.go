@@ -1,0 +1,14 @@
+//go:build !amd64 || purego
+
+package tensor
+
+// Portable stubs for the SIMD probe/toggle (cpu_amd64.go). On platforms
+// without asm kernels the scalar fallbacks are the only implementation, so
+// SIMD is never available and toggling is a no-op — by the bit-identity
+// contract in float.go and int8.go the numbers are the same either way.
+
+// SIMDAvailable reports whether asm SIMD kernels exist for this build.
+func SIMDAvailable() bool { return false }
+
+// SetSIMD is a no-op on builds without asm kernels; it reports false.
+func SetSIMD(enabled bool) bool { return false }

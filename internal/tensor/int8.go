@@ -42,6 +42,15 @@ func NewInt8(rows, cols int) *Int8Matrix {
 // Row returns a view of row i.
 func (m *Int8Matrix) Row(i int) []int8 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
+// f64AbsMaxKernel and f64QuantRowKernel, when non-nil, are the asm
+// activation-quantization kernels (int8_amd64.go), covering the 4-aligned
+// prefix of a row; scalar code finishes tails. Both are bit-identical to
+// the scalar path on finite inputs.
+var (
+	f64AbsMaxKernel   func(p *float64, n4 int) float64
+	f64QuantRowKernel func(src *float64, dst *int8, inv float64, n4 int)
+)
+
 // QuantizeRowsInto quantizes each row of src into dst with symmetric absmax
 // scales: scale_i = max_j |src[i][j]| / 127, q = round(v / scale_i). An
 // all-zero row gets scale 1 so dequantization never divides by zero. dst
@@ -51,11 +60,19 @@ func QuantizeRowsInto(dst *Int8Matrix, src *Matrix) {
 		panic(fmt.Sprintf("tensor: QuantizeRowsInto shape %dx%d vs %dx%d",
 			dst.Rows, dst.Cols, src.Rows, src.Cols))
 	}
+	maxKern, quantKern := f64AbsMaxKernel, f64QuantRowKernel
 	for i := 0; i < src.Rows; i++ {
 		row := src.Row(i)
+		n := len(row)
+		n4 := n &^ 3
 		amax := 0.0
-		for _, v := range row {
-			if a := math.Abs(v); a > amax {
+		j := 0
+		if maxKern != nil && n4 > 0 {
+			amax = maxKern(&row[0], n4)
+			j = n4
+		}
+		for ; j < n; j++ {
+			if a := math.Abs(row[j]); a > amax {
 				amax = a
 			}
 		}
@@ -67,9 +84,14 @@ func QuantizeRowsInto(dst *Int8Matrix, src *Matrix) {
 		scale := amax / 127
 		dst.Scales[i] = float32(scale)
 		inv := 1 / scale
-		q := dst.Row(i)
-		for j, v := range row {
-			q[j] = int8(math.Round(v * inv))
+		q := dst.Row(i)[:n]
+		j = 0
+		if quantKern != nil && n4 > 0 {
+			quantKern(&row[0], &q[0], inv, n4)
+			j = n4
+		}
+		for ; j < n; j++ {
+			q[j] = int8(math.Round(row[j] * inv))
 		}
 	}
 }
@@ -96,32 +118,79 @@ var int8RowKernel func(o []float64, arow []int8, s float32, b *Int8Matrix, K, N 
 // scale product, then widened into the float64 out (M×N), which is fully
 // assigned. Rows split across the worker pool above the parallel threshold.
 func MatMulInt8BTInto(out *Matrix, a, b *Int8Matrix) {
+	int8MatMulEpilogue(out, a, b, nil, false)
+}
+
+// MatMulInt8BTFusedInto is MatMulInt8BTInto with the serving epilogue
+// folded into the output loop: out = act(dequant(a·bᵀ) + bias), applied per
+// row while it is still cache-hot instead of as separate full-matrix bias
+// and activation sweeps. bias may be nil; relu stores max(v, +0) with the
+// same !(v > 0) convention as the float kernels. The result is bit-exact
+// against MatMulInt8BTInto followed by unfused bias-add and ReLU passes
+// (the epilogue performs the identical per-element operations in the
+// identical order).
+func MatMulInt8BTFusedInto(out *Matrix, a, b *Int8Matrix, bias []float64, relu bool) {
+	int8MatMulEpilogue(out, a, b, bias, relu)
+}
+
+func int8MatMulEpilogue(out *Matrix, a, b *Int8Matrix, bias []float64, relu bool) {
 	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulInt8BTInto shape %dx%d = %dx%d · (%dx%d)ᵀ",
 			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	if bias != nil && len(bias) < b.Rows {
+		panic("tensor: MatMulInt8BTInto bias shorter than output width")
+	}
 	K, N := a.Cols, b.Rows
-	kern := int8RowKernel // nil unless the platform installed a SIMD kernel
-	body := func(lo, hi int) {
-		if kern != nil {
-			for i := lo; i < hi; i++ {
-				kern(out.Row(i), a.Row(i), a.Scales[i], b, K, N)
-			}
-			return
+	// The closure is only built on the parallel branch: ParallelFor leaks
+	// its func into the worker channel, so an unconditionally constructed
+	// closure heap-allocates even for the small serial matmuls that dominate
+	// per-sequence inference.
+	if a.Rows*N >= parallelThreshold {
+		ParallelFor(a.Rows, func(lo, hi int) {
+			int8MatMulRows(out, a, b, bias, K, N, relu, lo, hi)
+		})
+	} else {
+		int8MatMulRows(out, a, b, bias, K, N, relu, 0, a.Rows)
+	}
+}
+
+func int8MatMulRows(out *Matrix, a, b *Int8Matrix, bias []float64, K, N int, relu bool, lo, hi int) {
+	if kern := int8RowKernel; kern != nil { // non-nil when the platform installed a SIMD kernel
+		for i := lo; i < hi; i++ {
+			orow := out.Row(i)
+			kern(orow, a.Row(i), a.Scales[i], b, K, N)
+			int8BiasReLU(orow, bias, relu)
 		}
-		i := lo
-		for ; i+2 <= hi; i += 2 {
-			int8DotRows2(out.Row(i), out.Row(i+1), a.Row(i), a.Row(i+1),
-				a.Scales[i], a.Scales[i+1], b, K, N)
-		}
-		for ; i < hi; i++ {
-			int8DotRows1(out.Row(i), a.Row(i), a.Scales[i], b, K, N)
+		return
+	}
+	i := lo
+	for ; i+2 <= hi; i += 2 {
+		int8DotRows2(out.Row(i), out.Row(i+1), a.Row(i), a.Row(i+1),
+			a.Scales[i], a.Scales[i+1], b, K, N)
+		int8BiasReLU(out.Row(i), bias, relu)
+		int8BiasReLU(out.Row(i+1), bias, relu)
+	}
+	for ; i < hi; i++ {
+		int8DotRows1(out.Row(i), a.Row(i), a.Scales[i], b, K, N)
+		int8BiasReLU(out.Row(i), bias, relu)
+	}
+}
+
+// int8BiasReLU applies the fused serving epilogue to one dequantized output
+// row, in the same per-element order as the unfused passes.
+func int8BiasReLU(orow, bias []float64, relu bool) {
+	if bias != nil {
+		for j, bv := range bias[:len(orow)] {
+			orow[j] += bv
 		}
 	}
-	if a.Rows*N >= parallelThreshold {
-		ParallelFor(a.Rows, body)
-	} else {
-		body(0, a.Rows)
+	if relu {
+		for j, v := range orow {
+			if !(v > 0) { // match the float kernels: -0 and NaN → +0
+				orow[j] = 0
+			}
+		}
 	}
 }
 

@@ -11,75 +11,50 @@ package tensor
 // kernel — integer addition is associative, so lane reassociation and the
 // horizontal reduction are exact.
 
-// cpuid executes CPUID with the given leaf/subleaf (implemented in
-// int8_amd64.s).
-func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
-
-// xgetbv reads extended control register 0 (OS-enabled register state).
-func xgetbv() (eax, edx uint32)
-
-// int8Dot4K16 accumulates, for c in 0..3,
-// out[c] = Σ_{k < k16} a[k] · b[c·stride + k], with k16 a multiple of 16.
-// b points at the first of four consecutive length-stride channel rows.
+// int8DequantQuadsK16 computes, for g in 0..quads and c in 0..3,
+// out[4g+c] = float64(float32(Σ_{k < k16} a[k]·b[(4g+c)·stride + k]) · sa ·
+// scales[4g+c]), with k16 a nonzero multiple of 16 and quads ≥ 1. b points
+// at the first of 4·quads consecutive length-stride channel rows. Both the
+// channel loop and the dequantization run inside the kernel, so one call
+// produces a whole float64 output row with no intermediate buffer.
 //
 //go:noescape
-func int8Dot4K16(a, b *int8, k16, stride int, out *int32)
+func int8DequantQuadsK16(a, b *int8, k16, stride, quads int, scales *float32, sa float32, out *float64)
 
-func init() {
-	if !hasAVX2() {
+// f64AbsMaxAVX2 returns max |p[i]| over the first n4 elements (a nonzero
+// multiple of 4). Exact: max never rounds, so reduction order is free.
+//
+//go:noescape
+func f64AbsMaxAVX2(p *float64, n4 int) float64
+
+// f64QuantRowAVX2 stores int8(round-half-away(src[i]·inv)) for i < n4 (a
+// nonzero multiple of 4), bit-identical to the scalar math.Round path on
+// finite inputs — see the derivation in int8_amd64.s.
+//
+//go:noescape
+func f64QuantRowAVX2(src *float64, dst *int8, inv float64, n4 int)
+
+// int8DotRows1AVX2 computes one output row. When the inner dimension is a
+// nonzero multiple of 16 (every quantized layer in this repo: K = 32, 64)
+// the fused vector kernel covers all 4-channel groups in a single call and
+// scalar code finishes the channel tail; other inner dimensions take the
+// scalar kernel, which is bit-identical (int32 accumulation is exact).
+func int8DotRows1AVX2(o []float64, arow []int8, s float32, b *Int8Matrix, K, N int) {
+	if K == 0 || K&15 != 0 {
+		int8DotRows1(o, arow, s, b, K, N)
 		return
 	}
-	int8RowKernel = int8DotRows1AVX2
-}
-
-// hasAVX2 reports CPU and OS support for AVX2 (CPUID feature bit plus
-// OS-saved YMM state via XGETBV — a hypervisor can expose the former
-// without the latter).
-func hasAVX2() bool {
-	maxID, _, _, _ := cpuid(0, 0)
-	if maxID < 7 {
-		return false
+	quads := N >> 2
+	if quads > 0 {
+		int8DequantQuadsK16(&arow[0], &b.Data[0], K, K, quads, &b.Scales[0], s, &o[0])
 	}
-	const osxsave, avx = 1 << 27, 1 << 28
-	_, _, c1, _ := cpuid(1, 0)
-	if c1&osxsave == 0 || c1&avx == 0 {
-		return false
-	}
-	if eax, _ := xgetbv(); eax&6 != 6 { // XMM and YMM state enabled
-		return false
-	}
-	_, b7, _, _ := cpuid(7, 0)
-	return b7&(1<<5) != 0 // AVX2
-}
-
-// int8DotRows1AVX2 computes one output row: the vector kernel covers four
-// channels at a time over the 16-aligned prefix of the inner dimension, and
-// scalar code finishes the k and channel tails.
-func int8DotRows1AVX2(o []float64, arow []int8, s float32, b *Int8Matrix, K, N int) {
-	k16 := K &^ 15
-	var acc [4]int32
-	j := 0
-	for ; j+4 <= N; j += 4 {
-		if k16 > 0 {
-			int8Dot4K16(&arow[0], &b.Data[j*K], k16, K, &acc[0])
-		} else {
-			acc = [4]int32{}
-		}
-		for c := 0; c < 4; c++ {
-			brow := b.Row(j + c)
-			p := acc[c]
-			for k := k16; k < K; k++ {
-				p += int32(arow[k]) * int32(brow[k])
-			}
-			o[j+c] = float64(float32(p) * s * b.Scales[j+c])
-		}
-	}
-	for ; j < N; j++ {
+	scales := b.Scales
+	for j := quads * 4; j < N; j++ {
 		brow := b.Row(j)
 		var p int32
 		for k := 0; k < K; k++ {
 			p += int32(arow[k]) * int32(brow[k])
 		}
-		o[j] = float64(float32(p) * s * b.Scales[j])
+		o[j] = float64(float32(p) * s * scales[j])
 	}
 }

@@ -2,41 +2,45 @@
 
 #include "textflag.h"
 
-// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
-TEXT ·cpuid(SB), NOSPLIT, $0-24
-	MOVL eaxArg+0(FP), AX
-	MOVL ecxArg+4(FP), CX
-	CPUID
-	MOVL AX, eax+8(FP)
-	MOVL BX, ebx+12(FP)
-	MOVL CX, ecx+16(FP)
-	MOVL DX, edx+20(FP)
-	RET
+// CPU feature probes live in cpu_amd64.s; this file holds only the int8
+// GEMM kernel.
 
-// func xgetbv() (eax, edx uint32)
-TEXT ·xgetbv(SB), NOSPLIT, $0-8
-	XORL CX, CX
-	XGETBV
-	MOVL AX, eax+0(FP)
-	MOVL DX, edx+4(FP)
-	RET
-
-// func int8Dot4K16(a, b *int8, k16, stride int, out *int32)
+// func int8DequantQuadsK16(a, b *int8, k16, stride, quads int, scales *float32, sa float32, out *float64)
 //
-// For c in 0..3: out[c] = Σ_{k < k16} a[k]·b[c·stride+k]; k16 % 16 == 0.
-// Each iteration sign-extends 16 int8 lanes of the activation row and of
+// For g in 0..quads, c in 0..3:
+//
+//	out[4g+c] = float64(float32(Σ_{k < k16} a[k]·b[(4g+c)·stride+k]) · sa · scales[4g+c])
+//
+// with k16 a nonzero multiple of 16 and quads ≥ 1. The channel loop and the
+// dequantization epilogue both live inside the kernel, so one call produces
+// a whole float64 output row — at the small inner dimensions this repo's
+// layers use (K = 32..64), per-call setup, the horizontal reduction, and a
+// separate Go-side dequant pass otherwise rival the multiply work itself.
+//
+// Each k iteration sign-extends 16 int8 lanes of the activation row and of
 // four weight-channel rows to int16 (VPMOVSXBW), multiply-adds lane pairs
-// into 8 int32 partials (VPMADDWD), and accumulates. The tail after the
-// loop reduces each accumulator horizontally. VPMADDWD's int16×int16+int16×
-// int16 sums cannot overflow int32: operands are ≥ -127·127·2.
-TEXT ·int8Dot4K16(SB), NOSPLIT, $0-40
+// into 8 int32 partials (VPMADDWD), and accumulates; VPMADDWD's int16×int16
+// + int16×int16 sums cannot overflow int32 (operands are ≥ -127·127·2).
+// After the k loop, three VPHADDD fold the four accumulators into
+// per-128-half sums [c0 c1 c2 c3 | c0' c1' c2' c3'] and VEXTRACTI128+VPADDD
+// merges the halves — integer adds, so the lane reassociation is exact. The
+// dequant tail then mirrors the scalar path operation-for-operation:
+// int32→float32 (VCVTDQ2PS, round-to-nearest like Go's conversion), × sa,
+// × scales[c] (both float32 VMULPS, same order as the Go expression), and a
+// final exact widen to float64 (VCVTPS2PD).
+TEXT ·int8DequantQuadsK16(SB), NOSPLIT, $0-64
 	MOVQ a+0(FP), SI
 	MOVQ b+8(FP), DI
 	MOVQ k16+16(FP), CX
 	MOVQ stride+24(FP), R8
-	MOVQ out+32(FP), DX
+	MOVQ quads+32(FP), BX
+	MOVQ scales+40(FP), R13
+	MOVQ out+56(FP), DX
 
-	// Channel row pointers b0..b3 = b + {0,1,2,3}·stride.
+	VBROADCASTSS sa+48(FP), X14 // activation row scale in all 4 lanes
+
+group:
+	// Channel row pointers b0..b3 = group base + {0,1,2,3}·stride.
 	MOVQ DI, R9
 	LEAQ (DI)(R8*1), R10
 	LEAQ (DI)(R8*2), R11
@@ -49,9 +53,7 @@ TEXT ·int8Dot4K16(SB), NOSPLIT, $0-40
 
 	XORQ AX, AX
 
-loop:
-	CMPQ AX, CX
-	JGE  reduce
+kloop:
 	VPMOVSXBW (SI)(AX*1), Y0  // 16 activation lanes → int16
 
 	VPMOVSXBW (R9)(AX*1), Y1
@@ -71,33 +73,118 @@ loop:
 	VPADDD    Y1, Y7, Y7
 
 	ADDQ $16, AX
-	JMP  loop
+	CMPQ AX, CX
+	JLT  kloop
 
-reduce:
-	// Horizontal int32 sum of each accumulator into out[0..3].
+	// Cross-channel reduce: [c0 c1 c2 c3] int32 in X4.
+	VPHADDD Y5, Y4, Y4
+	VPHADDD Y7, Y6, Y6
+	VPHADDD Y6, Y4, Y4
+
 	VEXTRACTI128 $1, Y4, X0
 	VPADDD       X0, X4, X4
-	VPHADDD      X4, X4, X4
-	VPHADDD      X4, X4, X4
-	VMOVD        X4, 0(DX)
 
-	VEXTRACTI128 $1, Y5, X0
-	VPADDD       X0, X5, X5
-	VPHADDD      X5, X5, X5
-	VPHADDD      X5, X5, X5
-	VMOVD        X5, 4(DX)
+	// Fused dequant: float64(float32(p) · sa · scales[c]) for the quad.
+	VCVTDQ2PS X4, X4
+	VMULPS    X14, X4, X4
+	VMOVUPS   (R13), X0
+	VMULPS    X0, X4, X4
+	VCVTPS2PD X4, Y4
+	VMOVUPD   Y4, (DX)
 
-	VEXTRACTI128 $1, Y6, X0
-	VPADDD       X0, X6, X6
-	VPHADDD      X6, X6, X6
-	VPHADDD      X6, X6, X6
-	VMOVD        X6, 8(DX)
+	// Next channel quad.
+	LEAQ (R12)(R8*1), DI
+	ADDQ $16, R13
+	ADDQ $32, DX
+	DECQ BX
+	JNE  group
 
-	VEXTRACTI128 $1, Y7, X0
-	VPADDD       X0, X7, X7
-	VPHADDD      X7, X7, X7
-	VPHADDD      X7, X7, X7
-	VMOVD        X7, 12(DX)
+	VZEROUPPER
+	RET
+
+// func f64AbsMaxAVX2(p *float64, n4 int) float64
+//
+// Returns max_i |p[i]| over the first n4 elements; n4 is a nonzero multiple
+// of 4. max is order-independent on finite inputs (no rounding happens), so
+// the 4-lane reduction is bit-identical to the scalar scan.
+TEXT ·f64AbsMaxAVX2(SB), NOSPLIT, $0-24
+	MOVQ p+0(FP), SI
+	MOVQ n4+8(FP), CX
+
+	VPCMPEQD Y1, Y1, Y1
+	VPSRLQ   $1, Y1, Y1 // 0x7FFF… abs mask
+
+	VXORPD Y4, Y4, Y4
+	XORQ   AX, AX
+
+absloop:
+	VANDPD (SI)(AX*8), Y1, Y0
+	VMAXPD Y0, Y4, Y4
+	ADDQ   $4, AX
+	CMPQ   AX, CX
+	JLT    absloop
+
+	VEXTRACTF128 $1, Y4, X0
+	VMAXPD       X0, X4, X4
+	VSHUFPD      $1, X4, X4, X0
+	VMAXSD       X0, X4, X4
+	VMOVSD       X4, ret+16(FP)
+	VZEROUPPER
+	RET
+
+// func f64QuantRowAVX2(src *float64, dst *int8, inv float64, n4 int)
+//
+// dst[i] = int8(round-half-away(src[i]·inv)) for i < n4 (a nonzero multiple
+// of 4). Bit-identical to the scalar int8(math.Round(v·inv)) path: the
+// multiply is one IEEE rounding in both; round-half-away decomposes exactly
+// as t = trunc(x) (VROUNDPD mode 3), frac = x − t (exact for |x| < 2^52),
+// then t ± 1 where |frac| ≥ 0.5 — every step representable, no rounding.
+// Quantized magnitudes stay ≤ ~127.0001, so the saturating int32→int8 packs
+// never clamp and match Go's conversion of the same integer value.
+DATA f64QuantConsts<>+0(SB)/8, $0x3FF0000000000000 // 1.0
+DATA f64QuantConsts<>+8(SB)/8, $0x3FE0000000000000 // 0.5
+GLOBL f64QuantConsts<>(SB), RODATA|NOPTR, $16
+
+TEXT ·f64QuantRowAVX2(SB), NOSPLIT, $0-32
+	MOVQ         src+0(FP), SI
+	MOVQ         dst+8(FP), DI
+	VBROADCASTSD inv+16(FP), Y12
+	MOVQ         n4+24(FP), CX
+
+	VPCMPEQD Y8, Y8, Y8
+	VPSRLQ   $1, Y8, Y8  // abs mask
+	VPCMPEQD Y9, Y9, Y9
+	VPSLLQ   $63, Y9, Y9 // sign mask
+
+	// FP constants come from memory: a GP→XMM MOVQ assembles to a legacy
+	// SSE encoding, and mixing that with live YMM upper state costs an
+	// AVX-SSE transition stall per instruction on pre-Skylake parts.
+	VBROADCASTSD f64QuantConsts<>+0(SB), Y10 // 1.0
+	VBROADCASTSD f64QuantConsts<>+8(SB), Y11 // 0.5
+
+	XORQ AX, AX
+
+quantloop:
+	VMOVUPD  (SI)(AX*8), Y0
+	VMULPD   Y12, Y0, Y0   // x = v·inv
+	VROUNDPD $3, Y0, Y1    // t = trunc(x)
+	VSUBPD   Y1, Y0, Y2    // frac = x − t (exact)
+	VANDPD   Y8, Y2, Y2    // |frac|
+	VCMPPD   $13, Y11, Y2, Y3 // |frac| ≥ 0.5 lane mask
+	VANDPD   Y9, Y0, Y5    // sign(x)
+	VORPD    Y10, Y5, Y5   // ±1.0
+	VANDPD   Y3, Y5, Y5    // ±1.0 where rounding away
+	VADDPD   Y5, Y1, Y1    // round-half-away(x), an exact integer
+
+	VCVTTPD2DQY Y1, X1     // 4×int32
+	VPACKSSDW   X1, X1, X1
+	VPACKSSWB   X1, X1, X1
+	VMOVD       X1, (DI)   // 4×int8
+
+	ADDQ $4, AX
+	ADDQ $4, DI
+	CMPQ AX, CX
+	JLT  quantloop
 
 	VZEROUPPER
 	RET

@@ -134,6 +134,51 @@ func TestInt8KernelScalarSIMDAgree(t *testing.T) {
 	}
 }
 
+// TestQuantizeRowsScalarSIMDAgree pins the asm quantization kernels
+// (absmax reduce + fused round/pack) bit-exactly to the scalar
+// math.Abs/math.Round path, including widths that exercise the 4-lane
+// tails and adversarial values: exact half-way points, negative zeros,
+// and magnitudes near the ±127 clamp boundary.
+func TestQuantizeRowsScalarSIMDAgree(t *testing.T) {
+	if !SIMDAvailable() {
+		t.Skip("no SIMD kernels installed on this platform")
+	}
+	defer SetSIMD(true)
+	rng := rand.New(rand.NewSource(19))
+	for _, cols := range []int{1, 3, 4, 5, 7, 8, 31, 32, 40, 66} {
+		x := New(8, cols)
+		for i := range x.Data {
+			x.Data[i] = rng.NormFloat64() * 5
+		}
+		// Adversarial rows (clipped to the row width).
+		adv := []float64{0.5, -0.5, 1.5, -2.5, math.Copysign(0, -1), 127, -127, 63.5}
+		for j := 0; j < cols && j < len(adv); j++ {
+			x.Row(1)[j] = adv[j]
+		}
+		clear(x.Row(2)) // all-zero row
+
+		qSIMD := NewInt8(8, cols)
+		SetSIMD(true)
+		QuantizeRowsInto(qSIMD, x)
+
+		qScalar := NewInt8(8, cols)
+		SetSIMD(false)
+		QuantizeRowsInto(qScalar, x)
+		SetSIMD(true)
+
+		for i := range qSIMD.Scales {
+			if qSIMD.Scales[i] != qScalar.Scales[i] {
+				t.Fatalf("cols=%d row %d: simd scale %v != scalar %v", cols, i, qSIMD.Scales[i], qScalar.Scales[i])
+			}
+		}
+		for i := range qSIMD.Data {
+			if qSIMD.Data[i] != qScalar.Data[i] {
+				t.Fatalf("cols=%d: element %d: simd %d != scalar %d", cols, i, qSIMD.Data[i], qScalar.Data[i])
+			}
+		}
+	}
+}
+
 // TestMatMulInt8BTShapePanics pins the panic contract.
 func TestMatMulInt8BTShapePanics(t *testing.T) {
 	defer func() {
@@ -158,9 +203,73 @@ func TestInt8MatrixPool(t *testing.T) {
 	PutInt8Matrix(m2)
 }
 
+// TestMatMulInt8BTFusedMatchesUnfused pins the fused-epilogue contract:
+// MatMulInt8BTFusedInto must be bit-exact against the unfused sequence
+// (matmul, then bias add, then ReLU) across blocking tails, with and
+// without each epilogue stage.
+func TestMatMulInt8BTFusedMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, sh := range [][3]int{{1, 1, 1}, {3, 5, 2}, {5, 16, 4}, {7, 9, 6}, {16, 32, 33}, {70, 64, 70}} {
+		m, k, n := sh[0], sh[1], sh[2]
+		a := randInt8(rng, m, k)
+		b := randInt8(rng, n, k)
+		bias := make([]float64, n)
+		for j := range bias {
+			bias[j] = rng.NormFloat64()
+		}
+		for _, withBias := range []bool{false, true} {
+			for _, relu := range []bool{false, true} {
+				bs := bias
+				if !withBias {
+					bs = nil
+				}
+				want := New(m, n)
+				MatMulInt8BTInto(want, a, b)
+				for i := 0; i < m; i++ {
+					row := want.Row(i)
+					if bs != nil {
+						for j := range row {
+							row[j] += bs[j]
+						}
+					}
+					if relu {
+						for j, v := range row {
+							if !(v > 0) {
+								row[j] = 0
+							}
+						}
+					}
+				}
+				got := New(m, n)
+				MatMulInt8BTFusedInto(got, a, b, bs, relu)
+				for i := range got.Data {
+					if got.Data[i] != want.Data[i] {
+						t.Fatalf("shape %v bias=%v relu=%v: element %d: fused %v != unfused %v",
+							sh, withBias, relu, i, got.Data[i], want.Data[i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // quantBenchDim matches the 128×128 float64 benchmark for an apples-to-
 // apples kernel comparison (BenchmarkMatMul128).
 const quantBenchDim = 128
+
+// BenchmarkQuantizeRows measures per-row activation quantization at the
+// serving shape (many short rows), the fixed cost every quantized layer
+// pays before its matmul.
+func BenchmarkQuantizeRows(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := New(512, 32).Randn(rng, 1)
+	q := NewInt8(512, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QuantizeRowsInto(q, x)
+	}
+}
 
 // BenchmarkMatMulInt8 measures the int8 kernel at the same shape as
 // BenchmarkMatMul128; the ratio is the raw kernel-level quantization win.

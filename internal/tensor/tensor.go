@@ -140,34 +140,11 @@ func MatMul(a, b *Matrix) *Matrix {
 	return out
 }
 
-// MatMulInto computes out = a·b into a preallocated out.
+// MatMulInto computes out = a·b into a preallocated out. Each output
+// element is one FMA chain in ascending k (see float.go for the kernel
+// contract shared by the AVX2 and scalar paths).
 func MatMulInto(out, a, b *Matrix) {
-	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
-		panic("tensor: MatMulInto shape mismatch")
-	}
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			orow := out.Row(i)
-			for x := range orow {
-				orow[x] = 0
-			}
-			arow := a.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	}
-	if a.Rows*b.Cols >= parallelThreshold {
-		ParallelFor(a.Rows, body)
-	} else {
-		body(0, a.Rows)
-	}
+	matMulEpilogue(out, a, b, nil, false)
 }
 
 // MatMulAT computes out = aᵀ·b, allocating out. a is k×m, b is k×n, out m×n.
@@ -183,22 +160,15 @@ func MatMulATInto(out, a, b *Matrix) {
 		panic(fmt.Sprintf("tensor: MatMulATInto shape %dx%d = (%dx%d)ᵀ·%dx%d",
 			out.Rows, out.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
 	}
+	K, N := a.Rows, b.Cols
 	body := func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			orow := out.Row(i)
-			for x := range orow {
-				orow[x] = 0
+			if K == 0 {
+				clear(out.Row(i))
+				continue
 			}
-			for k := 0; k < a.Rows; k++ {
-				av := a.At(k, i)
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
+			// Column i of a is a strided vector: elements a.Data[i+k*a.Cols].
+			f64GemmRow(out.Row(i), a.Data[i:], a.Cols, b.Data, b.Cols, nil, K, N, false)
 		}
 	}
 	if out.Rows*out.Cols >= parallelThreshold {
@@ -208,31 +178,13 @@ func MatMulATInto(out, a, b *Matrix) {
 	}
 }
 
-// MatMulBT computes out = a·bᵀ. a is m×k, b is n×k, out m×n.
+// MatMulBT computes out = a·bᵀ, allocating out. a is m×k, b is n×k, out m×n.
 func MatMulBT(a, b *Matrix) *Matrix {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulBT inner dims %d vs %d", a.Cols, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	body := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			orow := out.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				s := 0.0
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				orow[j] = s
-			}
-		}
-	}
-	if a.Rows*b.Rows >= parallelThreshold {
-		ParallelFor(a.Rows, body)
-	} else {
-		body(0, a.Rows)
-	}
+	MatMulBTInto(out, a, b)
 	return out
 }
 

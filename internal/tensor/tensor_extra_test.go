@@ -101,7 +101,7 @@ func TestMatMulZeroDimensions(t *testing.T) {
 }
 
 func TestSparseSkipInMatMul(t *testing.T) {
-	// The av == 0 skip path must not change results.
+	// Sparse activation rows (zeros in a) must not change results.
 	a := FromSlice(2, 2, []float64{0, 1, 2, 0})
 	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
 	c := MatMul(a, b)

@@ -111,13 +111,13 @@ func TestMatMulParallelDeterministic(t *testing.T) {
 	a := New(80, 90).Randn(rng, 1)
 	b := New(90, 70).Randn(rng, 1)
 	c1 := MatMul(a, b)
-	// Serial reference.
+	// Serial reference computing the kernel's exact FMA chains (float.go).
 	ref := New(80, 70)
 	for i := 0; i < 80; i++ {
 		for k := 0; k < 90; k++ {
 			av := a.At(i, k)
 			for j := 0; j < 70; j++ {
-				ref.Data[i*70+j] += av * b.At(k, j)
+				ref.Data[i*70+j] = math.FMA(av, b.At(k, j), ref.Data[i*70+j])
 			}
 		}
 	}
