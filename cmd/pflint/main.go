@@ -1,0 +1,113 @@
+// pflint is pragformer's project lint tool, designed to run under
+// `go vet -vettool=$(which pflint) ./...`. It speaks the minimal protocol
+// cmd/go expects from a vet tool, with no dependency outside the standard
+// library:
+//
+//	pflint -V=full     print a content fingerprint (go's build cache key)
+//	pflint -flags      print the analyzer flags we support (none) as JSON
+//	pflint <vet.cfg>   analyze one package unit described by the JSON config
+//
+// Findings go to stderr as file:line:col: message and exit with status 2,
+// which go vet surfaces per package. The checks themselves live in
+// internal/lint; they are syntactic, so the type-check sections of vet.cfg
+// are ignored and an empty facts file satisfies the VetxOutput contract.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"pragformer/internal/lint"
+)
+
+// vetConfig is the subset of cmd/go's vet.cfg we consume.
+type vetConfig struct {
+	ID         string   `json:"ID"`
+	Dir        string   `json:"Dir"`
+	ImportPath string   `json:"ImportPath"`
+	GoFiles    []string `json:"GoFiles"`
+	VetxOnly   bool     `json:"VetxOnly"`
+	VetxOutput string   `json:"VetxOutput"`
+}
+
+func main() {
+	switch {
+	case len(os.Args) == 2 && os.Args[1] == "-V=full":
+		printVersion()
+	case len(os.Args) == 2 && os.Args[1] == "-flags":
+		fmt.Println("[]")
+	case len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg"):
+		os.Exit(run(os.Args[1]))
+	default:
+		fmt.Fprintf(os.Stderr, "usage: pflint [-V=full | -flags | vet.cfg]\n")
+		os.Exit(1)
+	}
+}
+
+// printVersion emits the fingerprint line go's build cache keys vet results
+// on: the tool path, a "version" marker, and a content hash of the binary
+// itself, so a rebuilt pflint invalidates cached vet verdicts.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", os.Args[0], h.Sum(nil))
+}
+
+func run(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pflint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pflint: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The facts file must exist even though we produce no facts, or go vet
+	// reports the unit as failed.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pflint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	findings := 0
+	fset := token.NewFileSet()
+	for _, path := range cfg.GoFiles {
+		// Test files may legitimately use wall clocks and the global rand;
+		// the determinism contract covers shipped code.
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			// Unparseable code fails the build before vet matters.
+			continue
+		}
+		for _, fd := range lint.CheckFile(fset, file, file.Name.Name) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", fd.Pos, fd.Msg)
+			findings++
+		}
+	}
+	if findings > 0 {
+		return 2
+	}
+	return 0
+}

@@ -47,7 +47,7 @@ func TestScanCLIBackendAgreement(t *testing.T) {
 	if err := json.Unmarshal(a, &rep); err != nil {
 		t.Fatal(err)
 	}
-	if rep.Counters.Unique != 9 || rep.Counters.Skipped != 1 {
+	if rep.Counters.Unique != 16 || rep.Counters.Skipped != 1 {
 		t.Errorf("counters = %+v", rep.Counters)
 	}
 }

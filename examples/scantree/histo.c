@@ -1,0 +1,10 @@
+/* A histogram: the subscript is data-dependent, so no dependence test can
+ * order the writes — but every access is the same += accumulation, so the
+ * loop parallelizes with reduction(+:hist). */
+
+void histogram(int *hist, int *b, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        hist[b[i]] += 1;
+    }
+}

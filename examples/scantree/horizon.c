@@ -1,0 +1,21 @@
+/* A carried dependence past the model's token horizon: the classifier
+ * reads at most 110 token positions, which this body fills with
+ * independent elementwise updates before the final statement folds in
+ * p[i - 1]. The model votes parallel on the prefix it can see; the
+ * dependence analysis reads the whole body and refutes it — the
+ * disagreement fixture behind SARIF rules PF1003 and PF1004. */
+
+void update(double *p, double *q, double *r, double *s, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        p[i] = p[i] * 0.5;
+        q[i] = q[i] * 0.5;
+        r[i] = r[i] * 0.5;
+        s[i] = s[i] * 0.5;
+        p[i] = p[i] + q[i];
+        r[i] = r[i] + s[i];
+        q[i] = q[i] + 1.0;
+        s[i] = s[i] + 1.0;
+        p[i] = p[i] + p[i - 1];
+    }
+}

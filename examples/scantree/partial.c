@@ -1,0 +1,17 @@
+/* Partially malformed: bad() is missing an operand, but the recovering
+ * parser must resynchronize and still scan the loop in ok() — the file
+ * contributes one positioned skip AND one loop. */
+
+void bad(double *x, int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        x[i] = x[i] * ;
+    }
+}
+
+void ok(float *y, int n) {
+    int j;
+    for (j = 0; j < n; j++) {
+        y[j] = y[j] * 3.0f;
+    }
+}

@@ -1,0 +1,18 @@
+/* A per-iteration scratch array: every outer iteration fills t[0..7]
+ * before reading it back, so the apparent reuse privatizes away. The
+ * dependence engine must convert this loop (private(t)) instead of
+ * refuting it. */
+
+void blur(double **img, double **out, int n) {
+    int i;
+    int j;
+    double t[8];
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < 8; j++) {
+            t[j] = img[i][j] * 0.5;
+        }
+        for (j = 0; j < 8; j++) {
+            out[i][j] = t[j] + t[j] * 0.25;
+        }
+    }
+}

@@ -1,0 +1,11 @@
+/* A true flow race at distance (1): iteration i writes a[i], iteration
+ * i+1 reads it as a[i - 1]. The scan must attach a structured witness —
+ * kind "flow", both access sites, distance vector "(1)" — and SARIF rule
+ * PF1004 cites it. */
+
+void shift(double *a, int n) {
+    int i;
+    for (i = 1; i < n; i++) {
+        a[i] = a[i - 1] * 0.5 + 1.0;
+    }
+}

@@ -240,9 +240,29 @@ type Corroboration struct {
 	// DepWitness carries the analysis' reasons — the carried-dependence or
 	// reduction-pattern evidence from dep.Analysis.Reasons.
 	DepWitness []string
+	// Races carries the structured race witnesses behind a dependence
+	// refutation: kind, both access sites (line/col within the canonical
+	// snippet text), and the per-level direction/distance vector.
+	Races []dep.Witness
+	// Converted lists arrays whose refuting dependence the analysis rescued
+	// via privatization or reduction recognition — loops that would have
+	// been disagreements under the one-level engine.
+	Converted []string
 	// S2S holds the per-compiler corroboration verdicts (empty under
 	// NoCorroborate).
 	S2S []CompilerVerdict
+}
+
+// attach copies a dependence analysis' evidence into the corroboration.
+func (c *Corroboration) attach(analysis *dep.Analysis) {
+	if analysis == nil || !analysis.Header.OK {
+		return
+	}
+	c.DepRan = true
+	c.DepAgrees = analysis.Parallelizable
+	c.DepWitness = append(c.DepWitness, analysis.Reasons...)
+	c.Races = append(c.Races, analysis.Witnesses...)
+	c.Converted = append(c.Converted, analysis.Converted...)
 }
 
 // Suggestion is the advisor's output for one snippet.
@@ -354,6 +374,10 @@ func (m *Models) SuggestSnippets(snippets []Snippet) ([]BatchItem, error) {
 			posToks = append(posToks, tokBatch[j])
 		} else {
 			s.Notes = append(s.Notes, "directive classifier below threshold")
+			// Negative verdicts still carry the dependence evidence: a
+			// refuted loop's race witnesses are a property of the code, not
+			// of the model's answer, and the scan report surfaces them.
+			s.Corroboration.attach(analyzeSnippet(snippets[i]))
 		}
 	}
 	if len(posIDs) == 0 {
@@ -409,6 +433,34 @@ func (m *Models) finish(s *Suggestion, sn Snippet, toks []string, wantPrivate, w
 			s.Notes = append(s.Notes, "reduction clause predicted but no accumulation pattern found")
 		}
 	}
+	// Conversion-rescued arrays are load-bearing: the parallel verdict is
+	// only sound with their clauses attached, so they bypass the clause
+	// classifiers' gating.
+	if analysis != nil && len(analysis.Converted) > 0 {
+		conv := map[string]bool{}
+		for _, c := range analysis.Converted {
+			conv[c] = true
+		}
+		have := map[string]bool{}
+		for _, p := range d.Private {
+			have[p] = true
+		}
+		for _, p := range analysis.Private {
+			if conv[p] && !have[p] {
+				d.Private = append(d.Private, p)
+			}
+		}
+		haveRed := map[string]bool{}
+		for _, r := range d.Reductions {
+			haveRed[r.Vars[0]] = true
+		}
+		for _, r := range analysis.Reductions {
+			if conv[r.Vars[0]] && !haveRed[r.Vars[0]] {
+				d.Reductions = append(d.Reductions, r)
+			}
+		}
+		s.Notes = append(s.Notes, fmt.Sprintf("conversion clauses attached: %v", analysis.Converted))
+	}
 	if analysis != nil && analysis.Unbalanced {
 		d.Schedule = pragma.ScheduleDynamic
 		s.Notes = append(s.Notes, "unbalanced body: schedule(dynamic)")
@@ -420,11 +472,7 @@ func (m *Models) finish(s *Suggestion, sn Snippet, toks []string, wantPrivate, w
 	// must not overwrite "the analysis found a carried dependence" — that is
 	// exactly the disagreement the paper mines.
 	cor := &s.Corroboration
-	if analysis != nil && analysis.Header.OK {
-		cor.DepRan = true
-		cor.DepAgrees = analysis.Parallelizable
-		cor.DepWitness = append(cor.DepWitness, analysis.Reasons...)
-	}
+	cor.attach(analysis)
 	switch {
 	case cor.DepRan && cor.DepAgrees:
 		cor.Tier = TierAnalysisAgrees
@@ -554,7 +602,14 @@ func analyzeSnippet(sn Snippet) *dep.Analysis {
 	if loop == nil {
 		return nil
 	}
-	return dep.AnalyzeLoop(loop, funcs)
+	// The advisor runs with the conversion passes on: a loop whose refuting
+	// dependence privatizes or reduces away is advisable, with the rescued
+	// clause attached. The corpus labeler and S2S baselines keep the plain
+	// AnalyzeLoop verdicts.
+	return dep.AnalyzeLoopOpts(loop, funcs, dep.Options{
+		ArrayPrivatization: true,
+		ArrayReductions:    true,
+	})
 }
 
 // analyze parses the snippet and runs the dependence analysis over its

@@ -21,15 +21,68 @@ func PrintExpr(e Expr) string {
 	return p.b.String()
 }
 
+// Pos is a 1-based line/column position within a Print rendering.
+type Pos struct {
+	Line, Col int
+}
+
+// PrintPositions renders n exactly like Print and additionally reports the
+// position at which each target node's text begins in the rendering. Targets
+// not reached during printing are absent from the map. The dependence
+// analyzer uses this to anchor race-witness access sites inside the
+// canonical snippet, so positions agree across scan and serve entry points
+// regardless of where the loop sat in its original file.
+func PrintPositions(n Node, targets []Node) (string, map[Node]Pos) {
+	p := printer{want: map[Node]bool{}, marks: map[Node]Pos{}}
+	for _, t := range targets {
+		if t != nil {
+			p.want[t] = true
+		}
+	}
+	p.node(n)
+	return strings.TrimRight(p.b.String(), "\n") + "\n", p.marks
+}
+
 type printer struct {
 	b      strings.Builder
 	indent int
+
+	// Position tracking for PrintPositions; nil maps on plain Print.
+	want      map[Node]bool
+	marks     map[Node]Pos
+	newlines  int // '\n' bytes written so far
+	lineStart int // builder length just after the last newline
+}
+
+func (p *printer) ws(s string) {
+	p.b.WriteString(s)
+}
+
+func (p *printer) begin() {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+}
+
+func (p *printer) nl() {
+	p.b.WriteByte('\n')
+	p.newlines++
+	p.lineStart = p.b.Len()
 }
 
 func (p *printer) line(s string) {
-	p.b.WriteString(strings.Repeat("    ", p.indent))
-	p.b.WriteString(s)
-	p.b.WriteByte('\n')
+	p.begin()
+	p.ws(s)
+	p.nl()
+}
+
+// mark records the current output position for a requested target node.
+func (p *printer) mark(n Node) {
+	if p.want == nil || !p.want[n] {
+		return
+	}
+	if _, done := p.marks[n]; done {
+		return
+	}
+	p.marks[n] = Pos{Line: p.newlines + 1, Col: p.b.Len() - p.lineStart + 1}
 }
 
 func (p *printer) node(n Node) {
@@ -54,11 +107,17 @@ func (p *printer) node(n Node) {
 		p.indent--
 		p.line("}")
 	case *Decl:
-		p.line(declString(v) + ";")
+		p.begin()
+		p.decl(v)
+		p.ws(";")
+		p.nl()
 	case Stmt:
 		p.stmt(v)
 	case Expr:
-		p.line(PrintExpr(v) + ";")
+		p.begin()
+		p.expr(v, precLowest)
+		p.ws(";")
+		p.nl()
 	default:
 		p.line(fmt.Sprintf("/* unknown node %T */", n))
 	}
@@ -86,28 +145,39 @@ func typeString(t *TypeSpec) string {
 }
 
 func declString(d *Decl) string {
+	var p printer
+	p.decl(d)
+	return p.b.String()
+}
+
+// decl streams a declarator so expressions inside dims and initializers can
+// be position-marked.
+func (p *printer) decl(d *Decl) {
 	s := typeString(d.Type)
 	if d.IsTypedef {
 		s = "typedef " + s
 	}
+	p.ws(s)
 	if d.Name != "" {
 		if strings.HasSuffix(s, "*") {
-			s += d.Name
+			p.ws(d.Name)
 		} else {
-			s += " " + d.Name
+			p.ws(" " + d.Name)
 		}
 	}
 	for _, dim := range d.ArrayDims {
 		if dim == nil {
-			s += "[]"
+			p.ws("[]")
 		} else {
-			s += "[" + PrintExpr(dim) + "]"
+			p.ws("[")
+			p.expr(dim, precLowest)
+			p.ws("]")
 		}
 	}
 	if d.Init != nil {
-		s += " = " + PrintExpr(d.Init)
+		p.ws(" = ")
+		p.expr(d.Init, precLowest)
 	}
-	return s
 }
 
 func (p *printer) stmt(s Stmt) {
@@ -121,42 +191,63 @@ func (p *printer) stmt(s Stmt) {
 		p.indent--
 		p.line("}")
 	case *ExprStmt:
-		p.line(PrintExpr(v.X) + ";")
+		p.begin()
+		p.expr(v.X, precLowest)
+		p.ws(";")
+		p.nl()
 	case *DeclStmt:
 		for _, d := range v.Decls {
-			p.line(declString(d) + ";")
+			p.begin()
+			p.decl(d)
+			p.ws(";")
+			p.nl()
 		}
 	case *For:
-		init := ""
+		p.begin()
+		p.ws("for (")
 		switch iv := v.Init.(type) {
 		case *ExprStmt:
-			init = PrintExpr(iv.X)
+			p.expr(iv.X, precLowest)
 		case *DeclStmt:
-			var ds []string
-			for _, d := range iv.Decls {
-				ds = append(ds, declString(d))
+			for i, d := range iv.Decls {
+				if i > 0 {
+					p.ws(", ")
+				}
+				p.decl(d)
 			}
-			init = strings.Join(ds, ", ")
 		}
-		cond := ""
+		p.ws("; ")
 		if v.Cond != nil {
-			cond = PrintExpr(v.Cond)
+			p.expr(v.Cond, precLowest)
 		}
-		post := ""
+		p.ws("; ")
 		if v.Post != nil {
-			post = PrintExpr(v.Post)
+			p.expr(v.Post, precLowest)
 		}
-		p.line(fmt.Sprintf("for (%s; %s; %s)", init, cond, post))
+		p.ws(")")
+		p.nl()
 		p.body(v.Body)
 	case *While:
-		p.line(fmt.Sprintf("while (%s)", PrintExpr(v.Cond)))
+		p.begin()
+		p.ws("while (")
+		p.expr(v.Cond, precLowest)
+		p.ws(")")
+		p.nl()
 		p.body(v.Body)
 	case *DoWhile:
 		p.line("do")
 		p.body(v.Body)
-		p.line(fmt.Sprintf("while (%s);", PrintExpr(v.Cond)))
+		p.begin()
+		p.ws("while (")
+		p.expr(v.Cond, precLowest)
+		p.ws(");")
+		p.nl()
 	case *If:
-		p.line(fmt.Sprintf("if (%s)", PrintExpr(v.Cond)))
+		p.begin()
+		p.ws("if (")
+		p.expr(v.Cond, precLowest)
+		p.ws(")")
+		p.nl()
 		p.body(v.Then)
 		if v.Else != nil {
 			p.line("else")
@@ -164,7 +255,11 @@ func (p *printer) stmt(s Stmt) {
 		}
 	case *Return:
 		if v.X != nil {
-			p.line("return " + PrintExpr(v.X) + ";")
+			p.begin()
+			p.ws("return ")
+			p.expr(v.X, precLowest)
+			p.ws(";")
+			p.nl()
 		} else {
 			p.line("return;")
 		}
@@ -242,6 +337,7 @@ func binPrec(op string) int {
 }
 
 func (p *printer) expr(e Expr, parent int) {
+	p.mark(e)
 	switch v := e.(type) {
 	case *Ident:
 		p.b.WriteString(v.Name)

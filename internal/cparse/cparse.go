@@ -7,6 +7,7 @@
 package cparse
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -65,7 +66,108 @@ func ParseStmt(src string) (cast.Stmt, error) {
 			return s, nil
 		}
 	}
-	return nil, fmt.Errorf("cparse: no statement in input")
+	// Structured like every other parse failure, so batch consumers get a
+	// position instead of scraping message text.
+	return nil, &Error{Line: 1, Col: 1, Msg: "no statement in input"}
+}
+
+// ParseRecover parses as much of src as possible. When a top-level item
+// fails, the error is recorded with its position and the parser
+// resynchronizes at the next statement boundary (';' or a balanced '}' at
+// nesting depth zero), so one broken function no longer suppresses every
+// other loop in the file. The returned file holds the items that did parse;
+// errs carries one structured error per failed region.
+func ParseRecover(src string) (*cast.File, []*Error) {
+	parses.Add(1)
+	toks, err := clex.Lex(src)
+	if err != nil {
+		e := &Error{Msg: err.Error()}
+		if line, col, ok := Position(err); ok {
+			e.Line, e.Col = line, col
+		}
+		return &cast.File{}, []*Error{e}
+	}
+	p := &Parser{toks: toks, typedefs: map[string]bool{}}
+	for k := range builtinTypes {
+		p.typedefs[k] = true
+	}
+	f := &cast.File{}
+	var errs []*Error
+	for p.cur().Kind != clex.EOF {
+		start := p.pos
+		n, err := p.parseTopLevel()
+		if err == nil {
+			if n != nil {
+				f.Items = append(f.Items, n)
+			}
+			// A parse that consumed nothing would loop forever; does not
+			// happen with the current grammar, but guard anyway.
+			if p.pos == start && n == nil {
+				p.next()
+			}
+			continue
+		}
+		e := &Error{Msg: err.Error()}
+		if line, col, ok := Position(err); ok {
+			e.Line, e.Col = line, col
+			e.Msg = errMessage(err)
+		}
+		errs = append(errs, e)
+		if p.pos == start {
+			p.next()
+		}
+		p.resync()
+	}
+	return f, errs
+}
+
+// errMessage strips the rendered position prefix from a structured error so
+// recovery does not double-report it next to the Line/Col fields.
+func errMessage(err error) string {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Msg
+	}
+	return err.Error()
+}
+
+// resync skips tokens until a statement boundary at nesting depth zero: the
+// ';' ending a broken declaration or the '}' closing a broken function. A
+// failure deep inside a function leaves unmatched closers behind (the parser
+// already consumed the openers), so trailing stray '}' are swallowed too —
+// at the top level a bare '}' is never the start of a valid item.
+func (p *Parser) resync() {
+	depth := 0
+	for p.cur().Kind != clex.EOF {
+		t := p.next()
+		switch t.Text {
+		case "{", "(", "[":
+			depth++
+		case ")", "]":
+			if depth > 0 {
+				depth--
+			}
+		case "}":
+			if depth > 0 {
+				depth--
+			}
+			if depth == 0 {
+				p.swallowClosers()
+				return
+			}
+		case ";":
+			if depth == 0 {
+				p.swallowClosers()
+				return
+			}
+		}
+	}
+}
+
+func (p *Parser) swallowClosers() {
+	for p.cur().Kind != clex.EOF && p.cur().Text == "}" {
+		p.next()
+	}
 }
 
 func (p *Parser) cur() clex.Token  { return p.toks[p.pos] }

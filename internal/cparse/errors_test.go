@@ -230,34 +230,6 @@ func TestStructDeclarations(t *testing.T) {
 	}
 }
 
-// FuzzParse exercises the parser for panics on arbitrary inputs; any input
-// must produce either an AST or an error.
-func FuzzParse(f *testing.F) {
-	for _, seed := range []string{
-		"for (i = 0; i < n; i++) a[i] = i;",
-		"#pragma omp parallel for\nfor (;;) {}",
-		"int x = {1, {2}};",
-		"a->b.c[d](e, f)++;",
-		"x = (ssize_t) y;",
-		"do ; while (0);",
-	} {
-		f.Add(seed)
-	}
-	f.Fuzz(func(t *testing.T, src string) {
-		if len(src) > 4096 {
-			return
-		}
-		ast, err := Parse(src)
-		if err == nil && ast == nil {
-			t.Fatal("nil AST without error")
-		}
-		if err == nil {
-			// The printer must render any accepted AST without panicking.
-			_ = cast.Print(ast)
-		}
-	})
-}
-
 func TestParseIdempotentOnCorpusShapes(t *testing.T) {
 	srcs := []string{
 		"register int r0;\nfor (i = 0; i < 4096; i++) out[i] = in[i] * 0.5;",

@@ -1,0 +1,106 @@
+package cparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pragformer/internal/cast"
+)
+
+func TestParseRecoverCleanInput(t *testing.T) {
+	src := "void f(int *x, int n) {\n    int i;\n    for (i = 0; i < n; i++) x[i] = i;\n}\n"
+	f, errs := ParseRecover(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors on clean input: %v", errs)
+	}
+	want, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Items) != len(want.Items) {
+		t.Errorf("recovered %d items, Parse found %d", len(f.Items), len(want.Items))
+	}
+}
+
+func TestParseRecoverBrokenFunctionKeepsSiblings(t *testing.T) {
+	src := "void bad(int *x, int n) {\n" +
+		"    int i;\n" +
+		"    for (i = 0; i < n; i++ {\n" + // missing ')'
+		"        x[i] = i;\n" +
+		"    }\n" +
+		"}\n" +
+		"void good(double *y, int n) {\n" +
+		"    int j;\n" +
+		"    for (j = 0; j < n; j++) y[j] = y[j] * 2.0;\n" +
+		"}\n"
+	f, errs := ParseRecover(src)
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v, want exactly one", errs)
+	}
+	if errs[0].Line != 3 || errs[0].Col == 0 {
+		t.Errorf("error position = %d:%d, want line 3 (the malformed for-header)", errs[0].Line, errs[0].Col)
+	}
+	loops := cast.ExtractLoops(f)
+	if len(loops) != 1 {
+		t.Fatalf("recovered %d loops, want the one from good()", len(loops))
+	}
+	if loops[0].Function != "good" {
+		t.Errorf("recovered loop belongs to %q, want good", loops[0].Function)
+	}
+}
+
+func TestParseRecoverBrokenDeclaration(t *testing.T) {
+	src := "int x = ;\n" +
+		"void f(int *a, int n) {\n" +
+		"    int i;\n" +
+		"    for (i = 0; i < n; i++) a[i] = 0;\n" +
+		"}\n"
+	f, errs := ParseRecover(src)
+	if len(errs) == 0 {
+		t.Fatal("broken declaration produced no error")
+	}
+	if errs[0].Line == 0 {
+		t.Errorf("error carries no position: %v", errs[0])
+	}
+	if len(cast.ExtractLoops(f)) != 1 {
+		t.Error("loop after the broken declaration was lost")
+	}
+}
+
+func TestParseRecoverNothingParseable(t *testing.T) {
+	f, errs := ParseRecover("= = = ) }")
+	if len(f.Items) != 0 {
+		t.Errorf("items = %v, want none", f.Items)
+	}
+	if len(errs) == 0 {
+		t.Error("garbage input produced no errors")
+	}
+	for _, e := range errs {
+		if strings.Contains(e.Msg, "cparse: line") {
+			t.Errorf("error message double-renders its position: %q", e.Msg)
+		}
+	}
+}
+
+func TestParseRecoverTerminates(t *testing.T) {
+	// Inputs that once risked non-progress: lone closers, unterminated
+	// openers, EOF mid-statement.
+	for _, src := range []string{"}", "{", "(", ";", "for (", "int", "a b c d"} {
+		ParseRecover(src) // must not hang or panic
+	}
+}
+
+func TestParseStmtErrorHasPosition(t *testing.T) {
+	_, err := ParseStmt("")
+	if err == nil {
+		t.Fatal("empty input parsed")
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *Error with a position", err)
+	}
+	if pe.Line != 1 || pe.Col != 1 {
+		t.Errorf("position = %d:%d, want 1:1", pe.Line, pe.Col)
+	}
+}

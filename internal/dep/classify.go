@@ -67,6 +67,7 @@ func (a *Analysis) classifyScalars(ctx *collector) bool {
 			a.Private = append(a.Private, name)
 			continue
 		}
+		a.Witnesses = append(a.Witnesses, a.scalarWitness(ctx, name))
 		a.reason("scalar %s carries a loop dependence (read-modify-write across iterations)", name)
 		return false
 	}
@@ -133,98 +134,3 @@ func refersTo(e cast.Expr, name string) bool {
 	return found
 }
 
-// testArrays runs pairwise dependence tests over array accesses. Returns
-// false when a loop-carried array dependence (or an unanalyzable subscript
-// on a write) is found.
-func (a *Analysis) testArrays(ctx *collector) bool {
-	type arrayAccess struct {
-		subs  []Affine
-		write bool
-		ok    bool
-	}
-	byName := map[string][]arrayAccess{}
-	var names []string
-	for _, acc := range ctx.accesses {
-		if acc.subs == nil {
-			continue
-		}
-		aa := arrayAccess{write: acc.write, ok: true}
-		for _, s := range acc.subs {
-			af := ToAffine(s, a.Header.Var)
-			if !af.OK {
-				aa.ok = false
-			}
-			aa.subs = append(aa.subs, af)
-		}
-		if _, seen := byName[acc.name]; !seen {
-			names = append(names, acc.name)
-		}
-		byName[acc.name] = append(byName[acc.name], aa)
-	}
-	sort.Strings(names)
-
-	for _, name := range names {
-		accs := byName[name]
-		hasWrite := false
-		for _, aa := range accs {
-			if aa.write {
-				hasWrite = true
-				if !aa.ok {
-					a.reason("array %s written with non-affine subscript", name)
-					return false
-				}
-			}
-		}
-		if !hasWrite {
-			continue // read-only array: safe
-		}
-		for _, w := range accs {
-			if !w.write {
-				continue
-			}
-			for _, r := range accs {
-				if !r.ok {
-					a.reason("array %s has a non-affine access conflicting with a write", name)
-					return false
-				}
-				switch testAccessPair(w.subs, r.subs) {
-				case DepCarried, DepUnknown:
-					a.reason("array %s carries a loop dependence between accesses", name)
-					return false
-				}
-			}
-		}
-	}
-	return true
-}
-
-// testAccessPair tests two multi-dimensional subscript vectors. Per-
-// dimension independence proves overall independence; a dimension pinned to
-// the same iteration (distance zero) also proves independence across
-// iterations. Only if every dimension may alias across iterations is the
-// pair reported as carried.
-func testAccessPair(w, r []Affine) DepResult {
-	if len(w) != len(r) {
-		// Different dimensionality (e.g. a[i] vs a[i][j]) — be conservative.
-		return DepUnknown
-	}
-	sawUnknown := false
-	sawSameIter := false
-	for d := range w {
-		switch TestPair(w[d], r[d]) {
-		case DepNone:
-			return DepNone // independent in one dimension → independent
-		case DepSameIteration:
-			sawSameIter = true
-		case DepUnknown:
-			sawUnknown = true
-		}
-	}
-	if sawSameIter {
-		return DepSameIteration
-	}
-	if sawUnknown {
-		return DepUnknown
-	}
-	return DepCarried
-}

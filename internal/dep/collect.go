@@ -1,6 +1,7 @@
 package dep
 
 import (
+	"fmt"
 	"sort"
 
 	"pragformer/internal/cast"
@@ -23,13 +24,53 @@ type collector struct {
 	unknownSeen  map[string]bool
 	innerVars    []string // inner loop variables (for private classification)
 	condDepth    int      // >0 while under an if/ternary condition's branches
+
+	// Loop-nest bookkeeping: normalized inner loop headers keyed by
+	// variable, in first-seen order, plus the chain of nest variables
+	// enclosing the current walk position (outermost inner loop first).
+	nestHeaders map[string]LoopHeader
+	nestSigs    map[string]string
+	nestOrder   []string
+	chain       []string
 }
 
 func (c *collector) record(a access) {
 	a.cond = c.condDepth > 0
 	a.order = c.order
+	if len(c.chain) > 0 {
+		a.chain = append([]string(nil), c.chain...)
+	}
 	c.order++
 	c.accesses = append(c.accesses, a)
+}
+
+// headerSig fingerprints a normalized header so identical sibling loops over
+// the same variable merge into one nest level while conflicting reuses of a
+// variable demote its bounds to unknown.
+func headerSig(h LoopHeader) string {
+	return fmt.Sprintf("%d|%d|%s#%d|%d|%s#%d|%v", h.Lower.Coef, h.Lower.Const, h.Lower.key(),
+		h.Upper.Coef, h.Upper.Const, h.Upper.key(), h.Step, h.Inclusive)
+}
+
+// enterNest registers a normalized inner loop header as a nest level.
+func (c *collector) enterNest(h LoopHeader) {
+	if c.nestHeaders == nil {
+		c.nestHeaders = map[string]LoopHeader{}
+		c.nestSigs = map[string]string{}
+	}
+	sig := headerSig(h)
+	if prev, seen := c.nestHeaders[h.Var]; seen {
+		if c.nestSigs[h.Var] != sig {
+			// Conflicting headers for one variable: keep the level but drop
+			// its bounds so distance math stays conservative.
+			prev.OK = false
+			c.nestHeaders[h.Var] = prev
+		}
+		return
+	}
+	c.nestHeaders[h.Var] = h
+	c.nestSigs[h.Var] = sig
+	c.nestOrder = append(c.nestOrder, h.Var)
 }
 
 func (c *collector) stmt(s cast.Stmt) {
@@ -66,6 +107,7 @@ func (c *collector) stmt(s cast.Stmt) {
 				c.record(access{name: h.Var, write: true, plainWrite: true})
 				c.record(access{name: h.Var})
 			}
+			c.enterNest(h)
 			// Bound/step expressions are reads.
 			if v.Init != nil {
 				if es, ok := v.Init.(*cast.ExprStmt); ok {
@@ -77,7 +119,9 @@ func (c *collector) stmt(s cast.Stmt) {
 			if v.Cond != nil {
 				c.exprSkipVar(v.Cond, h.Var)
 			}
+			c.chain = append(c.chain, h.Var)
 			c.stmt(v.Body)
+			c.chain = c.chain[:len(c.chain)-1]
 			return
 		}
 		// Unnormalized inner loop: treat header conservatively.
@@ -171,6 +215,22 @@ func (c *collector) expr(e cast.Expr, asWrite bool) {
 	c.exprOp(e, asWrite, false)
 }
 
+// flattenRef collapses an ArrayRef chain to its base name and subscript
+// list, outermost subscript first. An empty base means the chain does not
+// bottom out in a plain identifier.
+func flattenRef(e cast.Expr) (base string, subs []cast.Expr) {
+	cur := e
+	for {
+		ar, ok := cur.(*cast.ArrayRef)
+		if !ok {
+			break
+		}
+		subs = append([]cast.Expr{ar.Index}, subs...)
+		cur = ar.Arr
+	}
+	return cast.RootIdent(cur), subs
+}
+
 // exprOp is expr with compound-assignment awareness: compound indicates the
 // enclosing assignment reads the lvalue too.
 func (c *collector) exprOp(e cast.Expr, asWrite, compound bool) {
@@ -190,12 +250,12 @@ func (c *collector) exprOp(e cast.Expr, asWrite, compound bool) {
 			return // body-local: automatically private
 		}
 		if asWrite {
-			c.record(access{name: v.Name, write: true, plainWrite: !compound})
+			c.record(access{name: v.Name, write: true, plainWrite: !compound, node: v})
 			if compound {
-				c.record(access{name: v.Name})
+				c.record(access{name: v.Name, node: v})
 			}
 		} else {
-			c.record(access{name: v.Name})
+			c.record(access{name: v.Name, node: v})
 		}
 	case *cast.IntLit, *cast.FloatLit, *cast.CharLit, *cast.StrLit:
 	case *cast.Assign:
@@ -207,8 +267,25 @@ func (c *collector) exprOp(e cast.Expr, asWrite, compound bool) {
 			id.Name != c.loopVar && !c.declared[id.Name] && !cast.IsLibraryName(id.Name) {
 			if op, rhs, okShape := accumShape(v, id.Name); okShape && !refersTo(rhs, id.Name) {
 				c.exprOp(rhs, false, false)
-				c.record(access{name: id.Name, write: true, accumOp: op})
+				c.record(access{name: id.Name, write: true, accumOp: op, node: id})
 				return
+			}
+		}
+		// Array accumulations (`hist[e] += x`, `a[i] = a[i] + x`) keep the
+		// write/self-read pair for the plain dependence tests but tag both
+		// records with the operator so array-reduction recognition can lift
+		// a refuted histogram or in-place update into a reduction clause.
+		if ar, ok := v.L.(*cast.ArrayRef); ok {
+			if base, subs := flattenRef(ar); base != "" && !c.declared[base] && base != c.loopVar {
+				if op, rhs, okShape := arrayAccumShape(v, base); okShape && !refersTo(rhs, base) {
+					for _, s := range subs {
+						c.exprOp(s, false, false)
+					}
+					c.exprOp(rhs, false, false)
+					c.record(access{name: base, write: true, accumOp: op, subs: subs, node: ar})
+					c.record(access{name: base, accumOp: op, subs: subs, node: ar})
+					return
+				}
 			}
 		}
 		compound := v.Op != "="
@@ -241,17 +318,7 @@ func (c *collector) exprOp(e cast.Expr, asWrite, compound bool) {
 		}
 		c.exprOp(v.X, asWrite, compound)
 	case *cast.ArrayRef:
-		base := cast.RootIdent(v.Arr)
-		var subs []cast.Expr
-		cur := e
-		for {
-			ar, ok := cur.(*cast.ArrayRef)
-			if !ok {
-				break
-			}
-			subs = append([]cast.Expr{ar.Index}, subs...)
-			cur = ar.Arr
-		}
+		base, subs := flattenRef(e)
 		for _, s := range subs {
 			c.exprOp(s, false, false)
 		}
@@ -262,12 +329,12 @@ func (c *collector) exprOp(e cast.Expr, asWrite, compound bool) {
 			return
 		}
 		if asWrite {
-			c.record(access{name: base, write: true, plainWrite: !compound, subs: subs})
+			c.record(access{name: base, write: true, plainWrite: !compound, subs: subs, node: e})
 			if compound {
-				c.record(access{name: base, subs: subs})
+				c.record(access{name: base, subs: subs, node: e})
 			}
 		} else {
-			c.record(access{name: base, subs: subs})
+			c.record(access{name: base, subs: subs, node: e})
 		}
 	case *cast.FuncCall:
 		name := ""
@@ -304,6 +371,50 @@ func (c *collector) exprOp(e cast.Expr, asWrite, compound bool) {
 	}
 }
 
+// arrayAccumShape recognizes reduction-shaped assignments to an array cell:
+// compound `a[e] op= x`, plain `a[e] = a[e] op x` / `a[e] = x op a[e]`
+// (commutative op), and `a[e] = fmax(a[e], x)` / fmin. The self operand must
+// print identically to the assignment target.
+func arrayAccumShape(v *cast.Assign, base string) (op string, rhs cast.Expr, ok bool) {
+	switch v.Op {
+	case "+=", "-=", "*=", "&=", "|=", "^=":
+		return v.Op[:len(v.Op)-1], v.R, true
+	case "=":
+		self := cast.PrintExpr(v.L)
+		isSelf := func(e cast.Expr) bool {
+			if b, _ := flattenRef(e); b != base {
+				return false
+			}
+			return cast.PrintExpr(e) == self
+		}
+		switch r := v.R.(type) {
+		case *cast.BinaryOp:
+			commutative := r.Op == "+" || r.Op == "*" || r.Op == "&" || r.Op == "|" || r.Op == "^"
+			if isSelf(r.L) && (commutative || r.Op == "-") {
+				return r.Op, r.R, true
+			}
+			if isSelf(r.R) && commutative {
+				return r.Op, r.L, true
+			}
+		case *cast.FuncCall:
+			fn, okF := r.Fun.(*cast.Ident)
+			if okF && (fn.Name == "fmax" || fn.Name == "fmin") && len(r.Args) == 2 {
+				redOp := "max"
+				if fn.Name == "fmin" {
+					redOp = "min"
+				}
+				if isSelf(r.Args[0]) {
+					return redOp, r.Args[1], true
+				}
+				if isSelf(r.Args[1]) {
+					return redOp, r.Args[0], true
+				}
+			}
+		}
+	}
+	return "", nil, false
+}
+
 // memberAccess handles struct member reads/writes, including the
 // image->colormap[i].opacity pattern: the innermost ArrayRef subscripts
 // participate in dependence testing under the flattened name.
@@ -337,12 +448,12 @@ func (c *collector) memberAccess(m *cast.Member, asWrite, compound bool, base st
 		subs = []cast.Expr{}
 	}
 	if asWrite {
-		c.record(access{name: name, write: true, plainWrite: !compound, subs: subs})
+		c.record(access{name: name, write: true, plainWrite: !compound, subs: subs, node: m})
 		if compound {
-			c.record(access{name: name, subs: subs})
+			c.record(access{name: name, subs: subs, node: m})
 		}
 	} else {
-		c.record(access{name: name, subs: subs})
+		c.record(access{name: name, subs: subs, node: m})
 	}
 }
 
@@ -382,4 +493,24 @@ func (c *collector) call(name string, args []cast.Expr) {
 		c.unknownCalls = append(c.unknownCalls, name)
 		sort.Strings(c.unknownCalls)
 	}
+}
+
+// varyingNames returns the set of identifiers whose value may change from
+// iteration to iteration of the analyzed loop without being a nest
+// variable: body-declared locals and scalars written inside the body.
+// Subscript symbols drawn from this set cannot prove independence via
+// constant-difference arguments.
+func (c *collector) varyingNames(nestVars map[string]bool) map[string]bool {
+	varying := map[string]bool{}
+	for name := range c.declared {
+		if !nestVars[name] && name != c.loopVar {
+			varying[name] = true
+		}
+	}
+	for _, acc := range c.accesses {
+		if acc.write && acc.subs == nil && !nestVars[acc.name] && acc.name != c.loopVar {
+			varying[acc.name] = true
+		}
+	}
+	return varying
 }

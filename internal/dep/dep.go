@@ -8,6 +8,7 @@ package dep
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -79,6 +80,29 @@ type Analysis struct {
 	// Reasons explains (for humans and for tests) why the loop was or was
 	// not parallelizable.
 	Reasons []string
+
+	// Witnesses carries structured race evidence when dependence testing
+	// refutes the loop: the dependence kind, the two access sites anchored
+	// to the canonical snippet text, and the direction/distance vector.
+	Witnesses []Witness
+	// Converted lists arrays whose refuting dependence was rescued by
+	// privatization or reduction recognition (only under Options enabling
+	// those conversions).
+	Converted []string
+	// NestDepth is the number of analyzed nest levels, outer loop included.
+	NestDepth int
+}
+
+// Options selects the optional conversion passes that run after a dependence
+// refutation. The zero value reproduces the plain dependence-test verdicts,
+// which is what the corpus labeler and the S2S baselines rely on.
+type Options struct {
+	// ArrayPrivatization lifts per-iteration scratch arrays into private
+	// clauses instead of refuting on their output dependence.
+	ArrayPrivatization bool
+	// ArrayReductions lifts consistent-operator array accumulations
+	// (histograms, in-place updates) into reduction clauses.
+	ArrayReductions bool
 }
 
 // Reason records a single explanation string.
@@ -146,13 +170,26 @@ type access struct {
 	// cond is true when the access happens under a condition (if/ternary).
 	cond  bool
 	order int // DFS visit order
+	// node anchors the access to its AST expression for witness positions
+	// (nil for synthetic records such as inner-loop header writes).
+	node cast.Expr
+	// chain is the stack of enclosing inner-loop variables at record time,
+	// outermost first.
+	chain []string
 }
 
-// AnalyzeLoop analyzes one for-loop. funcs maps function names to their
-// definitions when bodies are available (the corpus records include called
-// function implementations, per the paper §3.1); callers with no bodies pass
-// nil and unknown calls are treated conservatively.
+// AnalyzeLoop analyzes one for-loop with conversions disabled; it keeps the
+// plain dependence-test verdicts the corpus labeler and S2S baselines use.
+// funcs maps function names to their definitions when bodies are available
+// (the corpus records include called function implementations, per the paper
+// §3.1); callers with no bodies pass nil and unknown calls are treated
+// conservatively.
 func AnalyzeLoop(loop *cast.For, funcs map[string]*cast.FuncDef) *Analysis {
+	return AnalyzeLoopOpts(loop, funcs, Options{})
+}
+
+// AnalyzeLoopOpts analyzes one for-loop under the given conversion options.
+func AnalyzeLoopOpts(loop *cast.For, funcs map[string]*cast.FuncDef, opts Options) *Analysis {
 	a := &Analysis{}
 	a.Header = ParseHeader(loop)
 	if !a.Header.OK {
@@ -190,16 +227,26 @@ func AnalyzeLoop(loop *cast.For, funcs map[string]*cast.FuncDef) *Analysis {
 		return a
 	}
 
+	// The nest iteration space covers the analyzed loop plus every
+	// normalized inner loop; all dependence math below runs over it.
+	ns := buildNest(a.Header, ctx)
+	a.NestDepth = len(ns.vars)
+
 	// Scalar classification.
 	okScalars := a.classifyScalars(ctx)
 	if !okScalars {
+		a.fillWitnessPositions(loop)
 		return a
 	}
-	// Array dependence tests.
-	if !a.testArrays(ctx) {
+	// Array dependence tests over the nest, with privatization / reduction
+	// rescue passes when enabled.
+	if !a.testArraysNest(ctx, ns, opts) {
+		a.fillWitnessPositions(loop)
 		return a
 	}
 
+	sort.Strings(a.Private)
+	sort.Slice(a.Reductions, func(i, j int) bool { return a.Reductions[i].Vars[0] < a.Reductions[j].Vars[0] })
 	a.Parallelizable = true
 	a.reason("no loop-carried dependences detected")
 	return a

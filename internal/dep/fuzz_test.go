@@ -1,0 +1,67 @@
+package dep
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/cparse"
+)
+
+// FuzzAnalyze drives the dependence engine over arbitrary parsed loops: no
+// input may panic it, and the analysis must be deterministic — the engine's
+// witnesses feed byte-stable scan reports, so two runs over the same loop
+// must serialize identically, under every conversion-option combination.
+func FuzzAnalyze(f *testing.F) {
+	dir := filepath.Join("..", "..", "examples", "scantree")
+	_ = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".c") {
+			return nil
+		}
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(string(data))
+		}
+		return nil
+	})
+	f.Add("for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;")
+	f.Add("for (i = 0; i < n; i++) for (j = 0; j < m; j++) c[i * n + j] = 0;")
+	f.Add("for (i = 0; i < n; i++) hist[b[i]] += 1;")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		file, errs := cparse.ParseRecover(src)
+		if len(errs) > 0 && len(file.Items) == 0 {
+			t.Skip("nothing parseable")
+		}
+		funcs := map[string]*cast.FuncDef{}
+		for _, it := range file.Items {
+			if fd, ok := it.(*cast.FuncDef); ok {
+				funcs[fd.Name] = fd
+			}
+		}
+		opts := []Options{
+			{},
+			{ArrayPrivatization: true},
+			{ArrayReductions: true},
+			{ArrayPrivatization: true, ArrayReductions: true},
+		}
+		for _, li := range cast.ExtractLoops(file) {
+			for _, o := range opts {
+				a := AnalyzeLoopOpts(li.Loop, funcs, o)
+				b := AnalyzeLoopOpts(li.Loop, funcs, o)
+				ja, err := json.Marshal(a)
+				if err != nil {
+					t.Fatalf("analysis does not serialize: %v", err)
+				}
+				jb, _ := json.Marshal(b)
+				if string(ja) != string(jb) {
+					t.Errorf("analysis is nondeterministic under %+v:\n%s\n%s", o, ja, jb)
+				}
+			}
+		}
+	})
+}

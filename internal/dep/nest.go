@@ -1,0 +1,472 @@
+package dep
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"pragformer/internal/cast"
+)
+
+// This file grows the one-level ZIV/SIV/GCD classifier into a nested-loop
+// dependence engine: the analyzed loop plus every normalized inner loop form
+// an iteration space, subscripts become multi-variable affine forms, and
+// pairwise tests produce per-level distance information that decides whether
+// a dependence is carried by the *outer* loop (the one we would annotate) or
+// only by an inner level, where it cannot break a `parallel for`.
+
+// nestSpace is the iteration space of the analyzed loop nest. Level 0 is
+// the outer (annotated) loop; deeper levels are normalized inner loops in
+// first-seen order. Sibling loops reusing a variable with identical headers
+// merge into one level; conflicting reuses keep the level but lose bounds.
+type nestSpace struct {
+	vars    []string
+	level   map[string]int
+	headers map[string]LoopHeader
+	isVar   map[string]bool
+	varying map[string]bool // non-nest names that change between iterations
+}
+
+func buildNest(h LoopHeader, ctx *collector) *nestSpace {
+	ns := &nestSpace{
+		vars:    append([]string{h.Var}, ctx.nestOrder...),
+		level:   map[string]int{},
+		headers: map[string]LoopHeader{h.Var: h},
+		isVar:   map[string]bool{},
+	}
+	for v, hdr := range ctx.nestHeaders {
+		ns.headers[v] = hdr
+	}
+	for i, v := range ns.vars {
+		ns.level[v] = i
+		ns.isVar[v] = true
+	}
+	ns.varying = ctx.varyingNames(ns.isVar)
+	return ns
+}
+
+// nvCoef is the coefficient of one nest variable inside a subscript: K when
+// Sym is empty, K*Sym otherwise (the `i*n + j` linearization shape). Bad
+// marks coefficients outside that single-term language.
+type nvCoef struct {
+	K   int64
+	Sym string
+	Bad bool
+}
+
+func (c nvCoef) zero() bool { return !c.Bad && c.K == 0 }
+
+// NAffine is a subscript over the whole nest:
+//
+//	Σ Coefs[v]·v + Σ Syms[s]·s + Const
+//
+// Varying marks forms referencing a symbol whose value may differ between
+// iterations (body-written scalars, body-declared locals); such symbols
+// cancel positionally but never prove independence across iterations.
+type NAffine struct {
+	Coefs   map[string]nvCoef
+	Syms    map[string]int64
+	Const   int64
+	Varying bool
+	OK      bool
+}
+
+func (ns *nestSpace) nZero() NAffine {
+	return NAffine{Coefs: map[string]nvCoef{}, Syms: map[string]int64{}, OK: true}
+}
+
+func (x NAffine) nAdd(y NAffine) NAffine {
+	if !x.OK || !y.OK {
+		return NAffine{}
+	}
+	r := NAffine{Coefs: map[string]nvCoef{}, Syms: map[string]int64{}, OK: true}
+	r.Const = x.Const + y.Const
+	r.Varying = x.Varying || y.Varying
+	for v, c := range x.Coefs {
+		r.Coefs[v] = c
+	}
+	for v, c := range y.Coefs {
+		prev, seen := r.Coefs[v]
+		switch {
+		case !seen:
+			r.Coefs[v] = c
+		case prev.Bad || c.Bad || prev.Sym != c.Sym:
+			r.Coefs[v] = nvCoef{Bad: true}
+		default:
+			r.Coefs[v] = nvCoef{K: prev.K + c.K, Sym: c.Sym}
+		}
+	}
+	for s, k := range x.Syms {
+		r.Syms[s] += k
+	}
+	for s, k := range y.Syms {
+		r.Syms[s] += k
+	}
+	r.trim()
+	return r
+}
+
+func (x NAffine) nNeg() NAffine { return x.nScale(-1) }
+
+func (x NAffine) nScale(c int64) NAffine {
+	if !x.OK {
+		return NAffine{}
+	}
+	r := NAffine{Coefs: map[string]nvCoef{}, Syms: map[string]int64{}, OK: true, Varying: x.Varying}
+	r.Const = x.Const * c
+	for v, co := range x.Coefs {
+		if co.Bad {
+			r.Coefs[v] = co
+			continue
+		}
+		r.Coefs[v] = nvCoef{K: co.K * c, Sym: co.Sym}
+	}
+	for s, k := range x.Syms {
+		r.Syms[s] = k * c
+	}
+	r.trim()
+	return r
+}
+
+// nMulSym multiplies by a single invariant symbol.
+func (x NAffine) nMulSym(sym string, varying bool) NAffine {
+	if !x.OK {
+		return NAffine{}
+	}
+	r := NAffine{Coefs: map[string]nvCoef{}, Syms: map[string]int64{}, OK: true, Varying: x.Varying || varying}
+	for v, co := range x.Coefs {
+		if co.Bad || co.Sym != "" {
+			r.Coefs[v] = nvCoef{Bad: true}
+			continue
+		}
+		r.Coefs[v] = nvCoef{K: co.K, Sym: sym}
+	}
+	for s, k := range x.Syms {
+		parts := []string{s, sym}
+		sort.Strings(parts)
+		r.Syms[strings.Join(parts, "*")] += k
+	}
+	if x.Const != 0 {
+		r.Syms[sym] += x.Const
+	}
+	r.trim()
+	return r
+}
+
+func (x *NAffine) trim() {
+	for v, c := range x.Coefs {
+		if c.zero() {
+			delete(x.Coefs, v)
+		}
+	}
+	for s, k := range x.Syms {
+		if k == 0 {
+			delete(x.Syms, s)
+		}
+	}
+}
+
+// invariant reports whether the form involves no nest variable.
+func (x NAffine) invariant() bool { return x.OK && len(x.Coefs) == 0 }
+
+func (x NAffine) sameSyms(y NAffine) bool {
+	if len(x.Syms) != len(y.Syms) {
+		return false
+	}
+	for s, k := range x.Syms {
+		if y.Syms[s] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// markVarying flags symbols whose underlying names are iteration-varying.
+func (ns *nestSpace) symVarying(e cast.Expr) bool {
+	varying := false
+	cast.Walk(e, func(n cast.Node) bool {
+		if id, ok := n.(*cast.Ident); ok && ns.varying[id.Name] {
+			varying = true
+			return false
+		}
+		return !varying
+	})
+	return varying
+}
+
+// affine converts a subscript expression into nest-wide affine form.
+func (ns *nestSpace) affine(e cast.Expr) NAffine {
+	switch v := e.(type) {
+	case *cast.IntLit:
+		n, err := strconv.ParseInt(strings.TrimRight(v.Text, "uUlL"), 0, 64)
+		if err != nil {
+			return NAffine{}
+		}
+		r := ns.nZero()
+		r.Const = n
+		return r
+	case *cast.Ident:
+		r := ns.nZero()
+		if ns.isVar[v.Name] {
+			r.Coefs[v.Name] = nvCoef{K: 1}
+		} else {
+			r.Syms[v.Name] = 1
+			r.Varying = ns.varying[v.Name]
+		}
+		return r
+	case *cast.BinaryOp:
+		l := ns.affine(v.L)
+		r := ns.affine(v.R)
+		switch v.Op {
+		case "+":
+			return l.nAdd(r)
+		case "-":
+			return l.nAdd(r.nNeg())
+		case "*":
+			if !l.OK || !r.OK {
+				return NAffine{}
+			}
+			if l.invariant() && len(l.Syms) == 0 {
+				return r.nScale(l.Const)
+			}
+			if r.invariant() && len(r.Syms) == 0 {
+				return l.nScale(r.Const)
+			}
+			// One side a single invariant symbol with unit coefficient and
+			// no constant: the `i*n` linearization shape.
+			if s, varying, ok := singleSym(l); ok {
+				return r.nMulSym(s, varying)
+			}
+			if s, varying, ok := singleSym(r); ok {
+				return l.nMulSym(s, varying)
+			}
+			return NAffine{}
+		}
+		return NAffine{}
+	case *cast.UnaryOp:
+		if v.Op == "-" && !v.Postfix {
+			return ns.affine(v.X).nNeg()
+		}
+		if v.Op == "+" && !v.Postfix {
+			return ns.affine(v.X)
+		}
+		return NAffine{}
+	case *cast.Cast:
+		return ns.affine(v.X)
+	case *cast.FuncCall:
+		if fn, ok := v.Fun.(*cast.Ident); ok && pureFuncs[fn.Name] {
+			r := ns.nZero()
+			r.Syms["call:"+cast.PrintExpr(v)] = 1
+			r.Varying = ns.symVarying(v)
+			return r
+		}
+		return NAffine{}
+	case *cast.Member:
+		r := ns.nZero()
+		r.Syms["member:"+cast.PrintExpr(v)] = 1
+		r.Varying = ns.symVarying(v)
+		return r
+	}
+	return NAffine{}
+}
+
+func singleSym(x NAffine) (sym string, varying bool, ok bool) {
+	if !x.invariant() || x.Const != 0 || len(x.Syms) != 1 {
+		return "", false, false
+	}
+	for s, k := range x.Syms {
+		if k != 1 {
+			return "", false, false
+		}
+		return s, x.Varying, true
+	}
+	return "", false, false
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise testing
+// ---------------------------------------------------------------------------
+
+// dimRel is what one subscript dimension says about the iteration distance
+// between two accesses: proof of independence, exact per-variable distances,
+// or nothing (a free dimension).
+type dimRel struct {
+	none bool
+	dist map[string]int64
+}
+
+func freeDim() dimRel { return dimRel{} }
+
+func (d *dimRel) pin(v string, dist int64) {
+	if d.dist == nil {
+		d.dist = map[string]int64{}
+	}
+	d.dist[v] = dist
+}
+
+// pairRel merges the dimensions of one access pair.
+type pairRel struct {
+	none bool
+	dist map[string]int64
+}
+
+// dimTest analyzes one subscript dimension of a write/other pair.
+func (ns *nestSpace) dimTest(w, r NAffine) dimRel {
+	if !w.OK || !r.OK {
+		return freeDim()
+	}
+	// Symbolic addends must cancel exactly and be iteration-invariant;
+	// otherwise the dimension proves nothing either way.
+	if !w.sameSyms(r) || w.Varying || r.Varying {
+		return freeDim()
+	}
+	delta := w.Const - r.Const // Σ cr·u − Σ cw·t = Δ at a collision
+
+	var vars []string
+	symbolic := false
+	for _, v := range ns.vars {
+		cw, cr := w.Coefs[v], r.Coefs[v]
+		if cw.zero() && cr.zero() && cw.Sym == "" && cr.Sym == "" && !cw.Bad && !cr.Bad {
+			continue
+		}
+		if cw.Bad || cr.Bad || cw.Sym != "" || cr.Sym != "" {
+			symbolic = true
+		}
+		vars = append(vars, v)
+	}
+
+	if symbolic {
+		return ns.delinearize(w, r, vars, delta)
+	}
+
+	if len(vars) == 0 {
+		// ZIV: both sides loop-invariant.
+		if delta != 0 {
+			return dimRel{none: true}
+		}
+		return freeDim() // same cell every iteration: no constraint, no proof
+	}
+
+	if len(vars) == 1 {
+		v := vars[0]
+		cw, cr := w.Coefs[v].K, r.Coefs[v].K
+		if cw == cr {
+			return ns.strongSIV(v, cw, delta)
+		}
+		return ns.weakSIV(v, cw, cr, delta)
+	}
+
+	// MIV: GCD then Banerjee bounds over the whole box.
+	var coefs []int64
+	for _, v := range vars {
+		if k := w.Coefs[v].K; k != 0 {
+			coefs = append(coefs, k)
+		}
+		if k := r.Coefs[v].K; k != 0 {
+			coefs = append(coefs, k)
+		}
+	}
+	g := int64(0)
+	for _, c := range coefs {
+		g = gcd64(g, abs64(c))
+	}
+	if g != 0 && delta%g != 0 {
+		return dimRel{none: true}
+	}
+	if refuted := ns.banerjeeRefute(w, r, vars, delta); refuted {
+		return dimRel{none: true}
+	}
+	if rel, ok := ns.banerjeePinOuter(w, r, vars, delta); ok {
+		return rel
+	}
+	return freeDim()
+}
+
+// strongSIV handles equal coefficients: an exact value distance, converted
+// to an iteration distance through the level's step, refuted when the step
+// cannot reach it or the trip count is too short.
+func (ns *nestSpace) strongSIV(v string, c, delta int64) dimRel {
+	if delta%c != 0 {
+		return dimRel{none: true}
+	}
+	dValue := delta / c
+	h, okH := ns.headers[v]
+	if !okH || !h.OK || h.Step == 0 {
+		if dValue == 0 {
+			d := freeDim()
+			d.pin(v, 0)
+			return d
+		}
+		return freeDim()
+	}
+	if dValue%h.Step != 0 {
+		return dimRel{none: true} // the variable never moves by that amount
+	}
+	dIter := dValue / h.Step
+	if trip := h.TripCount(); trip >= 0 && abs64(dIter) >= trip {
+		return dimRel{none: true} // distance exceeds the iteration range
+	}
+	d := freeDim()
+	d.pin(v, dIter)
+	return d
+}
+
+// delinearize recognizes the `base[i*n + j]` linearized-2D shape on both
+// sides: identical coefficients, a unit symbolic coefficient on the slower
+// variable matching the faster variable's exact [0, n) unit-step range, and
+// no residual constant. Such a dimension behaves like base[i][j].
+func (ns *nestSpace) delinearize(w, r NAffine, vars []string, delta int64) dimRel {
+	if delta != 0 || len(vars) != 2 {
+		return freeDim()
+	}
+	for _, v := range vars {
+		if w.Coefs[v] != r.Coefs[v] || w.Coefs[v].Bad {
+			return freeDim()
+		}
+	}
+	slow, fast := vars[0], vars[1]
+	if w.Coefs[slow].Sym == "" {
+		slow, fast = fast, slow
+	}
+	cs, cf := w.Coefs[slow], w.Coefs[fast]
+	if cs.Sym == "" || cs.K != 1 || cf.Sym != "" || cf.K != 1 {
+		return freeDim()
+	}
+	h, okH := ns.headers[fast]
+	if !okH || !h.OK || h.Step != 1 || h.Inclusive {
+		return freeDim()
+	}
+	if !h.Lower.constOnly() || h.Lower.Const != 0 {
+		return freeDim()
+	}
+	up := h.Upper
+	if !up.OK || up.Coef != 0 || up.Const != 0 || len(up.SymCoefs) != 1 || up.SymCoefs[cs.Sym] != 1 {
+		return freeDim()
+	}
+	d := freeDim()
+	d.pin(slow, 0)
+	d.pin(fast, 0)
+	return d
+}
+
+// pairTest merges all dimensions of one access pair into distance facts.
+func (ns *nestSpace) pairTest(w, r []NAffine) pairRel {
+	if len(w) != len(r) {
+		return pairRel{} // differing dimensionality: no information
+	}
+	rel := pairRel{dist: map[string]int64{}}
+	for d := range w {
+		dr := ns.dimTest(w[d], r[d])
+		if dr.none {
+			return pairRel{none: true}
+		}
+		for v, dist := range dr.dist {
+			if prev, seen := rel.dist[v]; seen && prev != dist {
+				// Two dimensions demand different distances: unsatisfiable.
+				return pairRel{none: true}
+			}
+			rel.dist[v] = dist
+		}
+	}
+	return rel
+}

@@ -1,0 +1,353 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/pragma"
+)
+
+func analyzeOpts(t *testing.T, src string, opts Options) *Analysis {
+	t.Helper()
+	loop, funcs := parseLoop(t, src)
+	return AnalyzeLoopOpts(loop, funcs, opts)
+}
+
+var allConversions = Options{ArrayPrivatization: true, ArrayReductions: true}
+
+// --- Direction/distance vectors over the nest ---------------------------------
+
+func TestNestOuterCarriedFlow(t *testing.T) {
+	a := analyze(t, `for (i = 1; i < n; i++) for (j = 0; j < m; j++) a[i][j] = a[i-1][j] + 1;`)
+	if a.Parallelizable {
+		t.Fatalf("outer-carried flow dependence missed: %v", a.Reasons)
+	}
+	if len(a.Witnesses) != 1 {
+		t.Fatalf("want one witness, got %+v", a.Witnesses)
+	}
+	w := a.Witnesses[0]
+	if w.Array != "a" || w.Kind != "flow" {
+		t.Errorf("witness kind: %+v", w)
+	}
+	if got := strings.Join(w.Vector, ""); got != "<=" {
+		t.Errorf("vector = %q, want \"<=\"", got)
+	}
+	if w.Distance != "(1,0)" {
+		t.Errorf("distance = %q, want (1,0)", w.Distance)
+	}
+	if !w.Source.Write || w.Sink.Write {
+		t.Errorf("flow witness must run write -> read: %+v", w)
+	}
+	if w.Source.Expr != "a[i][j]" || w.Sink.Expr != "a[i - 1][j]" {
+		t.Errorf("sites: %+v", w)
+	}
+}
+
+func TestNestAntiDependenceNormalized(t *testing.T) {
+	a := analyze(t, `for (i = 0; i < n; i++) a[i] = a[i+1] * 2;`)
+	if a.Parallelizable {
+		t.Fatalf("anti dependence missed: %v", a.Reasons)
+	}
+	w := a.Witnesses[0]
+	// Lexicographically positive normalization: the read (earlier iteration)
+	// becomes the source, so the kind is anti with a positive distance.
+	if w.Kind != "anti" || w.Distance != "(1)" {
+		t.Errorf("witness = %+v, want anti distance (1)", w)
+	}
+	if w.Source.Write || !w.Sink.Write {
+		t.Errorf("anti witness must run read -> write: %+v", w)
+	}
+}
+
+func TestNestInnerOnlyCarriedIsSafe(t *testing.T) {
+	// The j-level recurrence is carried by the inner loop; the outer distance
+	// is pinned to zero, so the outer loop still parallelizes.
+	a := analyze(t, `for (i = 0; i < n; i++) for (j = 1; j < m; j++) a[i][j] = a[i][j-1] + b[i][j];`)
+	if !a.Parallelizable {
+		t.Fatalf("inner-only dependence should not block the outer loop: %v", a.Reasons)
+	}
+}
+
+func TestNestDecreasingLoopDependence(t *testing.T) {
+	a := analyze(t, `for (i = 9; i >= 1; i--) a[i] = a[i-1];`)
+	if a.Parallelizable {
+		t.Fatalf("dependence in decreasing loop missed: %v", a.Reasons)
+	}
+	w := a.Witnesses[0]
+	// i descends, so the write to a[i-1] happens after the read: anti, and
+	// the normalized distance is one iteration.
+	if w.Kind != "anti" || w.Distance != "(1)" {
+		t.Errorf("witness = %+v, want anti distance (1)", w)
+	}
+}
+
+func TestNestSymbolicLowerBoundDistance(t *testing.T) {
+	a := analyze(t, `for (i = k; i < k + 8; i++) a[i] = a[i-2];`)
+	if a.Parallelizable {
+		t.Fatalf("distance-2 flow dependence missed: %v", a.Reasons)
+	}
+	if w := a.Witnesses[0]; w.Kind != "flow" || w.Distance != "(2)" {
+		t.Errorf("witness = %+v, want flow distance (2)", w)
+	}
+}
+
+func TestNestDepthRecorded(t *testing.T) {
+	a := analyze(t, `for (i = 0; i < n; i++) for (j = 0; j < m; j++) b[i][j] = 0;`)
+	if a.NestDepth != 2 {
+		t.Errorf("NestDepth = %d, want 2", a.NestDepth)
+	}
+}
+
+// --- Trip-count and Banerjee refutations --------------------------------------
+
+func TestTripCountRefutesLongDistance(t *testing.T) {
+	// The shift is farther than the loop runs: no iteration pair collides.
+	a := analyze(t, `for (i = 0; i < 10; i++) a[i] = a[i+20];`)
+	if !a.Parallelizable {
+		t.Fatalf("trip-count refutation failed: %v", a.Reasons)
+	}
+}
+
+func TestTripCountInclusiveBound(t *testing.T) {
+	a := analyze(t, `for (i = 0; i <= 9; i++) a[i] = a[i+10];`)
+	if !a.Parallelizable {
+		t.Fatalf("inclusive-bound refutation failed: %v", a.Reasons)
+	}
+}
+
+func TestNegativeStepRefutation(t *testing.T) {
+	a := analyze(t, `for (i = 9; i >= 0; i--) a[i] = a[i+10];`)
+	if !a.Parallelizable {
+		t.Fatalf("negative-step refutation failed: %v", a.Reasons)
+	}
+}
+
+func TestBanerjeeBoundsRefute(t *testing.T) {
+	// weak SIV: u - 2t = -100 has no solution with t,u in [0,9].
+	a := analyze(t, `for (i = 0; i < 10; i++) a[2*i] = a[i+100];`)
+	if !a.Parallelizable {
+		t.Fatalf("Banerjee bounds refutation failed: %v", a.Reasons)
+	}
+}
+
+func TestWeakSIVStillConservative(t *testing.T) {
+	// a[2i] = a[i] genuinely collides across iterations (t=1 writes a[2],
+	// u=2 reads a[2]); the bounds test must not refute it.
+	a := analyze(t, `for (i = 0; i < 10; i++) a[2*i] = a[i];`)
+	if a.Parallelizable {
+		t.Fatalf("weak SIV collision missed: %v", a.Reasons)
+	}
+	if len(a.Witnesses) == 0 {
+		t.Fatal("refutation must carry a witness")
+	}
+}
+
+func TestBanerjeePinsOuterMIV(t *testing.T) {
+	// Linearized row update with constant stride: 10*i + j only collides at
+	// equal outer iterations, so the direction-constrained bounds test pins
+	// the outer distance to zero.
+	a := analyze(t, `for (i = 0; i < 10; i++) for (j = 0; j < 10; j++) a[10*i + j] = a[10*i + j] + 1.0;`)
+	if !a.Parallelizable {
+		t.Fatalf("MIV outer pin failed: %v", a.Reasons)
+	}
+}
+
+func TestDelinearizeSymbolicStride(t *testing.T) {
+	// c[i*n + j] with j running exactly [0, n): behaves like c[i][j].
+	a := analyze(t, `for (i = 0; i < m; i++) for (j = 0; j < n; j++) c[i*n + j] = c[i*n + j] * 2.0;`)
+	if !a.Parallelizable {
+		t.Fatalf("delinearization failed: %v", a.Reasons)
+	}
+}
+
+func TestDelinearizeRequiresMatchingRange(t *testing.T) {
+	// The fast variable overruns the stride (j goes to n+1), so rows overlap
+	// and the access must stay refuted.
+	a := analyze(t, `for (i = 0; i < m; i++) for (j = 0; j < n + 1; j++) c[i*n + j] = c[i*n + j] * 2.0;`)
+	if a.Parallelizable {
+		t.Fatalf("overlapping linearized rows wrongly parallelized: %v", a.Reasons)
+	}
+}
+
+// --- Privatization and array reductions ---------------------------------------
+
+const privSrc = `
+for (i = 0; i < n; i++) {
+    for (j = 0; j < 8; j++) t[j] = a[i][j] * 2.0;
+    for (j = 0; j < 8; j++) b[i][j] = t[j] + 1.0;
+}`
+
+func TestArrayPrivatization(t *testing.T) {
+	// Conversions off: the scratch array refutes the loop.
+	base := analyze(t, privSrc)
+	if base.Parallelizable {
+		t.Fatalf("scratch array must refute without privatization: %v", base.Reasons)
+	}
+	// Conversions on: t becomes private and the loop parallelizes.
+	a := analyzeOpts(t, privSrc, allConversions)
+	if !a.Parallelizable {
+		t.Fatalf("privatization failed: %v", a.Reasons)
+	}
+	found := false
+	for _, p := range a.Private {
+		if p == "t" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("t missing from Private: %v", a.Private)
+	}
+	if len(a.Converted) != 1 || a.Converted[0] != "t" {
+		t.Errorf("Converted = %v, want [t]", a.Converted)
+	}
+	d := a.Directive()
+	if d == nil || !strings.Contains(d.String(), "private(") {
+		t.Errorf("directive missing private clause: %v", d)
+	}
+}
+
+func TestPrivatizationRejectsConflictingInnerHeaders(t *testing.T) {
+	// The second sibling loop reads t[4..7], which the first never wrote this
+	// iteration: values leak across outer iterations, so no privatization.
+	src := `
+for (i = 0; i < n; i++) {
+    for (j = 0; j < 4; j++) t[j] = a[i][j];
+    for (j = 0; j < 8; j++) b[i][j] = t[j];
+}`
+	a := analyzeOpts(t, src, allConversions)
+	if a.Parallelizable {
+		t.Fatalf("conflicting inner headers wrongly privatized: %v", a.Reasons)
+	}
+}
+
+func TestPrivatizationRejectsReadFirst(t *testing.T) {
+	src := `
+for (i = 0; i < n; i++) {
+    for (j = 0; j < 8; j++) b[i][j] = t[j];
+    for (j = 0; j < 8; j++) t[j] = a[i][j];
+}`
+	a := analyzeOpts(t, src, allConversions)
+	if a.Parallelizable {
+		t.Fatalf("read-before-write scratch wrongly privatized: %v", a.Reasons)
+	}
+}
+
+func TestArrayReductionHistogram(t *testing.T) {
+	src := `for (i = 0; i < n; i++) hist[b[i]] += 1;`
+	base := analyze(t, src)
+	if base.Parallelizable {
+		t.Fatalf("histogram must refute without reduction recognition: %v", base.Reasons)
+	}
+	if !strings.Contains(strings.Join(base.Reasons, " "), "non-affine subscript") {
+		t.Errorf("reasons: %v", base.Reasons)
+	}
+	a := analyzeOpts(t, src, allConversions)
+	if !a.Parallelizable {
+		t.Fatalf("array reduction failed: %v", a.Reasons)
+	}
+	want := pragma.Reduction{Op: "+", Vars: []string{"hist"}}
+	found := false
+	for _, r := range a.Reductions {
+		if r.Op == want.Op && len(r.Vars) == 1 && r.Vars[0] == "hist" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Reductions = %v, want +:hist", a.Reductions)
+	}
+	if len(a.Converted) != 1 || a.Converted[0] != "hist" {
+		t.Errorf("Converted = %v, want [hist]", a.Converted)
+	}
+}
+
+func TestArrayReductionRejectsMixedOps(t *testing.T) {
+	src := `
+for (i = 0; i < n; i++) {
+    hist[b[i]] += 1;
+    hist[c[i]] *= 2;
+}`
+	a := analyzeOpts(t, src, allConversions)
+	if a.Parallelizable {
+		t.Fatalf("mixed-operator accumulation wrongly converted: %v", a.Reasons)
+	}
+}
+
+func TestArrayReductionRejectsOutsideRead(t *testing.T) {
+	src := `
+for (i = 0; i < n; i++) {
+    hist[b[i]] += 1;
+    s = s + hist[i];
+}`
+	a := analyzeOpts(t, src, allConversions)
+	if a.Parallelizable {
+		t.Fatalf("accumulated array with outside read wrongly converted: %v", a.Reasons)
+	}
+}
+
+// --- Witnesses ----------------------------------------------------------------
+
+func TestWitnessPositionsAnchorToCanonicalText(t *testing.T) {
+	loop, funcs := parseLoop(t, `for (i = 1; i < n; i++) a[i] = a[i-1] + 1;`)
+	a := AnalyzeLoop(loop, funcs)
+	if a.Parallelizable || len(a.Witnesses) != 1 {
+		t.Fatalf("want one refuting witness, got %+v", a)
+	}
+	w := a.Witnesses[0]
+	if w.Source.Line <= 0 || w.Source.Col <= 0 || w.Sink.Line <= 0 || w.Sink.Col <= 0 {
+		t.Fatalf("witness sites missing positions: %+v", w)
+	}
+	text := cast.Print(loop)
+	lines := strings.Split(text, "\n")
+	check := func(s Site) {
+		if s.Line > len(lines) {
+			t.Fatalf("site line %d beyond snippet (%d lines)", s.Line, len(lines))
+		}
+		at := lines[s.Line-1][s.Col-1:]
+		if !strings.HasPrefix(at, s.Expr) {
+			t.Errorf("snippet at %d:%d is %q, want prefix %q", s.Line, s.Col, at, s.Expr)
+		}
+	}
+	check(w.Source)
+	check(w.Sink)
+}
+
+func TestScalarWitness(t *testing.T) {
+	a := analyze(t, `for (i = 1; i < n; i++) x = x * a[i] + 1.0;`)
+	if a.Parallelizable {
+		t.Fatalf("scalar recurrence missed: %v", a.Reasons)
+	}
+	if len(a.Witnesses) != 1 {
+		t.Fatalf("want one witness, got %+v", a.Witnesses)
+	}
+	w := a.Witnesses[0]
+	if w.Array != "x" || w.Kind != "flow" || w.Distance != "(1)" {
+		t.Errorf("scalar witness = %+v", w)
+	}
+}
+
+func TestBailWitnessIsNotConcrete(t *testing.T) {
+	a := analyze(t, `for (i = 0; i < n; i++) a[b[i]] = 0;`)
+	if a.Parallelizable {
+		t.Fatalf("non-affine write missed: %v", a.Reasons)
+	}
+	if len(a.Witnesses) != 1 || a.Witnesses[0].Kind != "unknown" || a.Witnesses[0].Concrete() {
+		t.Errorf("bail witness = %+v", a.Witnesses)
+	}
+}
+
+func TestWitnessStableAcrossRuns(t *testing.T) {
+	src := `for (i = 1; i < n; i++) { a[i] = a[i-1]; c[i] = c[i+2]; }`
+	first := analyze(t, src)
+	for run := 0; run < 5; run++ {
+		again := analyze(t, src)
+		if len(again.Witnesses) != len(first.Witnesses) {
+			t.Fatalf("witness count changed: %d vs %d", len(again.Witnesses), len(first.Witnesses))
+		}
+		for i := range first.Witnesses {
+			if first.Witnesses[i].String() != again.Witnesses[i].String() {
+				t.Fatalf("witness %d changed: %q vs %q", i, first.Witnesses[i], again.Witnesses[i])
+			}
+		}
+	}
+}

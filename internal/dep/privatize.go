@@ -1,0 +1,192 @@
+package dep
+
+import (
+	"sort"
+	"strings"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/pragma"
+)
+
+// Array privatization and array-reduction recognition: the two most common
+// reasons a genuinely parallel loop is refuted by a plain dependence test.
+// A per-iteration scratch array (written before read every iteration, with
+// outer-invariant subscripts) privatizes away its cross-iteration output
+// dependence; a consistent-operator accumulation (`hist[e] += x`) becomes a
+// reduction clause even when the subscript itself is unanalyzable. Both are
+// attempted only after the race test refutes, so every conversion recorded
+// in Converted is a verdict the one-level engine would have gotten wrong.
+
+// arrAcc pairs an access with its nest-affine subscript vector.
+type arrAcc struct {
+	acc  access
+	subs []NAffine
+	ok   bool   // every subscript converted to affine form
+	key  string // printed subscript vector, for exact-match coverage checks
+}
+
+// testArraysNest runs the nested-loop dependence engine over array accesses.
+// It returns false when a loop-carried array dependence survives both the
+// distance-vector tests and the privatization/reduction rescues.
+func (a *Analysis) testArraysNest(ctx *collector, ns *nestSpace, opts Options) bool {
+	byName := map[string][]arrAcc{}
+	var names []string
+	for _, acc := range ctx.accesses {
+		if acc.subs == nil {
+			continue
+		}
+		aa := arrAcc{acc: acc, ok: true}
+		keys := make([]string, 0, len(acc.subs))
+		for _, s := range acc.subs {
+			na := ns.affine(s)
+			if !na.OK {
+				aa.ok = false
+			}
+			aa.subs = append(aa.subs, na)
+			keys = append(keys, cast.PrintExpr(s))
+		}
+		aa.key = strings.Join(keys, "][")
+		if _, seen := byName[acc.name]; !seen {
+			names = append(names, acc.name)
+		}
+		byName[acc.name] = append(byName[acc.name], aa)
+	}
+	sort.Strings(names)
+
+	ok := true
+	for _, name := range names {
+		accs := byName[name]
+		hasWrite := false
+		for _, aa := range accs {
+			if aa.acc.write {
+				hasWrite = true
+				break
+			}
+		}
+		if !hasWrite {
+			continue // read-only array: safe
+		}
+		witnesses, reason := a.raceTest(name, accs, ns)
+		if len(witnesses) == 0 {
+			continue
+		}
+		if opts.ArrayPrivatization && privatizable(name, accs, ns) {
+			a.Private = append(a.Private, name)
+			a.Converted = append(a.Converted, name)
+			a.reason("array %s privatized: each iteration writes it before any read", name)
+			continue
+		}
+		if opts.ArrayReductions {
+			if op, okRed := arrayReduction(name, accs); okRed {
+				a.Reductions = append(a.Reductions, pragma.Reduction{Op: op, Vars: []string{name}})
+				a.Converted = append(a.Converted, name)
+				a.reason("array %s recognized as a reduction(%s) accumulation", name, op)
+				continue
+			}
+		}
+		a.Witnesses = append(a.Witnesses, witnesses...)
+		a.reason("%s", reason)
+		ok = false
+	}
+	return ok
+}
+
+// raceTest tests every write of one array against every access and returns
+// the best witness for a surviving dependence (empty when independent).
+func (a *Analysis) raceTest(name string, accs []arrAcc, ns *nestSpace) ([]Witness, string) {
+	for _, w := range accs {
+		if w.acc.write && !w.ok {
+			wit := ns.bailWitness(name, w.acc, w.acc, "non-affine subscript on a write")
+			return []Witness{wit}, "array " + name + " written with non-affine subscript"
+		}
+	}
+	var best *Witness
+	for _, w := range accs {
+		if !w.acc.write {
+			continue
+		}
+		for _, r := range accs {
+			if !r.ok {
+				wit := ns.bailWitness(name, w.acc, r.acc, "non-affine access conflicting with a write")
+				return []Witness{wit}, "array " + name + " has a non-affine access conflicting with a write"
+			}
+			rel := ns.pairTest(w.subs, r.subs)
+			if rel.none {
+				continue
+			}
+			if d, known := rel.dist[ns.vars[0]]; known && d == 0 {
+				continue // loop-independent for the outer loop
+			}
+			wit := ns.buildWitness(name, w.acc, r.acc, rel)
+			if best == nil || (wit.concreteOuter(ns) && !best.concreteOuter(ns)) {
+				cp := wit
+				best = &cp
+			}
+		}
+	}
+	if best == nil {
+		return nil, ""
+	}
+	reason := "array " + name + " carries a loop dependence between accesses (" +
+		best.Kind + ", distance " + best.Distance + ")"
+	return []Witness{*best}, reason
+}
+
+// concreteOuter reports whether the witness resolved the outer-level
+// direction (its vector leads with something other than '*').
+func (w Witness) concreteOuter(ns *nestSpace) bool {
+	return len(w.Vector) > 0 && w.Vector[0] != "*"
+}
+
+// privatizable decides whether an array behaves as per-iteration scratch:
+// every subscript is affine, outer-invariant, and drawn from unambiguous
+// inner levels; all accesses touch the same subscript vector; and the first
+// access each iteration is an unconditional plain write, so reads only ever
+// see values produced in the same outer iteration.
+func privatizable(name string, accs []arrAcc, ns *nestSpace) bool {
+	if strings.Contains(name, ".") {
+		return false // struct member pseudo-arrays cannot take a clause
+	}
+	for _, aa := range accs {
+		if !aa.ok || aa.key != accs[0].key {
+			return false
+		}
+		for _, na := range aa.subs {
+			if na.Varying {
+				return false
+			}
+			for v := range na.Coefs {
+				if v == ns.vars[0] {
+					return false // subscript depends on the outer iteration
+				}
+				if h, okH := ns.headers[v]; !okH || !h.OK {
+					return false // ambiguous inner bounds: coverage unknown
+				}
+			}
+		}
+	}
+	first := accs[0].acc
+	return first.write && first.plainWrite && first.accumOp == "" && !first.cond
+}
+
+// arrayReduction recognizes a consistent-operator accumulation: every write
+// is an accumulation with one operator and the array is never read outside
+// its own accumulations. The subscript may be arbitrary — histogram updates
+// through an index array are the canonical case.
+func arrayReduction(name string, accs []arrAcc) (string, bool) {
+	if strings.Contains(name, ".") {
+		return "", false
+	}
+	op := ""
+	for _, aa := range accs {
+		if aa.acc.accumOp == "" {
+			return "", false
+		}
+		if op == "" {
+			op = aa.acc.accumOp
+		} else if op != aa.acc.accumOp {
+			return "", false
+		}
+	}
+	return op, op != ""
+}

@@ -17,6 +17,7 @@ import (
 
 	"pragformer/internal/advisor"
 	"pragformer/internal/dataset"
+	"pragformer/internal/dep"
 	"pragformer/internal/scan"
 	"pragformer/internal/tokenize"
 )
@@ -36,6 +37,12 @@ type AgreementRow struct {
 	// HasTruth marks corpus rows, where labels adjudicate disagreements.
 	HasTruth bool
 	DepRight int // disagreements where the ground truth sides with the analysis
+
+	// Analysis depth over all audited loops (negatives included): how far
+	// the dependence engine got, independent of the model's verdict.
+	Witnessed int // refuted with a concrete race witness (kind + sites + vector)
+	Bailed    int // analysis could not run, or refuted without a concrete witness
+	Converted int // refutation rescued by privatization/reduction clauses
 }
 
 // AgreementTable is the pop_setbench-style one-driver table: every row is
@@ -81,8 +88,10 @@ func (p *Pipeline) RunAgreement(scanTree string) AgreementTable {
 		if it.Suggestion == nil {
 			continue
 		}
-		tallyTier(&row, it.Suggestion.Corroboration.Tier, it.Suggestion.Parallelize)
-		if it.Suggestion.Corroboration.Tier == advisor.TierDisagree && !split.Test[i].Label {
+		cor := it.Suggestion.Corroboration
+		tallyTier(&row, cor.Tier, it.Suggestion.Parallelize)
+		tallyDepth(&row, cor.DepRan, cor.Races, cor.Converted)
+		if cor.Tier == advisor.TierDisagree && !split.Test[i].Label {
 			row.DepRight++
 		}
 	}
@@ -99,11 +108,37 @@ func (p *Pipeline) RunAgreement(scanTree string) AgreementTable {
 			if l.Suggestion == nil {
 				continue
 			}
-			tallyTier(&row, advisor.ParseTier(l.Suggestion.Tier), l.Suggestion.Parallelize)
+			s := l.Suggestion
+			tallyTier(&row, advisor.ParseTier(s.Tier), s.Parallelize)
+			// The scan report has no DepRan flag; the witness reasons are
+			// only ever attached by an analysis that ran.
+			tallyDepth(&row, len(s.Witness) > 0, s.Races, s.Converted)
 		}
 		tab.Rows = append(tab.Rows, row)
 	}
 	return tab
+}
+
+// tallyDepth classifies how far the analysis got on one loop. A loop the
+// analysis cleared (ran, no refutation) lands in no bucket; conversion is
+// orthogonal to the witnessed/bailed split (a converted loop's refuting
+// witness was dissolved, not produced).
+func tallyDepth(row *AgreementRow, depRan bool, races []dep.Witness, converted []string) {
+	if len(converted) > 0 {
+		row.Converted++
+	}
+	concrete := false
+	for _, w := range races {
+		if w.Concrete() {
+			concrete = true
+		}
+	}
+	switch {
+	case concrete:
+		row.Witnessed++
+	case !depRan || len(races) > 0:
+		row.Bailed++
+	}
 }
 
 func tallyTier(row *AgreementRow, tier advisor.Tier, positive bool) {
@@ -127,14 +162,16 @@ func tallyTier(row *AgreementRow, tier advisor.Tier, positive bool) {
 // Print renders the table.
 func (t AgreementTable) Print(w io.Writer) {
 	fmt.Fprintln(w, "Corroborated verdicts: tier distribution of positive model verdicts")
-	fmt.Fprintf(w, "  %-18s %6s %9s %11s %15s %21s %9s %10s\n",
-		"source", "loops", "positive", "model-only", "model+analysis", "model+analysis+compar", "disagree", "dep right")
+	fmt.Fprintf(w, "  %-18s %6s %9s %11s %15s %21s %9s %10s %9s %6s %9s\n",
+		"source", "loops", "positive", "model-only", "model+analysis", "model+analysis+compar", "disagree", "dep right",
+		"witnessed", "bailed", "converted")
 	for _, r := range t.Rows {
 		right := "—"
 		if r.HasTruth {
 			right = fmt.Sprintf("%d/%d", r.DepRight, r.Disagree)
 		}
-		fmt.Fprintf(w, "  %-18s %6d %9d %11d %15d %21d %9d %10s\n",
-			r.Source, r.Loops, r.Positive, r.ModelOnly, r.AnalysisOnly, r.Corroborated, r.Disagree, right)
+		fmt.Fprintf(w, "  %-18s %6d %9d %11d %15d %21d %9d %10s %9d %6d %9d\n",
+			r.Source, r.Loops, r.Positive, r.ModelOnly, r.AnalysisOnly, r.Corroborated, r.Disagree, right,
+			r.Witnessed, r.Bailed, r.Converted)
 	}
 }

@@ -35,10 +35,26 @@ func TestAgreementStudy(t *testing.T) {
 	if !corpus.HasTruth || tree.HasTruth {
 		t.Errorf("HasTruth: corpus %v tree %v", corpus.HasTruth, tree.HasTruth)
 	}
-	// examples/scantree dedupes to 9 loops, 8 of which reach the advisor
+	// examples/scantree dedupes to 16 loops, 15 of which reach the advisor
 	// (the annotated axpy loop is reported, not advised).
-	if tree.Loops != 8 {
-		t.Errorf("scantree row audited %d loops, want 8", tree.Loops)
+	if tree.Loops != 15 {
+		t.Errorf("scantree row audited %d loops, want 15", tree.Loops)
+	}
+	// Analysis depth: the fixture tree pins each bucket. Three loops carry
+	// a concrete flow witness at distance (1) (race.c, recur.c, serial.c);
+	// two refutations dissolve into clauses (private.c's scratch array,
+	// histo.c's histogram reduction) — the conversions that v1 would have
+	// counted as bailed or refuted.
+	if tree.Witnessed < 3 {
+		t.Errorf("scantree witnessed = %d, want >= 3", tree.Witnessed)
+	}
+	if tree.Converted < 2 {
+		t.Errorf("scantree converted = %d, want >= 2 (privatization + reduction)", tree.Converted)
+	}
+	for _, r := range tab.Rows {
+		if r.Witnessed+r.Bailed > r.Loops {
+			t.Errorf("row %q: witnessed %d + bailed %d > loops %d", r.Source, r.Witnessed, r.Bailed, r.Loops)
+		}
 	}
 }
 

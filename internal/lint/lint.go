@@ -1,0 +1,212 @@
+// Package lint holds pragformer's project-specific static checks, run in CI
+// as a `go vet -vettool` (cmd/pflint). Two checks, both purely syntactic so
+// the tool needs no type information or export data:
+//
+//   - poolbalance: a function that takes buffers from the tensor pool
+//     (GetVec/GetMatrix/GetInt8Matrix and their Dirty variants) but neither
+//     returns them (PutVec/PutMatrix/PutInt8Matrix) nor hands them off — by
+//     returning the buffer or storing it in a field/global — leaks pool
+//     capacity: the pool never shrinks a hot path back to steady state.
+//
+//   - determinism: the inference packages (nn, quant, lime, dep) promise
+//     byte-identical outputs across runs — the scan golden gates and warm
+//     cache diffs depend on it. Calls to time.Now or the math/rand global
+//     functions inside them break that promise silently. Explicitly seeded
+//     generators (rand.New(rand.NewSource(...))) stay allowed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one lint diagnostic.
+type Finding struct {
+	Pos token.Position
+	Msg string
+}
+
+// deterministicPkgs lists the package names whose outputs must be
+// reproducible bit-for-bit.
+var deterministicPkgs = map[string]bool{
+	"nn": true, "quant": true, "lime": true, "dep": true,
+}
+
+// poolFamilies maps each pool Get entry point to its family; a family's
+// buffers come back via Put<family>.
+var poolFamilies = map[string]string{
+	"GetVec": "Vec", "GetVecDirty": "Vec",
+	"GetMatrix": "Matrix", "GetMatrixDirty": "Matrix",
+	"GetInt8Matrix": "Int8Matrix",
+}
+
+// CheckFile runs every check over one parsed file and returns its findings
+// ordered by position. pkgName is the package's declared name (not import
+// path): the determinism check keys off it.
+func CheckFile(fset *token.FileSet, file *ast.File, pkgName string) []Finding {
+	var out []Finding
+	out = append(out, checkPoolBalance(fset, file)...)
+	if deterministicPkgs[pkgName] {
+		out = append(out, checkDeterminism(fset, file)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Pos.Column < out[j].Pos.Column
+	})
+	return out
+}
+
+// checkPoolBalance flags functions that acquire pool buffers of a family
+// without any same-family Put and without a way to transfer ownership:
+// returning a reference-shaped value (slice/pointer/interface — the buffer
+// may be handed to the caller, whose own balance is checked separately) or
+// storing into a struct field / global both count as transfers.
+func checkPoolBalance(fset *token.FileSet, file *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		gets := map[string]token.Pos{} // family -> first Get position
+		puts := map[string]bool{}
+		escapes := returnsReference(fn)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				name := calleeName(v)
+				if fam, ok := poolFamilies[name]; ok {
+					if _, seen := gets[fam]; !seen {
+						gets[fam] = v.Pos()
+					}
+				}
+				if strings.HasPrefix(name, "Put") {
+					puts[strings.TrimPrefix(name, "Put")] = true
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range v.Lhs {
+					if _, ok := lhs.(*ast.SelectorExpr); ok {
+						escapes = true // stored into a field or package var
+					}
+				}
+			}
+			return true
+		})
+		if escapes {
+			continue
+		}
+		fams := make([]string, 0, len(gets))
+		for fam := range gets {
+			if !puts[fam] {
+				fams = append(fams, fam)
+			}
+		}
+		sort.Strings(fams)
+		for _, fam := range fams {
+			out = append(out, Finding{
+				Pos: fset.Position(gets[fam]),
+				Msg: fmt.Sprintf("%s acquires a pool %s buffer but never calls Put%s (pool leak)",
+					fn.Name.Name, fam, fam),
+			})
+		}
+	}
+	return out
+}
+
+// checkDeterminism flags time.Now and math/rand global-function calls. The
+// receivers are matched by the file's own import names, so aliased imports
+// are caught and local variables that happen to be called "rand" are not.
+func checkDeterminism(fset *token.FileSet, file *ast.File) []Finding {
+	timeName, randName := importName(file, "time"), importName(file, "math/rand")
+	if timeName == "" && randName == "" {
+		return nil
+	}
+	var out []Finding
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || recv.Obj != nil { // Obj != nil: a local shadows the import
+			return true
+		}
+		switch {
+		case timeName != "" && recv.Name == timeName && sel.Sel.Name == "Now":
+			out = append(out, Finding{Pos: fset.Position(call.Pos()),
+				Msg: "time.Now in a deterministic package (outputs must be reproducible)"})
+		case randName != "" && recv.Name == randName &&
+			sel.Sel.Name != "New" && sel.Sel.Name != "NewSource":
+			out = append(out, Finding{Pos: fset.Position(call.Pos()),
+				Msg: fmt.Sprintf("rand.%s uses the global generator in a deterministic package (seed a rand.New(rand.NewSource(...)) instead)",
+					sel.Sel.Name)})
+		}
+		return true
+	})
+	return out
+}
+
+// returnsReference reports whether fn can smuggle a buffer out through its
+// results: any slice, pointer, map, or interface-shaped result counts.
+// Scalar-only signatures (int, float64, bool, string, error-free) cannot
+// carry the buffer, so a missing Put there is a real leak.
+func returnsReference(fn *ast.FuncDecl) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, field := range fn.Type.Results.List {
+		switch t := field.Type.(type) {
+		case *ast.StarExpr, *ast.ArrayType, *ast.MapType, *ast.InterfaceType,
+			*ast.ChanType, *ast.FuncType, *ast.Ellipsis:
+			return true
+		case *ast.Ident:
+			if t.Name == "any" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeName extracts the called function's bare name: `GetVec(...)` and
+// `tensor.GetVec(...)` both yield "GetVec".
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// importName returns the name under which path is imported in file, "" when
+// it is not imported. An explicit alias wins; otherwise the path's base.
+func importName(file *ast.File, path string) string {
+	for _, imp := range file.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CheckFile(fset, file, file.Name.Name)
+}
+
+func TestPoolLeakFlagged(t *testing.T) {
+	fs := check(t, `package nn
+import "pragformer/internal/tensor"
+func leaky(n int) float64 {
+	v := tensor.GetVec(n)
+	s := 0.0
+	for _, x := range v { s += x }
+	return s
+}`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "PutVec") {
+		t.Fatalf("findings = %+v, want one PutVec leak", fs)
+	}
+}
+
+func TestPoolBalancedIsClean(t *testing.T) {
+	fs := check(t, `package nn
+import "pragformer/internal/tensor"
+func fine(n int) float64 {
+	v := tensor.GetVec(n)
+	defer tensor.PutVec(v)
+	return v[0]
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none", fs)
+	}
+}
+
+func TestPoolOwnershipTransferAllowed(t *testing.T) {
+	// Returning a reference-shaped value may hand the buffer to the caller.
+	fs := check(t, `package nn
+import "pragformer/internal/tensor"
+func handoff(n int) []float64 {
+	return tensor.GetVec(n)
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none (ownership transferred)", fs)
+	}
+}
+
+func TestPoolFieldStoreAllowed(t *testing.T) {
+	fs := check(t, `package nn
+import "pragformer/internal/tensor"
+type cacheT struct{ buf []float64 }
+func (c *cacheT) fill(n int) {
+	c.buf = tensor.GetVec(n)
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none (stored into a field)", fs)
+	}
+}
+
+func TestPoolFamiliesIndependent(t *testing.T) {
+	// A PutMatrix does not excuse a missing PutVec.
+	fs := check(t, `package quant
+import "pragformer/internal/tensor"
+func mixed(n int) {
+	v := tensor.GetVec(n)
+	m := tensor.GetMatrix(n, n)
+	_ = v
+	tensor.PutMatrix(m)
+}`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "PutVec") {
+		t.Fatalf("findings = %+v, want exactly the Vec leak", fs)
+	}
+}
+
+func TestDeterminismTimeNow(t *testing.T) {
+	fs := check(t, `package dep
+import "time"
+func stamp() int64 { return time.Now().Unix() }`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "time.Now") {
+		t.Fatalf("findings = %+v, want the time.Now violation", fs)
+	}
+}
+
+func TestDeterminismGlobalRand(t *testing.T) {
+	fs := check(t, `package lime
+import "math/rand"
+func jitter() float64 { return rand.Float64() }`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "rand.Float64") {
+		t.Fatalf("findings = %+v, want the global rand violation", fs)
+	}
+}
+
+func TestDeterminismSeededRandAllowed(t *testing.T) {
+	fs := check(t, `package lime
+import "math/rand"
+func gen(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none (explicitly seeded)", fs)
+	}
+}
+
+func TestDeterminismScopedToListedPackages(t *testing.T) {
+	// train legitimately reads the clock for logging.
+	fs := check(t, `package train
+import "time"
+func stamp() int64 { return time.Now().Unix() }`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none outside the deterministic set", fs)
+	}
+}
+
+func TestDeterminismAliasedImport(t *testing.T) {
+	fs := check(t, `package nn
+import mr "math/rand"
+func jitter() float64 { return mr.Float64() }`)
+	if len(fs) != 1 {
+		t.Fatalf("findings = %+v, want the aliased rand violation", fs)
+	}
+}
+
+func TestDeterminismShadowedIdentIgnored(t *testing.T) {
+	fs := check(t, `package nn
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f() int {
+	var time clock
+	return time.Now()
+}`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none (no time import at all)", fs)
+	}
+}

@@ -18,10 +18,11 @@ import (
 // scan never leaves a torn cache.
 
 // cacheVersion guards the on-disk layout. v2 added the tier, witness, S2S
-// and attribution evidence to Suggestion; v1 entries predate them, so
-// replaying a v1 cache would make a warm scan's bytes diverge from a cold
-// scan's — bump on every Suggestion field change.
-const cacheVersion = 2
+// and attribution evidence to Suggestion; v3 added the structured race
+// witnesses and conversion lists. Older entries predate those fields, so
+// replaying them would make a warm scan's bytes diverge from a cold scan's
+// — bump on every Suggestion field change.
+const cacheVersion = 3
 
 type cacheData struct {
 	Version int                    `json:"version"`

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"pragformer/internal/dep"
 )
 
 // SARIF 2.1.0 rendering, so scan results plug into code-scanning UIs
@@ -39,6 +41,10 @@ const (
 	// RuleDisagree identifies "model and dependence analysis disagree"
 	// review warnings.
 	RuleDisagree = "PF1003"
+	// RuleRace identifies "potential loop-carried race" results: the
+	// dependence analysis refuted the loop and produced a structured
+	// witness (kind, both access sites, direction/distance vector).
+	RuleRace = "PF1004"
 )
 
 type sarifLog struct {
@@ -127,6 +133,8 @@ func (r *Report) SARIF() ([]byte, error) {
 					Text: "Loop already carries an OpenMP pragma"}},
 				{ID: RuleDisagree, ShortDescription: sarifMessage{
 					Text: "review: model and dependence analysis disagree"}},
+				{ID: RuleRace, ShortDescription: sarifMessage{
+					Text: "potential loop-carried race found by the dependence analysis"}},
 			},
 		}},
 		Results: []sarifResult{},
@@ -155,12 +163,18 @@ func (r *Report) SARIF() ([]byte, error) {
 			if w := witnessSummary(s.Witness); w != "" {
 				msg += fmt.Sprintf(" (%s)", w)
 			}
+			if v := raceVector(s.Races); v != "" {
+				msg += fmt.Sprintf("; distance vector %s", v)
+			}
 			if toks := topTokens(s.Attributions, 3); len(toks) > 0 {
 				msg += fmt.Sprintf("; influential tokens: %s", strings.Join(toks, " "))
 			}
 			props := map[string]any{"tier": s.Tier}
 			if len(s.Witness) > 0 {
 				props["witness"] = s.Witness
+			}
+			if len(s.Races) > 0 {
+				props["races"] = s.Races
 			}
 			if top := topAttributions(s.Attributions, 3); len(top) > 0 {
 				props["attributions"] = top
@@ -197,6 +211,27 @@ func (r *Report) SARIF() ([]byte, error) {
 				})
 			}
 		}
+		// Race witnesses are a property of the code, not of the model's
+		// verdict: every dep-refuted loop additionally surfaces as PF1004,
+		// whatever tier the suggestion landed on.
+		if l.Suggestion != nil && len(l.Suggestion.Races) > 0 {
+			s := l.Suggestion
+			msg := raceMessage(s.Races)
+			props := map[string]any{"races": s.Races}
+			if len(s.Witness) > 0 {
+				props["witness"] = s.Witness
+			}
+			for _, occ := range l.Occurrences {
+				run.Results = append(run.Results, sarifResult{
+					RuleID:              RuleRace,
+					Level:               "warning",
+					Message:             sarifMessage{Text: msg + occContext(occ)},
+					Locations:           []sarifLocation{location(occ.File, occ.Line, occ.Col)},
+					PartialFingerprints: map[string]string{"pragformer/loopHash": l.Hash},
+					Properties:          props,
+				})
+			}
+		}
 	}
 
 	log := sarifLog{Schema: sarifSchema, Version: sarifVersion, Runs: []sarifRun{run}}
@@ -205,6 +240,26 @@ func (r *Report) SARIF() ([]byte, error) {
 		return nil, err
 	}
 	return append(b, '\n'), nil
+}
+
+// raceVector picks the first concrete witness' distance vector for the
+// PF1003 message text.
+func raceVector(races []dep.Witness) string {
+	for _, w := range races {
+		if w.Concrete() && w.Distance != "" {
+			return w.Distance
+		}
+	}
+	return ""
+}
+
+// raceMessage summarizes the witnesses for a PF1004 result.
+func raceMessage(races []dep.Witness) string {
+	parts := make([]string, 0, len(races))
+	for _, w := range races {
+		parts = append(parts, w.String())
+	}
+	return "potential loop-carried race: " + strings.Join(parts, "; ")
 }
 
 // witnessSummary picks the decisive dependence reason for the PF1003

@@ -93,11 +93,11 @@ func TestSARIFShape(t *testing.T) {
 		t.Errorf("rules = %v", ruleIDs)
 	}
 
-	// Fixture: the stub parallelizes the five "+=" loops (sum + three
-	// matmul levels + the recur.c disagreement), and axpy surfaces as an
-	// annotated note — 6 results.
-	if len(run.Results) != 6 {
-		t.Fatalf("results = %d, want 6", len(run.Results))
+	// Fixture: the stub parallelizes the six "+=" loops (sum + histogram +
+	// three matmul levels + the recur.c disagreement), and axpy surfaces as
+	// an annotated note — 7 results.
+	if len(run.Results) != 7 {
+		t.Fatalf("results = %d, want 7", len(run.Results))
 	}
 	annotated := 0
 	disagree := 0
@@ -138,13 +138,19 @@ func TestSARIFShape(t *testing.T) {
 		t.Errorf("disagree results = %d, want 1 (the recur.c loop)", disagree)
 	}
 
-	// The broken fixture file surfaces as an invocation notification.
+	// The broken fixture file and partial.c's malformed function both
+	// surface as invocation notifications.
 	if len(run.Invocations) != 1 || !run.Invocations[0].ExecutionSuccessful {
 		t.Fatalf("invocations = %+v", run.Invocations)
 	}
 	notes := run.Invocations[0].Notifications
-	if len(notes) != 1 || notes[0].Level != "warning" || notes[0].Message.Text == "" {
-		t.Errorf("notifications = %+v", notes)
+	if len(notes) != 2 {
+		t.Fatalf("notifications = %+v", notes)
+	}
+	for _, note := range notes {
+		if note.Level != "warning" || note.Message.Text == "" {
+			t.Errorf("notification = %+v", note)
+		}
 	}
 }
 

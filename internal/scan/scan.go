@@ -30,6 +30,7 @@ import (
 	"pragformer/internal/advisor"
 	"pragformer/internal/cast"
 	"pragformer/internal/cparse"
+	"pragformer/internal/dep"
 )
 
 // Config tunes a scan. Zero values take the documented defaults.
@@ -115,6 +116,13 @@ type Suggestion struct {
 	// Witness carries the dependence analysis' reasons — the carried
 	// dependence or reduction pattern behind the tier.
 	Witness []string `json:"witness,omitempty"`
+	// Races carries the structured race witnesses behind a dependence
+	// refutation: kind, both access sites anchored to the canonical snippet
+	// text, and the per-level direction/distance vector (SARIF PF1004).
+	Races []dep.Witness `json:"races,omitempty"`
+	// Converted lists arrays the analysis rescued via privatization or
+	// reduction recognition.
+	Converted []string `json:"converted,omitempty"`
 	// S2S holds the per-compiler corroboration verdicts.
 	S2S []S2SVerdict `json:"s2s,omitempty"`
 	// Attributions is the LIME token attribution attached to disagreeing
@@ -192,6 +200,11 @@ type Counters struct {
 	// model says parallelize, dependence analysis found a carried
 	// dependence (SARIF PF1003).
 	Disagreements int `json:"disagreements"`
+	// Witnessed counts unique loops whose verdict carries at least one
+	// structured race witness (SARIF PF1004); Converted counts unique loops
+	// the analysis rescued via privatization or reduction recognition.
+	Witnessed int `json:"witnessed,omitempty"`
+	Converted int `json:"converted,omitempty"`
 	// CacheHits counts unique loops answered from the persistent cache;
 	// Inferred counts snippets that actually reached the model. A fully
 	// warm re-scan has Inferred == 0.
@@ -294,10 +307,15 @@ func Files(ctx context.Context, files []Source, cfg Config, sg advisor.Suggester
 	return run(ctx, cfg, sg, produce, filepath.ToSlash)
 }
 
-// fileOut is one parse worker's result for one file.
+// fileOut is one parse worker's result for one file. A file can be both
+// partially parsed and carry skips: the recovering parser reports one
+// positioned skip per broken region while the file's surviving loops still
+// enter the scan. failed marks a file that contributed nothing (unreadable,
+// oversized, or nothing parseable).
 type fileOut struct {
-	loops []occLoop
-	skip  *Skip
+	loops  []occLoop
+	skips  []Skip
+	failed bool
 }
 
 // occLoop is one extracted loop occurrence with its canonical snippet and
@@ -422,9 +440,9 @@ collect:
 			if !ok {
 				break collect
 			}
-			if fo.skip != nil {
+			rep.Skips = append(rep.Skips, fo.skips...)
+			if fo.failed {
 				rep.Counters.Skipped++
-				rep.Skips = append(rep.Skips, *fo.skip)
 				continue
 			}
 			rep.Counters.Files++
@@ -509,26 +527,33 @@ func parseSource(src Source, cfg Config, rel func(string) string) fileOut {
 	if data == nil {
 		info, err := os.Stat(src.Path)
 		if err != nil {
-			return fileOut{skip: &Skip{File: name, Reason: err.Error()}}
+			return fileOut{failed: true, skips: []Skip{{File: name, Reason: err.Error()}}}
 		}
 		if info.Size() > cfg.MaxFileBytes {
-			return fileOut{skip: &Skip{File: name,
-				Reason: fmt.Sprintf("file too large (%d bytes > %d)", info.Size(), cfg.MaxFileBytes)}}
+			return fileOut{failed: true, skips: []Skip{{File: name,
+				Reason: fmt.Sprintf("file too large (%d bytes > %d)", info.Size(), cfg.MaxFileBytes)}}}
 		}
 		if data, err = os.ReadFile(src.Path); err != nil {
-			return fileOut{skip: &Skip{File: name, Reason: err.Error()}}
+			return fileOut{failed: true, skips: []Skip{{File: name, Reason: err.Error()}}}
 		}
 	}
-	f, err := cparse.Parse(string(data))
-	if err != nil {
-		skip := &Skip{File: name, Reason: err.Error()}
-		if line, col, ok := cparse.Position(err); ok {
-			skip.Line, skip.Col = line, col
-		}
-		return fileOut{skip: skip}
+	// The recovering parser keeps going past a broken region, so a file with
+	// one malformed function still contributes its other loops; each broken
+	// region surfaces as a positioned skip. A file that yields nothing keeps
+	// the old whole-file-skip shape (first error only — the rest are usually
+	// cascade noise).
+	f, perrs := cparse.ParseRecover(string(data))
+	var skips []Skip
+	if len(f.Items) == 0 && len(perrs) > 0 {
+		pe := perrs[0]
+		return fileOut{failed: true, skips: []Skip{
+			{File: name, Line: pe.Line, Col: pe.Col, Reason: pe.Error()}}}
+	}
+	for _, pe := range perrs {
+		skips = append(skips, Skip{File: name, Line: pe.Line, Col: pe.Col, Reason: pe.Error()})
 	}
 	infos := cast.ExtractLoops(f)
-	out := fileOut{loops: make([]occLoop, 0, len(infos))}
+	out := fileOut{loops: make([]occLoop, 0, len(infos)), skips: skips}
 	for _, li := range infos {
 		out.loops = append(out.loops, occLoop{
 			snippet: cast.Print(li.Loop),
@@ -587,6 +612,12 @@ func finalize(rep *Report, loops []*Loop, includeAnnotated bool) {
 		if l.Suggestion != nil && l.Suggestion.Tier == advisor.TierDisagree.String() {
 			rep.Counters.Disagreements++
 		}
+		if l.Suggestion != nil && len(l.Suggestion.Races) > 0 {
+			rep.Counters.Witnessed++
+		}
+		if l.Suggestion != nil && len(l.Suggestion.Converted) > 0 {
+			rep.Counters.Converted++
+		}
 	}
 	sort.Slice(loops, func(i, j int) bool {
 		a, b := loops[i].Occurrences[0], loops[j].Occurrences[0]
@@ -628,6 +659,8 @@ func fromAdvisor(s *advisor.Suggestion) *Suggestion {
 		Tier:        s.Corroboration.Tier.String(),
 	}
 	out.Witness = append(out.Witness, s.Corroboration.DepWitness...)
+	out.Races = append(out.Races, s.Corroboration.Races...)
+	out.Converted = append(out.Converted, s.Corroboration.Converted...)
 	for _, v := range s.Corroboration.S2S {
 		out.S2S = append(out.S2S, S2SVerdict{
 			Compiler: v.Compiler, Compiled: v.Compiled,
@@ -652,6 +685,8 @@ func (s *Suggestion) clone() *Suggestion {
 	}
 	c := *s
 	c.Witness = append([]string(nil), s.Witness...)
+	c.Races = append([]dep.Witness(nil), s.Races...)
+	c.Converted = append([]string(nil), s.Converted...)
 	c.S2S = append([]S2SVerdict(nil), s.S2S...)
 	c.Attributions = append([]Attribution(nil), s.Attributions...)
 	c.Notes = append([]string(nil), s.Notes...)

@@ -121,11 +121,11 @@ func TestScanDirGolden(t *testing.T) {
 func TestScanCountersAndDedupe(t *testing.T) {
 	rep := scanFixture(t, Config{Workers: 4}, &stubSuggester{})
 	c := rep.Counters
-	if c.Files != 6 || c.Skipped != 1 {
-		t.Errorf("files/skipped = %d/%d, want 6/1", c.Files, c.Skipped)
+	if c.Files != 11 || c.Skipped != 1 {
+		t.Errorf("files/skipped = %d/%d, want 11/1 (partial.c parses partially, it is not skipped)", c.Files, c.Skipped)
 	}
-	if c.Loops != 10 || c.Unique != 9 {
-		t.Errorf("loops/unique = %d/%d, want 10/9", c.Loops, c.Unique)
+	if c.Loops != 17 || c.Unique != 16 {
+		t.Errorf("loops/unique = %d/%d, want 17/16", c.Loops, c.Unique)
 	}
 	if c.Annotated != 1 {
 		t.Errorf("annotated = %d, want 1", c.Annotated)
@@ -154,27 +154,45 @@ func TestScanCountersAndDedupe(t *testing.T) {
 	if shared.Suggestion == nil {
 		t.Error("deduped loop missing shared verdict")
 	}
-	// Inference ran once per advisable unique loop: 9 unique minus the
+	// Inference ran once per advisable unique loop: 16 unique minus the
 	// annotated axpy loop.
-	if c.Inferred != 8 {
-		t.Errorf("inferred = %d, want 8", c.Inferred)
+	if c.Inferred != 15 {
+		t.Errorf("inferred = %d, want 15", c.Inferred)
 	}
 }
 
 func TestScanSkipHasPosition(t *testing.T) {
 	rep := scanFixture(t, Config{}, &stubSuggester{})
-	if len(rep.Skips) != 1 {
+	// broken.c is skipped wholesale; partial.c contributes a positioned
+	// skip for its malformed function while its healthy loop still scans.
+	if len(rep.Skips) != 2 {
 		t.Fatalf("skips = %+v", rep.Skips)
 	}
-	skip := rep.Skips[0]
-	if skip.File != "broken.c" {
-		t.Errorf("skip file = %q", skip.File)
+	broken, partial := rep.Skips[0], rep.Skips[1]
+	if broken.File != "broken.c" || partial.File != "partial.c" {
+		t.Fatalf("skip files = %q, %q", broken.File, partial.File)
 	}
-	if skip.Line != 6 || skip.Col == 0 {
-		t.Errorf("skip position = %d:%d, want line 6 (the malformed for-header)", skip.Line, skip.Col)
+	if broken.Line != 6 || broken.Col == 0 {
+		t.Errorf("broken.c skip position = %d:%d, want line 6 (the malformed for-header)", broken.Line, broken.Col)
 	}
-	if skip.Reason == "" {
-		t.Error("skip has no reason")
+	if partial.Line != 8 || partial.Col == 0 {
+		t.Errorf("partial.c skip position = %d:%d, want line 8 (the missing operand)", partial.Line, partial.Col)
+	}
+	for _, skip := range rep.Skips {
+		if skip.Reason == "" {
+			t.Error("skip has no reason")
+		}
+	}
+	scanned := false
+	for _, l := range rep.Loops {
+		for _, occ := range l.Occurrences {
+			if occ.File == "partial.c" && occ.Function == "ok" {
+				scanned = true
+			}
+		}
+	}
+	if !scanned {
+		t.Error("partial.c's healthy loop was lost to the broken sibling")
 	}
 }
 
@@ -285,7 +303,7 @@ func TestScanAnnotatedCacheDoesNotLeak(t *testing.T) {
 	cachePath := filepath.Join(t.TempDir(), "scan.cache")
 	inclCfg := Config{CachePath: cachePath, Backend: "stub", IncludeAnnotated: true}
 	inclRep := scanFixture(t, inclCfg, &stubSuggester{})
-	if inclRep.Counters.Annotated != 0 || inclRep.Counters.Inferred != 9 {
+	if inclRep.Counters.Annotated != 0 || inclRep.Counters.Inferred != 16 {
 		t.Fatalf("include-annotated counters = %+v", inclRep.Counters)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"pragformer/internal/dep"
 	"pragformer/internal/tokenize"
 )
 
@@ -52,6 +53,11 @@ type suggestResult struct {
 	// model-positive / analysis-negative verdicts.
 	Tier    string   `json:"tier,omitempty"`
 	Witness []string `json:"witness,omitempty"`
+	// Races carries the structured race witnesses when the dependence
+	// analysis refuted the loop; Converted lists arrays it rescued via
+	// privatization or reduction recognition.
+	Races     []dep.Witness `json:"races,omitempty"`
+	Converted []string      `json:"converted,omitempty"`
 	// Attributions carries the LIME token attribution computed for
 	// disagreeing verdicts, in token order.
 	Attributions []suggestAttribution `json:"attributions,omitempty"`
@@ -184,6 +190,8 @@ func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			out.Probability = s.Probability
 			out.Tier = s.Corroboration.Tier.String()
 			out.Witness = s.Corroboration.DepWitness
+			out.Races = s.Corroboration.Races
+			out.Converted = s.Corroboration.Converted
 			for _, a := range s.Attributions {
 				out.Attributions = append(out.Attributions,
 					suggestAttribution{Index: a.Index, Token: a.Token, Weight: a.Weight})
