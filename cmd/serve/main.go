@@ -23,7 +23,12 @@
 //	POST /suggest {"code": "..."} | {"codes": [...]}
 //	POST /scan    {"files": [{"path": "a.c", "source": "..."}], "format": "json"|"sarif"}
 //	POST /reload  (hot-swap models from the -directive/... paths)
-//	GET  /healthz
+//	GET  /healthz (liveness)
+//	GET  /readyz  (readiness: 503 while draining or mid-reload)
+//	GET  /statz   (queue depth, in-flight, hit rates — the router's admission signal)
+//
+// On SIGTERM/SIGINT the server flips /readyz to draining, then shuts down
+// gracefully under the -drain-timeout deadline.
 package main
 
 import (
@@ -55,6 +60,9 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "model replicas (concurrent batches in flight)")
 		backend   = flag.String("backend", "", "compute backend: float64|int8 (empty serves artifacts as loaded; int8 quantizes float artifacts at load and on every reload)")
 		cacheSize = flag.Int("cache", 1024, "LRU result cache entries (negative disables)")
+		queueLen  = flag.Int("queue", 0, "batcher queue depth (0 = max-batch * replicas)")
+		shed      = flag.Bool("shed", false, "shed load with 429 + Retry-After when the queue saturates instead of blocking")
+		drainTO   = flag.Duration("drain-timeout", 5*time.Second, "graceful shutdown deadline for in-flight requests")
 		noCompar  = flag.Bool("no-compar", false, "skip S2S corroboration in /suggest")
 		seed      = flag.Int64("seed", 1, "seed for demo training and replica cloning")
 		total     = flag.Int("train-total", 1000, "demo mode: generated corpus size")
@@ -89,7 +97,8 @@ func main() {
 
 	engine, err := serve.New(models, serve.Config{
 		MaxBatch: *maxBatch, MaxWait: *maxWait, Replicas: *replicas,
-		CacheSize: *cacheSize, Seed: *seed, Source: source, Backend: *backend,
+		CacheSize: *cacheSize, QueueDepth: *queueLen, Shed: *shed,
+		Seed: *seed, Source: source, Backend: *backend,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -123,8 +132,12 @@ loop:
 				}
 				continue
 			}
-			fmt.Printf("\n%s: draining...\n", s)
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			// Flip readiness first so a health-gated router stops routing
+			// here, then drain under the -drain-timeout deadline: a stuck
+			// batch cannot hang shutdown forever.
+			fmt.Printf("\n%s: draining (deadline %s)...\n", s, *drainTO)
+			engine.SetDraining(true)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
 			defer cancel()
 			if err := srv.Shutdown(ctx); err != nil {
 				fmt.Fprintln(os.Stderr, "serve: shutdown:", err)

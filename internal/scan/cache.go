@@ -9,13 +9,14 @@ import (
 	"pragformer/internal/ckpt"
 )
 
-// The persistent scan cache maps normalized loop hashes to their verdicts,
-// making re-scans incremental: a warm scan of an unchanged tree performs
-// zero model forwards. The file is JSON with a small header; a version or
-// backend mismatch discards it (verdicts are not replayed across backends
-// — the label-agreement gate compares backends, it does not assume them
-// equal), and writes go through ckpt.WriteFileAtomic so an interrupted
-// scan never leaves a torn cache.
+// FileStore is the persistent scan cache behind the VerdictStore
+// interface: loop hashes to verdicts, making re-scans incremental — a
+// warm scan of an unchanged tree performs zero model forwards. The file
+// is JSON with a small header; a version, backend, or model-fingerprint
+// mismatch discards it at open (verdicts are not replayed across backends
+// or models — the label-agreement gate compares backends, it does not
+// assume them equal), and Flush goes through ckpt.WriteFileAtomic so an
+// interrupted scan never leaves a torn cache.
 
 // cacheVersion guards the on-disk layout. v2 added the tier, witness, S2S
 // and attribution evidence to Suggestion; v3 added the structured race
@@ -31,44 +32,75 @@ type cacheData struct {
 	Entries map[string]*Suggestion `json:"entries"`
 }
 
-// loadCache reads the cache at path. A missing file, an unreadable file, a
-// layout-version bump, or a backend/model mismatch all yield an empty
-// cache — stale caches cost a re-scan, never a wrong report.
-func loadCache(path, backend, modelID string) (map[string]*Suggestion, error) {
+// FileStore is a file-backed VerdictStore. Get/Put operate on the
+// in-memory entry set loaded at open; Flush persists the union of loaded
+// and freshly put verdicts.
+type FileStore struct {
+	path    string
+	backend string
+	modelID string
+	mem     *MemStore
+}
+
+var _ VerdictStore = (*FileStore)(nil)
+
+// OpenFileStore loads the cache at path. A missing file, an unreadable
+// file, a layout-version bump, or a backend/model mismatch all yield an
+// empty store — stale caches cost a re-scan, never a wrong report. An
+// empty path yields a store that Flush treats as a no-op (scan always has
+// a store to read through; only persistence is optional).
+func OpenFileStore(path, backend, modelID string) (*FileStore, error) {
+	fs := &FileStore{path: path, backend: backend, modelID: modelID, mem: NewMemStore()}
 	if path == "" {
-		return map[string]*Suggestion{}, nil
+		return fs, nil
 	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return map[string]*Suggestion{}, nil
+			return fs, nil
 		}
 		return nil, fmt.Errorf("scan: read cache: %w", err)
 	}
 	var cf cacheData
 	if err := json.Unmarshal(data, &cf); err != nil {
-		return map[string]*Suggestion{}, nil //nolint:nilerr // corrupt cache = cold cache
+		return fs, nil //nolint:nilerr // corrupt cache = cold cache
 	}
 	if cf.Version != cacheVersion || cf.Backend != backend || cf.Model != modelID || cf.Entries == nil {
-		return map[string]*Suggestion{}, nil
+		return fs, nil
 	}
-	return cf.Entries, nil
+	for h, s := range cf.Entries {
+		fs.mem.Put(h, s)
+	}
+	return fs, nil
 }
 
-// saveCache writes back the union of the loaded cache and this scan's
-// fresh verdicts. Loops that errored are left out so the next scan retries
-// them.
-func saveCache(path, backend, modelID string, cache map[string]*Suggestion, loops []*Loop) error {
-	if path == "" {
+// Get returns the stored verdict; the result is shared and must not be
+// mutated.
+func (fs *FileStore) Get(hash string) (*Suggestion, bool) { return fs.mem.Get(hash) }
+
+// Put stores a private copy of the verdict in memory; Flush persists it.
+func (fs *FileStore) Put(hash string, s *Suggestion) { fs.mem.Put(hash, s) }
+
+// Len reports the resident verdict count.
+func (fs *FileStore) Len() int { return fs.mem.Len() }
+
+// Flush atomically rewrites the cache file with every resident verdict.
+// A store opened with an empty path flushes nowhere.
+func (fs *FileStore) Flush() error {
+	if fs.path == "" {
 		return nil
 	}
-	for _, l := range loops {
-		if l.Suggestion != nil && l.Error == "" {
-			cache[l.Hash] = l.Suggestion
+	entries := make(map[string]*Suggestion)
+	for i := range fs.mem.shards {
+		sh := &fs.mem.shards[i]
+		sh.mu.RLock()
+		for h, s := range sh.m {
+			entries[h] = s
 		}
+		sh.mu.RUnlock()
 	}
-	cf := cacheData{Version: cacheVersion, Backend: backend, Model: modelID, Entries: cache}
-	err := ckpt.WriteFileAtomic(path, func(w io.Writer) error {
+	cf := cacheData{Version: cacheVersion, Backend: fs.backend, Model: fs.modelID, Entries: entries}
+	err := ckpt.WriteFileAtomic(fs.path, func(w io.Writer) error {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", " ")
 		return enc.Encode(cf)

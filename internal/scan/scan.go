@@ -45,6 +45,12 @@ type Config struct {
 	// hash appears in the cache skip inference entirely; a scan rewrites
 	// the file with every verdict it holds at the end. Empty disables.
 	CachePath string
+	// Store, when set, is the verdict store the scan reads through instead
+	// of a CachePath-backed FileStore — the serving tier hands every scan
+	// its shared fleet-wide store this way. The caller owns the store's
+	// (backend, model) namespace discipline; fresh verdicts are written
+	// back with Put. When Store is set, CachePath is ignored.
+	Store VerdictStore
 	// Backend names the compute backend the suggester runs on; recorded in
 	// the report and the cache header (a cache written by one backend is
 	// not replayed against another).
@@ -336,9 +342,17 @@ func run(
 	if sg == nil {
 		return nil, fmt.Errorf("scan: a suggester is required")
 	}
-	cache, err := loadCache(cfg.CachePath, cfg.Backend, cfg.ModelID)
-	if err != nil {
-		return nil, err
+	// Resolve the verdict store: an injected tier-wide store, or the
+	// per-scan file cache (empty CachePath = in-memory only, discarded).
+	store := cfg.Store
+	var fileStore *FileStore
+	if store == nil {
+		fs, err := OpenFileStore(cfg.CachePath, cfg.Backend, cfg.ModelID)
+		if err != nil {
+			return nil, err
+		}
+		fileStore = fs
+		store = fs
 	}
 
 	srcs := make(chan Source, cfg.Workers)
@@ -388,20 +402,11 @@ func run(
 			if ctx.Err() != nil {
 				continue // drain without inferring
 			}
-			items, err := suggestChunk(sg, chunk)
 			inferred += len(chunk)
-			if err != nil {
+			if err := suggestChunk(sg, chunk); err != nil {
 				for _, l := range chunk {
 					l.Error = err.Error()
 				}
-				continue
-			}
-			for i, l := range chunk {
-				if items[i].Err != nil {
-					l.Error = items[i].Err.Error()
-					continue
-				}
-				l.Suggestion = fromAdvisor(items[i].Suggestion)
 			}
 		}
 	}()
@@ -448,13 +453,13 @@ collect:
 			rep.Counters.Files++
 			for _, ol := range fo.loops {
 				rep.Counters.Loops++
-				h := hashSnippet(ol.snippet)
+				h := HashSnippet(ol.snippet)
 				l, seen := byHash[h]
 				if !seen {
 					l = &Loop{Hash: h, Snippet: ol.snippet, ast: ol.loop}
 					byHash[h] = l
 					loops = append(loops, l)
-					if hit, ok := cache[h]; ok {
+					if hit, ok := store.Get(h); ok {
 						l.Suggestion = hit.clone()
 						l.FromCache = true
 						l.queued = true
@@ -495,29 +500,90 @@ collect:
 	rep.Counters.Unique = len(loops)
 	rep.Counters.Inferred = inferred
 	finalize(rep, loops, cfg.IncludeAnnotated)
-	if err := saveCache(cfg.CachePath, cfg.Backend, cfg.ModelID, cache, loops); err != nil {
-		return nil, err
+	// Write fresh verdicts back through the store. Loops that errored are
+	// left out so the next scan retries them; finalize may have stripped a
+	// cached verdict off an annotated loop, which leaves the stored entry
+	// in place (the strip protects this report's bytes, not the store).
+	for _, l := range loops {
+		if l.Suggestion != nil && l.Error == "" && !l.FromCache {
+			store.Put(l.Hash, l.Suggestion)
+		}
+	}
+	if fileStore != nil {
+		if err := fileStore.Flush(); err != nil {
+			return nil, err
+		}
 	}
 	return rep, nil
 }
 
-// suggestChunk hands one chunk of unique loops to the suggester, threading
-// the already-parsed loop ASTs when the suggester can take them (the
-// in-process Models path); string-only suggesters (the serving engine's
-// batcher) re-parse inside corroboration instead.
-func suggestChunk(sg advisor.Suggester, chunk []*Loop) ([]advisor.BatchItem, error) {
+// Verdict is one snippet's outcome from a VerdictSuggester: either a
+// pre-flattened suggestion or a per-snippet error.
+type Verdict struct {
+	Suggestion *Suggestion
+	Err        error
+}
+
+// VerdictSuggester is the serving tier's entry point into the scan
+// pipeline: a suggester that returns verdicts already flattened to the
+// report form (the tier router decodes them from replica HTTP responses —
+// reconstructing advisor.Suggestion from the wire would be lossy).
+// suggestChunk prefers it over the advisor-native interfaces.
+type VerdictSuggester interface {
+	SuggestVerdicts(codes []string) ([]Verdict, error)
+}
+
+// suggestChunk hands one chunk of unique loops to the suggester and
+// settles each loop's Suggestion/Error, threading the already-parsed loop
+// ASTs when the suggester can take them (the in-process Models path);
+// string-only suggesters (the serving engine's batcher) re-parse inside
+// corroboration instead, and VerdictSuggesters (the tier router) return
+// flattened verdicts directly. The returned error is chunk-wide.
+func suggestChunk(sg advisor.Suggester, chunk []*Loop) error {
+	if vs, ok := sg.(VerdictSuggester); ok {
+		codes := make([]string, len(chunk))
+		for i, l := range chunk {
+			codes[i] = l.Snippet
+		}
+		verdicts, err := vs.SuggestVerdicts(codes)
+		if err != nil {
+			return err
+		}
+		for i, l := range chunk {
+			if verdicts[i].Err != nil {
+				l.Error = verdicts[i].Err.Error()
+				continue
+			}
+			l.Suggestion = verdicts[i].Suggestion
+		}
+		return nil
+	}
+	var items []advisor.BatchItem
+	var err error
 	if ss, ok := sg.(advisor.SnippetSuggester); ok {
 		snippets := make([]advisor.Snippet, len(chunk))
 		for i, l := range chunk {
 			snippets[i] = advisor.Snippet{Code: l.Snippet, Loop: l.ast}
 		}
-		return ss.SuggestSnippets(snippets)
+		items, err = ss.SuggestSnippets(snippets)
+	} else {
+		codes := make([]string, len(chunk))
+		for i, l := range chunk {
+			codes[i] = l.Snippet
+		}
+		items, err = sg.SuggestBatch(codes)
 	}
-	codes := make([]string, len(chunk))
+	if err != nil {
+		return err
+	}
 	for i, l := range chunk {
-		codes[i] = l.Snippet
+		if items[i].Err != nil {
+			l.Error = items[i].Err.Error()
+			continue
+		}
+		l.Suggestion = fromAdvisor(items[i].Suggestion)
 	}
-	return sg.SuggestBatch(codes)
+	return nil
 }
 
 // parseSource reads (if needed) and parses one file, extracting its loops.
@@ -567,10 +633,13 @@ func parseSource(src Source, cfg Config, rel func(string) string) fileOut {
 	return out
 }
 
-// hashSnippet is the normalized content hash: parsing and re-printing
-// canonicalizes formatting, so the hash collapses occurrences that differ
-// only in whitespace or brace style.
-func hashSnippet(snippet string) string {
+// HashSnippet is the normalized content hash over a canonically printed
+// loop: parsing and re-printing canonicalizes formatting, so the hash
+// collapses occurrences that differ only in whitespace or brace style.
+// It is the key of every VerdictStore and the serving tier's
+// consistent-hash routing key — one hash function end to end keeps each
+// replica's caches hot for the loops routed to it.
+func HashSnippet(snippet string) string {
 	sum := sha256.Sum256([]byte(snippet))
 	return hex.EncodeToString(sum[:])
 }

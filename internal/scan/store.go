@@ -1,0 +1,105 @@
+package scan
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// VerdictStore is the loop-verdict cache abstraction the scan pipeline
+// reads through: content hash (HashSnippet of the canonically printed
+// loop) to flattened Suggestion. PR 5 introduced the per-process file
+// cache; the serving tier graduates it into a shared store the whole
+// replica fleet reads through — at fleet scale most traffic hits loops
+// someone already scanned, and a verdict computed on any replica should
+// be returned everywhere without another forward.
+//
+// Implementations: MemStore (sharded in-memory map — the router's
+// tier-wide store) and FileStore (the persistent scan cache file).
+//
+// Callers own the namespace discipline: one store must only ever hold
+// verdicts of one (backend, model) pair, or the keys must encode that
+// pair. FileStore enforces it with its on-disk header; the router
+// prefixes keys with its fleet namespace.
+type VerdictStore interface {
+	// Get returns the stored verdict. The returned Suggestion is shared —
+	// callers must treat it as immutable (clone before mutating).
+	Get(hash string) (*Suggestion, bool)
+	// Put stores a verdict. The store keeps its own copy, so the caller
+	// may keep mutating s afterwards.
+	Put(hash string, s *Suggestion)
+	// Len reports the resident verdict count.
+	Len() int
+}
+
+// memShards is the MemStore shard count (power of two). Sharding keeps
+// the router's hot read path from serializing on one mutex.
+const memShards = 16
+
+// MemStore is a sharded in-memory VerdictStore, safe for concurrent use.
+type MemStore struct {
+	shards [memShards]memShard
+}
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[string]*Suggestion
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	s := &MemStore{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*Suggestion)
+	}
+	return s
+}
+
+func (s *MemStore) shard(hash string) *memShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(hash))
+	return &s.shards[h.Sum32()&(memShards-1)]
+}
+
+// Get returns the stored verdict; the result is shared and must not be
+// mutated.
+func (s *MemStore) Get(hash string) (*Suggestion, bool) {
+	sh := s.shard(hash)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	v, ok := sh.m[hash]
+	return v, ok
+}
+
+// Put stores a private copy of the verdict. Nil suggestions are ignored.
+func (s *MemStore) Put(hash string, v *Suggestion) {
+	if v == nil {
+		return
+	}
+	c := v.clone()
+	sh := s.shard(hash)
+	sh.mu.Lock()
+	sh.m[hash] = c
+	sh.mu.Unlock()
+}
+
+// Len reports the resident verdict count across all shards.
+func (s *MemStore) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Reset empties the store — the router rotates its store this way after a
+// rolling reload, so one model generation's verdicts never answer for the
+// next.
+func (s *MemStore) Reset() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		clear(s.shards[i].m)
+		s.shards[i].mu.Unlock()
+	}
+}

@@ -1,0 +1,107 @@
+package scan
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pragformer/internal/advisor"
+)
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	v := &Suggestion{Parallelize: true, Directive: "#pragma omp parallel for", Witness: []string{"w"}}
+	s.Put("h1", v)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	got, ok := s.Get("h1")
+	if !ok || !got.Parallelize || got.Directive != v.Directive {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	// Put stores a private copy: mutating the original must not reach the
+	// stored verdict.
+	v.Witness[0] = "mutated"
+	got, _ = s.Get("h1")
+	if got.Witness[0] != "w" {
+		t.Fatal("stored verdict aliases the caller's slice")
+	}
+	// Nil puts are ignored.
+	s.Put("h2", nil)
+	if s.Len() != 1 {
+		t.Fatal("nil Put changed the store")
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("Reset left verdicts behind")
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	s := NewMemStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := HashSnippet(string(rune('a'+w)) + string(rune(i)))
+				s.Put(h, &Suggestion{Parallelize: true})
+				s.Get(h)
+				s.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// A caller-supplied store must win over CachePath and collect the scan's
+// verdicts — the router's shared-store injection point.
+func TestScanConfigStoreInjection(t *testing.T) {
+	store := NewMemStore()
+	srcs := []Source{{Path: "a.c", Data: []byte(
+		"void f(int *a, int n) { for (int i = 0; i < n; i++) a[i] = i; }\n")}}
+	cfg := Config{
+		Workers: 2,
+		Store:   store,
+		// CachePath must be ignored when Store is set: point it somewhere
+		// unwritable to prove no file I/O happens.
+		CachePath: filepath.Join(t.TempDir(), "no", "such", "dir", "cache.json"),
+	}
+	rep, err := Files(context.Background(), srcs, cfg, &stubSuggester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Loops) != 1 || rep.Loops[0].Suggestion == nil {
+		t.Fatalf("scan did not produce a verdict: %+v", rep.Loops)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store holds %d verdicts, want 1", store.Len())
+	}
+	if rep.Loops[0].FromCache {
+		t.Fatal("cold scan claimed a cache hit")
+	}
+
+	// Second scan through the same store: pure replay, marked FromCache.
+	rep2, err := Files(context.Background(), srcs, cfg, failingSuggester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Loops[0].FromCache {
+		t.Fatal("warm scan did not read through the injected store")
+	}
+	if rep2.Counters.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", rep2.Counters.CacheHits)
+	}
+}
+
+// failingSuggester proves the warm path never reaches inference.
+type failingSuggester struct{}
+
+func (failingSuggester) SuggestBatch([]string) ([]advisor.BatchItem, error) {
+	panic("warm scan must not call the suggester")
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The batcher is the engine's composable coalescing unit: one dispatcher
+// goroutine collects calls of one kind into batches, a worker per replica
+// run function executes them, and an LRU short-circuits repeats. The
+// serving tier's router composes the same signals the batcher exports —
+// queue depth, in-flight count, shed counter — into fleet-wide admission
+// control.
+
+// call is one queued request.
+type call[P any, K comparable, R any] struct {
+	payload P
+	key     K
+	res     chan R // buffered(1): the worker never blocks delivering
+}
+
+// runSet is one immutable generation of per-replica run functions. A hot
+// reload publishes a fresh runSet through the batcher's atomic pointer;
+// workers snapshot the set once per batch, so an in-flight batch finishes
+// on the model it started with while the next batch picks up the swap.
+type runSet[P any, R any] struct {
+	gen  uint64
+	runs []func([]P) []R
+}
+
+// batcher coalesces calls of one kind and fans batches across workers.
+type batcher[P any, K comparable, R any] struct {
+	queue    chan *call[P, K, R]
+	work     chan []*call[P, K, R]
+	cache    *lru[K, R]
+	cur      atomic.Pointer[runSet[P, R]]
+	maxBatch int
+	maxWait  time.Duration
+	shed     bool
+	done     chan struct{}
+	wg       *sync.WaitGroup
+
+	requests  atomic.Uint64
+	cacheHits atomic.Uint64
+	batches   atomic.Uint64
+	items     atomic.Uint64
+	sheds     atomic.Uint64
+	inflight  atomic.Int64
+}
+
+// newBatcher starts one dispatcher plus one worker per run function; all
+// goroutines exit when done closes. queueDepth caps the request queue —
+// the backpressure point: when shed is set, a full queue fails fast with
+// ErrSaturated instead of blocking the caller.
+func newBatcher[P any, K comparable, R any](
+	maxBatch int, maxWait time.Duration, cacheSize, queueDepth int, shed bool,
+	runs []func([]P) []R, done chan struct{}, wg *sync.WaitGroup,
+) *batcher[P, K, R] {
+	if queueDepth <= 0 {
+		queueDepth = maxBatch * len(runs)
+	}
+	b := &batcher[P, K, R]{
+		queue:    make(chan *call[P, K, R], queueDepth),
+		work:     make(chan []*call[P, K, R]),
+		cache:    newLRU[K, R](cacheSize),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		shed:     shed,
+		done:     done,
+		wg:       wg,
+	}
+	b.cur.Store(&runSet[P, R]{runs: runs}) // generation 0, matching the cache
+	wg.Add(1 + len(runs))
+	go b.dispatch()
+	for r := range runs {
+		go b.worker(r)
+	}
+	return b
+}
+
+// setRuns atomically swaps in a new generation of run functions and rolls
+// the cache. The slice length must equal the worker count fixed at
+// construction; callers serialize swaps (Engine.reloadMu).
+func (b *batcher[P, K, R]) setRuns(runs []func([]P) []R) {
+	next := &runSet[P, R]{gen: b.cur.Load().gen + 1, runs: runs}
+	b.cur.Store(next)
+	b.cache.reset(next.gen)
+}
+
+// dispatch coalesces queued calls into batches: the first call opens a
+// window that closes at MaxBatch calls or after MaxWait, whichever first.
+func (b *batcher[P, K, R]) dispatch() {
+	defer b.wg.Done()
+	for {
+		var first *call[P, K, R]
+		select {
+		case first = <-b.queue:
+		case <-b.done:
+			return
+		}
+		batch := append(make([]*call[P, K, R], 0, b.maxBatch), first)
+		timer := time.NewTimer(b.maxWait)
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case c := <-b.queue:
+				batch = append(batch, c)
+			case <-timer.C:
+				break fill
+			case <-b.done:
+				timer.Stop()
+				return
+			}
+		}
+		timer.Stop()
+		select {
+		case b.work <- batch:
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// worker executes batches with replica r's current run function and
+// delivers per-call results. The runSet is snapshotted once per batch:
+// results are cached under the snapshot's generation, so a batch that
+// raced a reload cannot write stale results into the fresh cache.
+func (b *batcher[P, K, R]) worker(r int) {
+	defer b.wg.Done()
+	for {
+		select {
+		case batch := <-b.work:
+			rs := b.cur.Load()
+			payloads := make([]P, len(batch))
+			for i, c := range batch {
+				payloads[i] = c.payload
+			}
+			results := rs.runs[r](payloads)
+			b.batches.Add(1)
+			b.items.Add(uint64(len(batch)))
+			for i, c := range batch {
+				b.cache.put(c.key, results[i], rs.gen)
+				c.res <- results[i]
+			}
+		case <-b.done:
+			return
+		}
+	}
+}
+
+// do submits one request and blocks for its result, the cache, ctx
+// cancellation, or engine close. In shed mode a full queue returns
+// ErrSaturated immediately — the engine's admission-control contract:
+// callers (the HTTP layer, the tier router) translate it into 429 +
+// Retry-After instead of letting latency collapse under overload.
+func (b *batcher[P, K, R]) do(ctx context.Context, payload P, key K) (R, error) {
+	var zero R
+	b.requests.Add(1)
+	if r, ok := b.cache.get(key); ok {
+		b.cacheHits.Add(1)
+		return r, nil
+	}
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
+	c := &call[P, K, R]{payload: payload, key: key, res: make(chan R, 1)}
+	if b.shed {
+		select {
+		case b.queue <- c:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		case <-b.done:
+			return zero, ErrClosed
+		default:
+			b.sheds.Add(1)
+			return zero, ErrSaturated
+		}
+	} else {
+		select {
+		case b.queue <- c:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		case <-b.done:
+			return zero, ErrClosed
+		}
+	}
+	select {
+	case r := <-c.res:
+		return r, nil
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-b.done:
+		// A worker may have delivered concurrently with Close.
+		select {
+		case r := <-c.res:
+			return r, nil
+		default:
+			return zero, ErrClosed
+		}
+	}
+}
+
+func (b *batcher[P, K, R]) stats() PathStats {
+	return PathStats{
+		Requests:   b.requests.Load(),
+		CacheHits:  b.cacheHits.Load(),
+		Batches:    b.batches.Load(),
+		Items:      b.items.Load(),
+		Sheds:      b.sheds.Load(),
+		QueueDepth: len(b.queue),
+		InFlight:   int(b.inflight.Load()),
+	}
+}

@@ -37,6 +37,11 @@ import (
 // ErrClosed is returned by engine calls after Close.
 var ErrClosed = errors.New("serve: engine closed")
 
+// ErrSaturated is returned (in shed mode) when the batcher queue is full:
+// the engine is refusing work it could only serve with collapsed latency.
+// HTTP layers translate it into 429 + Retry-After.
+var ErrSaturated = errors.New("serve: queue saturated")
+
 // Config tunes the engine. Zero values take the documented defaults.
 type Config struct {
 	// MaxBatch is the largest coalesced batch (default 16).
@@ -52,6 +57,15 @@ type Config struct {
 	// CacheSize is the per-path LRU capacity in entries (default 1024;
 	// negative disables caching).
 	CacheSize int
+	// QueueDepth caps each batcher's request queue (default
+	// MaxBatch*Replicas). With Shed set it is the admission-control knob:
+	// requests past the cap fail fast instead of stacking up.
+	QueueDepth int
+	// Shed makes a full queue return ErrSaturated instead of blocking the
+	// caller — load shedding for the HTTP layer (429 + Retry-After) and
+	// the tier router's admission signal. Off by default: library callers
+	// keep the backpressure-by-blocking contract.
+	Shed bool
 	// Seed derives replica clone seeds (inference never draws from them,
 	// but clones reseed their dropout streams).
 	Seed int64
@@ -85,12 +99,21 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// PathStats counts one request kind's traffic.
+// PathStats counts one request kind's traffic. QueueDepth and InFlight
+// are point-in-time admission signals (everything else is monotonic):
+// the tier router polls them through GET /statz to decide where the next
+// request can still land.
 type PathStats struct {
 	Requests  uint64 // calls accepted
 	CacheHits uint64 // answered from the LRU without queueing
 	Batches   uint64 // coalesced batches executed
 	Items     uint64 // requests carried by those batches
+	Sheds     uint64 // requests refused with ErrSaturated (shed mode)
+	// QueueDepth is the number of requests waiting in the batcher queue
+	// right now; InFlight counts admitted requests not yet answered
+	// (queued or inside a running batch).
+	QueueDepth int
+	InFlight   int
 }
 
 // AvgBatch is the mean coalesced batch size.
@@ -99,6 +122,14 @@ func (s PathStats) AvgBatch() float64 {
 		return 0
 	}
 	return float64(s.Items) / float64(s.Batches)
+}
+
+// HitRate is the fraction of requests answered from the LRU.
+func (s PathStats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Requests)
 }
 
 // Stats is a point-in-time snapshot of engine counters.
@@ -113,175 +144,12 @@ type Stats struct {
 	// Backend names the compute backend of the served directive classifier
 	// ("float64" | "int8").
 	Backend string
-}
-
-// call is one queued request.
-type call[P any, K comparable, R any] struct {
-	payload P
-	key     K
-	res     chan R // buffered(1): the worker never blocks delivering
-}
-
-// runSet is one immutable generation of per-replica run functions. A hot
-// reload publishes a fresh runSet through the batcher's atomic pointer;
-// workers snapshot the set once per batch, so an in-flight batch finishes
-// on the model it started with while the next batch picks up the swap.
-type runSet[P any, R any] struct {
-	gen  uint64
-	runs []func([]P) []R
-}
-
-// batcher coalesces calls of one kind and fans batches across workers.
-type batcher[P any, K comparable, R any] struct {
-	queue    chan *call[P, K, R]
-	work     chan []*call[P, K, R]
-	cache    *lru[K, R]
-	cur      atomic.Pointer[runSet[P, R]]
-	maxBatch int
-	maxWait  time.Duration
-	done     chan struct{}
-	wg       *sync.WaitGroup
-
-	requests  atomic.Uint64
-	cacheHits atomic.Uint64
-	batches   atomic.Uint64
-	items     atomic.Uint64
-}
-
-// newBatcher starts one dispatcher plus one worker per run function; all
-// goroutines exit when done closes.
-func newBatcher[P any, K comparable, R any](
-	maxBatch int, maxWait time.Duration, cacheSize int,
-	runs []func([]P) []R, done chan struct{}, wg *sync.WaitGroup,
-) *batcher[P, K, R] {
-	b := &batcher[P, K, R]{
-		queue:    make(chan *call[P, K, R], maxBatch*len(runs)),
-		work:     make(chan []*call[P, K, R]),
-		cache:    newLRU[K, R](cacheSize),
-		maxBatch: maxBatch,
-		maxWait:  maxWait,
-		done:     done,
-		wg:       wg,
-	}
-	b.cur.Store(&runSet[P, R]{runs: runs}) // generation 0, matching the cache
-	wg.Add(1 + len(runs))
-	go b.dispatch()
-	for r := range runs {
-		go b.worker(r)
-	}
-	return b
-}
-
-// setRuns atomically swaps in a new generation of run functions and rolls
-// the cache. The slice length must equal the worker count fixed at
-// construction; callers serialize swaps (Engine.reloadMu).
-func (b *batcher[P, K, R]) setRuns(runs []func([]P) []R) {
-	next := &runSet[P, R]{gen: b.cur.Load().gen + 1, runs: runs}
-	b.cur.Store(next)
-	b.cache.reset(next.gen)
-}
-
-// dispatch coalesces queued calls into batches: the first call opens a
-// window that closes at MaxBatch calls or after MaxWait, whichever first.
-func (b *batcher[P, K, R]) dispatch() {
-	defer b.wg.Done()
-	for {
-		var first *call[P, K, R]
-		select {
-		case first = <-b.queue:
-		case <-b.done:
-			return
-		}
-		batch := append(make([]*call[P, K, R], 0, b.maxBatch), first)
-		timer := time.NewTimer(b.maxWait)
-	fill:
-		for len(batch) < b.maxBatch {
-			select {
-			case c := <-b.queue:
-				batch = append(batch, c)
-			case <-timer.C:
-				break fill
-			case <-b.done:
-				timer.Stop()
-				return
-			}
-		}
-		timer.Stop()
-		select {
-		case b.work <- batch:
-		case <-b.done:
-			return
-		}
-	}
-}
-
-// worker executes batches with replica r's current run function and
-// delivers per-call results. The runSet is snapshotted once per batch:
-// results are cached under the snapshot's generation, so a batch that
-// raced a reload cannot write stale results into the fresh cache.
-func (b *batcher[P, K, R]) worker(r int) {
-	defer b.wg.Done()
-	for {
-		select {
-		case batch := <-b.work:
-			rs := b.cur.Load()
-			payloads := make([]P, len(batch))
-			for i, c := range batch {
-				payloads[i] = c.payload
-			}
-			results := rs.runs[r](payloads)
-			b.batches.Add(1)
-			b.items.Add(uint64(len(batch)))
-			for i, c := range batch {
-				b.cache.put(c.key, results[i], rs.gen)
-				c.res <- results[i]
-			}
-		case <-b.done:
-			return
-		}
-	}
-}
-
-// do submits one request and blocks for its result, the cache, ctx
-// cancellation, or engine close.
-func (b *batcher[P, K, R]) do(ctx context.Context, payload P, key K) (R, error) {
-	var zero R
-	b.requests.Add(1)
-	if r, ok := b.cache.get(key); ok {
-		b.cacheHits.Add(1)
-		return r, nil
-	}
-	c := &call[P, K, R]{payload: payload, key: key, res: make(chan R, 1)}
-	select {
-	case b.queue <- c:
-	case <-ctx.Done():
-		return zero, ctx.Err()
-	case <-b.done:
-		return zero, ErrClosed
-	}
-	select {
-	case r := <-c.res:
-		return r, nil
-	case <-ctx.Done():
-		return zero, ctx.Err()
-	case <-b.done:
-		// A worker may have delivered concurrently with Close.
-		select {
-		case r := <-c.res:
-			return r, nil
-		default:
-			return zero, ErrClosed
-		}
-	}
-}
-
-func (b *batcher[P, K, R]) stats() PathStats {
-	return PathStats{
-		Requests:  b.requests.Load(),
-		CacheHits: b.cacheHits.Load(),
-		Batches:   b.batches.Load(),
-		Items:     b.items.Load(),
-	}
+	// Draining reports the engine is being taken out of rotation (set by
+	// SetDraining ahead of process shutdown); Reloading reports a hot swap
+	// is in progress. Both gate GET /readyz — the router routes neither
+	// new traffic nor health-probe credit to a draining replica.
+	Draining  bool
+	Reloading bool
 }
 
 // suggestOut is the per-snippet suggest outcome carried through the
@@ -303,6 +171,12 @@ type Engine struct {
 
 	reloadMu sync.Mutex // serializes Reload swaps
 	reloads  atomic.Uint64
+
+	// draining marks the engine as being taken out of rotation (process
+	// shutdown imminent); reloading marks a hot swap in progress. Both are
+	// surfaced by Stats and gate GET /readyz.
+	draining  atomic.Bool
+	reloading atomic.Bool
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -326,9 +200,11 @@ func New(models *advisor.Models, cfg Config) (*Engine, error) {
 
 	predictRuns, suggestRuns := e.buildRuns(models)
 	e.predict = newBatcher[[]int, string, float64](
-		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, predictRuns, e.done, &e.wg)
+		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.QueueDepth, cfg.Shed,
+		predictRuns, e.done, &e.wg)
 	e.suggest = newBatcher[string, string, suggestOut](
-		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, suggestRuns, e.done, &e.wg)
+		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.QueueDepth, cfg.Shed,
+		suggestRuns, e.done, &e.wg)
 	return e, nil
 }
 
@@ -431,6 +307,11 @@ func (e *Engine) Reload(models *advisor.Models) error {
 		return ErrClosed
 	default:
 	}
+	// Readiness flips for the duration of the swap so a health-gated
+	// rollout (the tier router's rolling reload) can hold new traffic
+	// until the fresh generation is serving.
+	e.reloading.Store(true)
+	defer e.reloading.Store(false)
 	predictRuns, suggestRuns := e.buildRuns(models)
 	e.models.Store(models)
 	e.predict.setRuns(predictRuns)
@@ -438,6 +319,15 @@ func (e *Engine) Reload(models *advisor.Models) error {
 	e.reloads.Add(1)
 	return nil
 }
+
+// SetDraining marks (or unmarks) the engine as draining: GET /readyz
+// reports not-ready so routers stop sending new traffic, while in-flight
+// and queued requests keep being served. cmd/serve sets it on SIGTERM
+// before the HTTP server's graceful shutdown begins.
+func (e *Engine) SetDraining(v bool) { e.draining.Store(v) }
+
+// Draining reports whether SetDraining(true) is in effect.
+func (e *Engine) Draining() bool { return e.draining.Load() }
 
 // ReloadFromSource reloads from cfg.Source — the POST /reload and SIGHUP
 // entry point.
@@ -520,6 +410,8 @@ func (e *Engine) Stats() Stats {
 		Reloads:    e.reloads.Load(),
 		Generation: e.predict.cur.Load().gen,
 		Backend:    e.models.Load().Directive.BackendName(),
+		Draining:   e.draining.Load(),
+		Reloading:  e.reloading.Load(),
 	}
 }
 

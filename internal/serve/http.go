@@ -2,9 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"pragformer/internal/dep"
 	"pragformer/internal/tokenize"
@@ -16,12 +18,16 @@ import (
 //	POST /suggest {"code": "..."} | {"codes": [...]}
 //	POST /scan    {"files": [{"path": "a.c", "source": "..."}], "format": "json"|"sarif"}
 //	POST /reload  (empty body — hot-swaps models from the configured source)
-//	GET  /healthz
+//	GET  /healthz (liveness: the process is up and serving)
+//	GET  /readyz  (readiness: 503 while draining or mid-reload)
+//	GET  /statz   (admission signals: queue depth, in-flight, hit rates)
 //
 // Multi-item requests fan out concurrently into the engine, so one HTTP
 // batch coalesces into batched forwards the same way concurrent clients
 // do. Per-item failures (unlexable snippets) are reported inline; the
-// request itself fails only on malformed JSON or transport-level problems.
+// request itself fails only on malformed JSON or transport-level problems
+// — or saturation: when every item of a request was shed (Config.Shed),
+// the response is 429 with a Retry-After header instead of a result list.
 
 // predictRequest is the /predict body. Exactly one field population makes
 // sense: code, codes, or ids.
@@ -58,11 +64,21 @@ type suggestResult struct {
 	// privatization or reduction recognition.
 	Races     []dep.Witness `json:"races,omitempty"`
 	Converted []string      `json:"converted,omitempty"`
+	// S2S carries the per-compiler corroboration trail.
+	S2S []suggestS2S `json:"s2s,omitempty"`
 	// Attributions carries the LIME token attribution computed for
 	// disagreeing verdicts, in token order.
 	Attributions []suggestAttribution `json:"attributions,omitempty"`
 	Notes        []string             `json:"notes,omitempty"`
 	Error        string               `json:"error,omitempty"`
+}
+
+// suggestS2S is one S2S compiler's verdict in a /suggest response.
+type suggestS2S struct {
+	Compiler     string `json:"compiler"`
+	Compiled     bool   `json:"compiled"`
+	Parallelized bool   `json:"parallelized,omitempty"`
+	Detail       string `json:"detail,omitempty"`
 }
 
 // suggestAttribution is one token's LIME weight in a /suggest response.
@@ -91,6 +107,8 @@ func (e *Engine) Handler() http.Handler {
 	mux.HandleFunc("POST /scan", e.handleScan)
 	mux.HandleFunc("POST /reload", e.handleReload)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
+	mux.HandleFunc("GET /readyz", e.handleReadyz)
+	mux.HandleFunc("GET /statz", e.handleStatz)
 	return mux
 }
 
@@ -134,10 +152,14 @@ func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]predictResult, len(codes)+len(req.IDs))
 	var wg sync.WaitGroup
+	var sheds atomic.Int64
 	predictIDs := func(out *predictResult, ids []int) {
 		defer wg.Done()
 		p, err := e.Predict(r.Context(), ids)
 		if err != nil {
+			if errors.Is(err, ErrSaturated) {
+				sheds.Add(1)
+			}
 			out.Error = err.Error()
 			return
 		}
@@ -162,7 +184,23 @@ func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
 		go predictIDs(&results[len(codes)+j], ids)
 	}
 	wg.Wait()
+	if shedEntirely(int(sheds.Load()), len(results)) {
+		shedResponse(w)
+		return
+	}
 	writeJSON(w, map[string]any{"results": results})
+}
+
+// shedEntirely reports a request every item of which was refused for
+// saturation — the only case that turns into a whole-request 429 (mixed
+// outcomes keep the inline per-item error contract).
+func shedEntirely(sheds, total int) bool { return total > 0 && sheds == total }
+
+// shedResponse is the load-shedding reply: 429 with a Retry-After hint
+// sized to a couple of batching windows.
+func shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, "queue saturated, retry later")
 }
 
 func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
@@ -177,12 +215,16 @@ func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([]suggestResult, len(codes))
 	var wg sync.WaitGroup
+	var sheds atomic.Int64
 	for i, code := range codes {
 		wg.Add(1)
 		go func(out *suggestResult, code string) {
 			defer wg.Done()
 			s, err := e.Suggest(r.Context(), code)
 			if err != nil {
+				if errors.Is(err, ErrSaturated) {
+					sheds.Add(1)
+				}
 				out.Error = err.Error()
 				return
 			}
@@ -192,6 +234,11 @@ func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			out.Witness = s.Corroboration.DepWitness
 			out.Races = s.Corroboration.Races
 			out.Converted = s.Corroboration.Converted
+			for _, v := range s.Corroboration.S2S {
+				out.S2S = append(out.S2S, suggestS2S{
+					Compiler: v.Compiler, Compiled: v.Compiled,
+					Parallelized: v.Parallelized, Detail: v.Detail})
+			}
 			for _, a := range s.Attributions {
 				out.Attributions = append(out.Attributions,
 					suggestAttribution{Index: a.Index, Token: a.Token, Weight: a.Weight})
@@ -203,6 +250,10 @@ func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		}(&results[i], code)
 	}
 	wg.Wait()
+	if shedEntirely(int(sheds.Load()), len(results)) {
+		shedResponse(w)
+		return
+	}
 	writeJSON(w, map[string]any{"results": results})
 }
 
@@ -224,6 +275,77 @@ func (e *Engine) handleReload(w http.ResponseWriter, _ *http.Request) {
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	st := e.Stats()
 	writeJSON(w, healthzResponse{Status: "ok", Backend: st.Backend, Generation: st.Generation, Stats: st})
+}
+
+// readyzResponse is the /readyz body: Ready false (with a 503) while the
+// engine is draining toward shutdown or mid-reload. Liveness (/healthz)
+// stays 200 the whole time — the process is fine, it just should not
+// receive new traffic.
+type readyzResponse struct {
+	Ready      bool   `json:"ready"`
+	State      string `json:"state"` // "ok" | "draining" | "reloading"
+	Backend    string `json:"backend"`
+	Generation uint64 `json:"generation"`
+}
+
+func (e *Engine) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st := e.Stats()
+	resp := readyzResponse{Ready: true, State: "ok", Backend: st.Backend, Generation: st.Generation}
+	switch {
+	case st.Draining:
+		resp.Ready, resp.State = false, "draining"
+	case st.Reloading:
+		resp.Ready, resp.State = false, "reloading"
+	}
+	if !resp.Ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// statzResponse is the /statz body — the admission signal the tier router
+// polls: per-path queue depth and in-flight counts next to the monotonic
+// counters, plus derived rates probes would otherwise recompute.
+type statzResponse struct {
+	Backend    string    `json:"backend"`
+	Generation uint64    `json:"generation"`
+	Draining   bool      `json:"draining"`
+	Reloading  bool      `json:"reloading"`
+	Reloads    uint64    `json:"reloads"`
+	Predict    pathStatz `json:"predict"`
+	Suggest    pathStatz `json:"suggest"`
+}
+
+type pathStatz struct {
+	Requests   uint64  `json:"requests"`
+	CacheHits  uint64  `json:"cache_hits"`
+	Batches    uint64  `json:"batches"`
+	Items      uint64  `json:"items"`
+	Sheds      uint64  `json:"sheds"`
+	QueueDepth int     `json:"queue_depth"`
+	InFlight   int     `json:"in_flight"`
+	AvgBatch   float64 `json:"avg_batch"`
+	HitRate    float64 `json:"hit_rate"`
+}
+
+func toPathStatz(s PathStats) pathStatz {
+	return pathStatz{
+		Requests: s.Requests, CacheHits: s.CacheHits, Batches: s.Batches,
+		Items: s.Items, Sheds: s.Sheds, QueueDepth: s.QueueDepth,
+		InFlight: s.InFlight, AvgBatch: s.AvgBatch(), HitRate: s.HitRate(),
+	}
+}
+
+func (e *Engine) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	st := e.Stats()
+	writeJSON(w, statzResponse{
+		Backend: st.Backend, Generation: st.Generation,
+		Draining: st.Draining, Reloading: st.Reloading, Reloads: st.Reloads,
+		Predict: toPathStatz(st.Predict), Suggest: toPathStatz(st.Suggest),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

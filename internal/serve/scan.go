@@ -33,6 +33,10 @@ type scanRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// IncludeAnnotated also advises loops that already carry a pragma.
 	IncludeAnnotated bool `json:"include_annotated,omitempty"`
+	// Stable strips run-dependent fields (probabilities, backend, cache
+	// counters) like `pragformer scan -stable` — what golden comparisons
+	// and the tier CI smoke diff against.
+	Stable bool `json:"stable,omitempty"`
 }
 
 // scanFile is one in-memory source file.
@@ -117,6 +121,9 @@ func (e *Engine) handleScan(w http.ResponseWriter, r *http.Request) {
 		}
 		httpError(w, status, err.Error())
 		return
+	}
+	if req.Stable {
+		rep = rep.Stable()
 	}
 	var out []byte
 	if req.Format == "sarif" {

@@ -1,0 +1,136 @@
+package tier
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+)
+
+// replica is the router's view of one cmd/serve process: its health
+// state, the router-side in-flight count (the bounded-load signal), and
+// the last admission stats polled from GET /statz.
+//
+// State machine: healthy ⇄ draining (rolling reload only) and healthy →
+// ejected (FailThreshold consecutive failures) → healthy (successful
+// re-probe). Draining replicas are skipped by the ring walk but still
+// finish their in-flight requests; ejected replicas receive no traffic
+// until a background probe readmits them.
+
+type replicaState int32
+
+const (
+	stateHealthy replicaState = iota
+	stateDraining
+	stateEjected
+)
+
+func (s replicaState) String() string {
+	switch s {
+	case stateHealthy:
+		return "healthy"
+	case stateDraining:
+		return "draining"
+	case stateEjected:
+		return "ejected"
+	}
+	return "unknown"
+}
+
+type replica struct {
+	name  string // base URL, also the ring identity
+	state atomic.Int32
+
+	// inflight counts requests the router has forwarded here and not yet
+	// seen answered — the bounded-load accounting.
+	inflight atomic.Int64
+	// fails counts consecutive forward/probe failures toward ejection.
+	fails atomic.Int32
+
+	// Signals from the last successful /statz poll.
+	generation atomic.Uint64
+	queueDepth atomic.Int64 // predict + suggest queue depth
+	backend    atomic.Pointer[string]
+	ready      atomic.Bool
+}
+
+func newReplica(name string) *replica {
+	r := &replica{name: name}
+	empty := ""
+	r.backend.Store(&empty)
+	r.ready.Store(true) // optimistic until the first probe says otherwise
+	return r
+}
+
+func (r *replica) getState() replicaState  { return replicaState(r.state.Load()) }
+func (r *replica) setState(s replicaState) { r.state.Store(int32(s)) }
+
+// routable reports whether the ring walk may hand this replica traffic.
+func (r *replica) routable() bool { return r.getState() == stateHealthy }
+
+// replicaStatz mirrors the serve /statz body (the fields the router
+// consumes; unknown fields are ignored).
+type replicaStatz struct {
+	Backend    string `json:"backend"`
+	Generation uint64 `json:"generation"`
+	Draining   bool   `json:"draining"`
+	Reloading  bool   `json:"reloading"`
+	Predict    struct {
+		QueueDepth int    `json:"queue_depth"`
+		InFlight   int    `json:"in_flight"`
+		Sheds      uint64 `json:"sheds"`
+	} `json:"predict"`
+	Suggest struct {
+		QueueDepth int    `json:"queue_depth"`
+		InFlight   int    `json:"in_flight"`
+		Sheds      uint64 `json:"sheds"`
+	} `json:"suggest"`
+}
+
+// probeStatz polls GET /statz and refreshes the replica's admission
+// signals. It does not change the health state — the caller decides what
+// a success or failure means (ejection, readmission, backoff).
+func (r *replica) probeStatz(ctx context.Context, client *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.name+"/statz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("statz: %s", resp.Status)
+	}
+	var st replicaStatz
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return err
+	}
+	r.generation.Store(st.Generation)
+	r.queueDepth.Store(int64(st.Predict.QueueDepth + st.Suggest.QueueDepth))
+	b := st.Backend
+	r.backend.Store(&b)
+	r.ready.Store(!st.Draining && !st.Reloading)
+	return nil
+}
+
+// probeReady polls GET /readyz; nil means the replica reports ready.
+func (r *replica) probeReady(ctx context.Context, client *http.Client) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.name+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package tier
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// The consistent-hash ring maps loop content hashes to replicas. Each
+// replica owns VNodes points on a uint64 ring; a key routes to the first
+// point clockwise from its own position. The properties the tier needs:
+//
+//   - Stability: adding or removing one replica moves only the keys that
+//     replica's arcs cover (~1/N of the keyspace), so the other replicas'
+//     LRU and verdict caches stay hot through fleet changes.
+//   - Affinity: the routing key is the same sha-256 canonical-print hash
+//     the scan cache uses (scan.HashSnippet), so every request for one
+//     loop lands on one replica and its caches answer repeats.
+//
+// The walk order additionally gives each key a deterministic fallback
+// sequence: when the owner is unhealthy or saturated (bounded-load
+// check in Router.pick), the key spills to the next distinct replica
+// clockwise — still deterministic, still cache-friendly.
+
+// ring is an immutable consistent-hash ring. Routers rebuild it only at
+// construction; health is overlaid at lookup time via the walk order.
+type ring struct {
+	points []ringPoint // sorted by h
+	names  []string    // distinct replica names
+}
+
+type ringPoint struct {
+	h    uint64
+	name string
+}
+
+// newRing places vnodes points per name. Placement hashes are sha-256 of
+// "name#i" — stable across processes, so every router instance agrees on
+// the mapping.
+func newRing(names []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{names: append([]string(nil), names...)}
+	for _, name := range r.names {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{h: hashString(name + "#" + strconv.Itoa(i)), name: name})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.points[i].name < r.points[j].name
+	})
+	return r
+}
+
+// hashString is the ring's placement hash.
+func hashString(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyPoint positions a routing key on the ring. Keys are normally 64-char
+// hex sha-256 digests (scan.HashSnippet), whose leading 16 hex digits ARE
+// a uniform uint64 — no second hash needed; anything else is hashed.
+func keyPoint(key string) uint64 {
+	if len(key) >= 16 {
+		if v, err := strconv.ParseUint(key[:16], 16, 64); err == nil {
+			return v
+		}
+	}
+	return hashString(key)
+}
+
+// owner returns the key's primary replica name ("" on an empty ring).
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := keyPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].name
+}
+
+// walk returns every replica name in ring order starting at the key's
+// position, each exactly once: the primary first, then the bounded-load
+// and failure spill sequence.
+func (r *ring) walk(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := keyPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]string, 0, len(r.names))
+	seen := make(map[string]bool, len(r.names))
+	for i := 0; i < len(r.points) && len(out) < len(r.names); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.name] {
+			seen[p.name] = true
+			out = append(out, p.name)
+		}
+	}
+	return out
+}

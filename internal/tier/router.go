@@ -1,0 +1,818 @@
+// Package tier is the sharded serving tier over cmd/serve replicas: a
+// consistent-hash router with bounded-load spill, per-replica and
+// per-client admission control, a shared read-through verdict store, and
+// health-gated rolling reloads.
+//
+// The routing key is the same sha-256 canonical-print hash the scan cache
+// uses (scan.HashSnippet), so every request for one loop — /predict,
+// /suggest, or a loop inside /scan — lands on the replica whose LRU and
+// batcher already saw it. Replica health is overlaid at lookup time: the
+// ring itself is immutable, and draining/ejected replicas are skipped by
+// walking the key's deterministic spill sequence.
+package tier
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pragformer/internal/cast"
+	"pragformer/internal/cparse"
+	"pragformer/internal/s2s"
+	"pragformer/internal/scan"
+)
+
+// Config parameterizes the router.
+type Config struct {
+	// Replicas lists the cmd/serve base URLs ("http://host:port").
+	Replicas []string
+	// VNodes is the virtual nodes per replica on the hash ring (0 = 64).
+	VNodes int
+	// LoadFactor bounds how far above the mean a replica's router-side
+	// in-flight count may sit before a key spills to the next replica in
+	// its walk order (0 = 1.25, the classic bounded-load setting).
+	LoadFactor float64
+	// MaxInFlight is the hard per-replica in-flight cap; with every
+	// routable replica at the cap the router sheds (429). 0 = 64.
+	MaxInFlight int
+	// FailThreshold ejects a replica after this many consecutive forward
+	// or probe failures (0 = 3).
+	FailThreshold int
+	// ProbeInterval paces the background health prober (0 = 2s).
+	ProbeInterval time.Duration
+	// DrainTimeout bounds each replica's drain during a rolling reload
+	// and the readiness wait after it (0 = 10s).
+	DrainTimeout time.Duration
+	// RatePerSec/Burst configure the per-client token buckets
+	// (RatePerSec <= 0 disables client rate limiting).
+	RatePerSec float64
+	Burst      int
+	// Backend/ModelID name the verdict namespace. Backend "" adopts the
+	// first backend a probe reports. Verdicts are stored under
+	// backend|model|generation|hash, so a fleet serving mixed models can
+	// never replay a verdict across bundles.
+	Backend string
+	ModelID string
+	// ScanWorkers is the default parse worker count for /scan (0 = 4).
+	ScanWorkers int
+	// Store is the shared verdict store (nil = a fresh in-memory store).
+	Store scan.VerdictStore
+	// Client is the HTTP client for forwards and probes (nil = a client
+	// with a 30s timeout).
+	Client *http.Client
+}
+
+func (c *Config) fillDefaults() {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.ScanWorkers <= 0 {
+		c.ScanWorkers = 4
+	}
+	if c.Store == nil {
+		c.Store = scan.NewMemStore()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+}
+
+// errNoReplica reports that no routable replica could accept a request —
+// the router-level saturation signal, rendered as 429/503.
+var errNoReplica = errors.New("tier: no routable replica")
+
+// Router fans requests across the replica fleet.
+type Router struct {
+	cfg     Config
+	ring    *ring
+	reps    map[string]*replica
+	order   []string // config order, for display and rolling reload
+	store   scan.VerdictStore
+	limiter *limiter
+	client  *http.Client
+
+	backend atomic.Pointer[string] // adopted verdict-namespace backend
+
+	forwards    atomic.Uint64
+	forwardErrs atomic.Uint64
+	sheds       atomic.Uint64
+	rateLimited atomic.Uint64
+	storeHits   atomic.Uint64
+	storeMisses atomic.Uint64
+	ejects      atomic.Uint64
+	readmits    atomic.Uint64
+	reloads     atomic.Uint64
+	// storeGen names the verdict-store generation: rolled forward after a
+	// rolling reload so verdicts from the old bundle cannot replay.
+	storeGen atomic.Uint64
+
+	reloadMu sync.Mutex // one rolling reload at a time
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a router over the configured replicas and starts its health
+// prober. Close releases the prober.
+func New(cfg Config) (*Router, error) {
+	cfg.fillDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("tier: no replicas configured")
+	}
+	rt := &Router{
+		cfg:     cfg,
+		ring:    newRing(cfg.Replicas, cfg.VNodes),
+		reps:    make(map[string]*replica, len(cfg.Replicas)),
+		order:   append([]string(nil), cfg.Replicas...),
+		store:   cfg.Store,
+		limiter: newLimiter(cfg.RatePerSec, cfg.Burst),
+		client:  cfg.Client,
+		done:    make(chan struct{}),
+	}
+	b := cfg.Backend
+	rt.backend.Store(&b)
+	for _, name := range cfg.Replicas {
+		if _, dup := rt.reps[name]; dup {
+			return nil, fmt.Errorf("tier: duplicate replica %q", name)
+		}
+		rt.reps[name] = newReplica(name)
+	}
+	rt.wg.Add(1)
+	go rt.probeLoop()
+	return rt, nil
+}
+
+// Close stops the background prober.
+func (rt *Router) Close() {
+	close(rt.done)
+	rt.wg.Wait()
+}
+
+// Handler returns the router's HTTP API — the same surface as one
+// cmd/serve replica, fleet-wide.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", rt.admitted(rt.handlePredict))
+	mux.HandleFunc("POST /suggest", rt.admitted(rt.handleSuggest))
+	mux.HandleFunc("POST /scan", rt.admitted(rt.handleScan))
+	mux.HandleFunc("POST /reload", rt.handleReload)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /statz", rt.handleStatz)
+	return mux
+}
+
+// admitted wraps a handler with the per-client token-bucket gate.
+func (rt *Router) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !rt.limiter.allow(clientKey(r), time.Now()) {
+			rt.rateLimited.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "client rate limit exceeded")
+			return
+		}
+		h(w, r)
+	}
+}
+
+// pick selects the replica for a key: the first routable replica in the
+// key's walk order whose in-flight count sits under the bounded-load
+// threshold ceil(LoadFactor·(total+1)/healthy). At least one routable
+// replica is always under that threshold, so pick only returns nil when
+// every routable replica is at the MaxInFlight hard cap — true saturation
+// — or when nothing is routable at all.
+func (rt *Router) pick(key string) *replica {
+	walk := rt.ring.walk(key)
+	routable := make([]*replica, 0, len(walk))
+	var total int64
+	for _, name := range walk {
+		r := rt.reps[name]
+		if r.routable() {
+			routable = append(routable, r)
+			total += r.inflight.Load()
+		}
+	}
+	if len(routable) == 0 {
+		return nil
+	}
+	threshold := int64(math.Ceil(rt.cfg.LoadFactor * float64(total+1) / float64(len(routable))))
+	var best *replica
+	for _, r := range routable {
+		load := r.inflight.Load()
+		if load >= int64(rt.cfg.MaxInFlight) {
+			continue
+		}
+		if load < threshold {
+			return r
+		}
+		if best == nil || load < best.inflight.Load() {
+			best = r
+		}
+	}
+	return best
+}
+
+// forward POSTs body to rep and decodes the reply into out, carrying the
+// bounded-load in-flight accounting and the ejection failure counting.
+// A replica-side 429 propagates as serve.ErrSaturated-alike shedding but
+// does NOT count toward ejection — a saturated replica is healthy.
+func (rt *Router) forward(ctx context.Context, rep *replica, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	rep.inflight.Add(1)
+	defer rep.inflight.Add(-1)
+	rt.forwards.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.name+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		// Transport failure: connection refused, timeout — the ejection
+		// signal. Context cancellation is the client's doing, not the
+		// replica's.
+		if ctx.Err() == nil {
+			rt.noteFailure(rep)
+		}
+		rt.forwardErrs.Add(1)
+		return err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		rep.fails.Store(0)
+		return errNoReplica
+	case resp.StatusCode >= 500:
+		rt.noteFailure(rep)
+		rt.forwardErrs.Add(1)
+		return fmt.Errorf("tier: %s%s: %s", rep.name, path, readErr(resp.Body))
+	case resp.StatusCode != http.StatusOK:
+		rep.fails.Store(0)
+		return fmt.Errorf("tier: %s%s: %s", rep.name, path, readErr(resp.Body))
+	}
+	rep.fails.Store(0)
+	return json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(out)
+}
+
+// readErr extracts the {"error": ...} body of a failed forward.
+func readErr(r io.Reader) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(io.LimitReader(r, 1<<16)).Decode(&e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return "replica error"
+}
+
+// noteFailure counts one consecutive failure and ejects the replica at
+// the threshold.
+func (rt *Router) noteFailure(rep *replica) {
+	if int(rep.fails.Add(1)) >= rt.cfg.FailThreshold &&
+		rep.state.CompareAndSwap(int32(stateHealthy), int32(stateEjected)) {
+		rt.ejects.Add(1)
+	}
+}
+
+// probeLoop is the background health prober: it refreshes routable
+// replicas' admission stats, ejects on consecutive probe failures, and
+// re-probes ejected replicas with exponential backoff until they answer
+// /readyz again.
+func (rt *Router) probeLoop() {
+	defer rt.wg.Done()
+	backoff := make(map[string]int) // consecutive failed re-probes, per ejected replica
+	skip := make(map[string]int)    // prober ticks left before the next re-probe
+	tick := time.NewTicker(rt.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.done:
+			return
+		case <-tick.C:
+		}
+		for _, name := range rt.order {
+			rep := rt.reps[name]
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeInterval)
+			switch rep.getState() {
+			case stateEjected:
+				if skip[name] > 0 {
+					skip[name]--
+					break
+				}
+				if err := rep.probeReady(ctx, rt.client); err != nil {
+					backoff[name]++
+					n := backoff[name]
+					if n > 5 {
+						n = 5 // cap the re-probe gap at 32 ticks
+					}
+					skip[name] = 1<<n - 1
+					break
+				}
+				delete(backoff, name)
+				delete(skip, name)
+				rep.fails.Store(0)
+				rep.setState(stateHealthy)
+				rt.readmits.Add(1)
+			case stateHealthy:
+				if err := rep.probeStatz(ctx, rt.client); err != nil {
+					rt.noteFailure(rep)
+					break
+				}
+				rep.fails.Store(0)
+				rt.adoptBackend(rep)
+			}
+			cancel()
+		}
+	}
+}
+
+// adoptBackend fills the verdict-store namespace backend from the first
+// replica that reports one, when the config left it open. Only the prober
+// goroutine writes, so a plain store is race-free.
+func (rt *Router) adoptBackend(rep *replica) {
+	if *rt.backend.Load() != "" {
+		return
+	}
+	if b := *rep.backend.Load(); b != "" {
+		rt.backend.Store(&b)
+	}
+}
+
+// backendLabel is the namespace backend currently in force.
+func (rt *Router) backendLabel() string { return *rt.backend.Load() }
+
+// storeKey namespaces a loop hash: verdicts never replay across backends,
+// model bundles, or reload generations.
+func (rt *Router) storeKey(hash string) string {
+	return rt.backendLabel() + "|" + rt.cfg.ModelID + "|g" + fmt.Sprint(rt.storeGen.Load()) + "|" + hash
+}
+
+// canonical parses one snippet and returns its canonically printed target
+// loop plus the scan-compatible content hash; ok is false when the snippet
+// has no parseable loop (such requests still route, by raw-text hash).
+func canonical(code string) (snippet, hash string, ok bool) {
+	f, err := cparse.Parse(code)
+	if err != nil {
+		return "", "", false
+	}
+	loop := s2s.FirstLoop(f)
+	if loop == nil {
+		return "", "", false
+	}
+	snip := cast.Print(loop)
+	return snip, scan.HashSnippet(snip), true
+}
+
+// routeKey is the ring key for one code snippet: the canonical loop hash
+// when the snippet parses (cache affinity with /scan and the verdict
+// store), else the hash of the raw text.
+func routeKey(code string) string {
+	if _, h, ok := canonical(code); ok {
+		return h
+	}
+	return scan.HashSnippet(code)
+}
+
+// idsKey is the ring key for a raw id sequence.
+func idsKey(ids []int) string {
+	var buf bytes.Buffer
+	tmp := make([]byte, binary.MaxVarintLen64)
+	for _, id := range ids {
+		buf.Write(tmp[:binary.PutVarint(tmp, int64(id))])
+	}
+	return scan.HashSnippet(buf.String())
+}
+
+// ---- wire mirrors of the cmd/serve JSON API ----
+
+type predictRequest struct {
+	Code  string   `json:"code,omitempty"`
+	Codes []string `json:"codes,omitempty"`
+	IDs   [][]int  `json:"ids,omitempty"`
+}
+
+type predictResult struct {
+	Probability float64 `json:"probability"`
+	Parallelize bool    `json:"parallelize"`
+	Error       string  `json:"error,omitempty"`
+}
+
+type predictResponse struct {
+	Results []predictResult `json:"results"`
+}
+
+type suggestRequest struct {
+	Code  string   `json:"code,omitempty"`
+	Codes []string `json:"codes,omitempty"`
+}
+
+type suggestResponse struct {
+	Results []suggestResult `json:"results"`
+}
+
+// group is one replica's slice of a fanned-out request.
+type group struct {
+	rep     *replica
+	indices []int
+}
+
+// groupByKey routes each key and buckets the indices per replica,
+// preserving request order inside each bucket. Unroutable indices land in
+// the nil-replica bucket.
+func (rt *Router) groupByKey(keys []string) []*group {
+	var groups []*group
+	byRep := make(map[*replica]*group)
+	for i, key := range keys {
+		rep := rt.pick(key)
+		g := byRep[rep]
+		if g == nil {
+			g = &group{rep: rep}
+			byRep[rep] = g
+			groups = append(groups, g)
+		}
+		g.indices = append(g.indices, i)
+	}
+	return groups
+}
+
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	codes := req.Codes
+	if req.Code != "" {
+		codes = append(codes, req.Code)
+	}
+	// Response order is codes then ids, matching one replica's contract.
+	keys := make([]string, 0, len(codes)+len(req.IDs))
+	for _, code := range codes {
+		keys = append(keys, routeKey(code))
+	}
+	for _, ids := range req.IDs {
+		keys = append(keys, idsKey(ids))
+	}
+	results := make([]predictResult, len(keys))
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	for _, g := range rt.groupByKey(keys) {
+		if g.rep == nil {
+			for _, i := range g.indices {
+				results[i].Error = errNoReplica.Error()
+				shed.Add(1)
+			}
+			rt.sheds.Add(uint64(len(g.indices)))
+			continue
+		}
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			sub := predictRequest{}
+			for _, i := range g.indices {
+				if i < len(codes) {
+					sub.Codes = append(sub.Codes, codes[i])
+				} else {
+					sub.IDs = append(sub.IDs, req.IDs[i-len(codes)])
+				}
+			}
+			var resp predictResponse
+			err := rt.forward(r.Context(), g.rep, "/predict", sub, &resp)
+			settleGroup(g, results, resp.Results, err, setPredictErr, &shed, &rt.sheds)
+		}(g)
+	}
+	wg.Wait()
+	if len(results) > 0 && int(shed.Load()) == len(results) {
+		shedResponse(w)
+		return
+	}
+	writeJSON(w, predictResponse{Results: results})
+}
+
+// settleGroup copies one replica's results back into request order, or
+// spreads the group-wide error over its items (a replica-side shed counts
+// toward the whole-request 429 decision).
+func settleGroup[R any](g *group, out, in []R, err error, setErr func(*R, string), shed *atomic.Int64, sheds *atomic.Uint64) {
+	if err != nil {
+		for _, i := range g.indices {
+			setErr(&out[i], err.Error())
+			if errors.Is(err, errNoReplica) {
+				shed.Add(1)
+				sheds.Add(1)
+			}
+		}
+		return
+	}
+	for k, i := range g.indices {
+		if k < len(in) {
+			out[i] = in[k]
+		} else {
+			setErr(&out[i], "tier: short replica response")
+		}
+	}
+}
+
+func setPredictErr(r *predictResult, msg string) { r.Error = msg }
+func setSuggestErr(r *suggestResult, msg string) { r.Error = msg }
+
+func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req suggestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	codes := req.Codes
+	if req.Code != "" {
+		codes = append(codes, req.Code)
+	}
+	results := make([]suggestResult, len(codes))
+	keys := make([]string, len(codes))
+	canon := make([]bool, len(codes)) // request text IS the canonical print
+	served := make([]bool, len(codes))
+	for i, code := range codes {
+		snip, h, ok := canonical(code)
+		if !ok {
+			keys[i] = scan.HashSnippet(code)
+			continue
+		}
+		keys[i] = h
+		canon[i] = code == snip
+		// Read-through: a stored verdict for this canonical loop answers
+		// without a forward — the scan dedupe contract, fleet-wide.
+		if s, hit := rt.store.Get(rt.storeKey(h)); hit {
+			rt.storeHits.Add(1)
+			results[i] = verdictToResult(s)
+			served[i] = true
+		} else {
+			rt.storeMisses.Add(1)
+		}
+	}
+	var pending []int
+	for i := range codes {
+		if !served[i] {
+			pending = append(pending, i)
+		}
+	}
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	pendKeys := make([]string, len(pending))
+	for k, i := range pending {
+		pendKeys[k] = keys[i]
+	}
+	for _, g := range rt.groupByKey(pendKeys) {
+		mapped := &group{rep: g.rep}
+		for _, k := range g.indices {
+			mapped.indices = append(mapped.indices, pending[k])
+		}
+		if mapped.rep == nil {
+			for _, i := range mapped.indices {
+				results[i].Error = errNoReplica.Error()
+				shed.Add(1)
+			}
+			rt.sheds.Add(uint64(len(mapped.indices)))
+			continue
+		}
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			sub := suggestRequest{}
+			for _, i := range g.indices {
+				sub.Codes = append(sub.Codes, codes[i])
+			}
+			var resp suggestResponse
+			err := rt.forward(r.Context(), g.rep, "/suggest", sub, &resp)
+			settleGroup(g, results, resp.Results, err, setSuggestErr, &shed, &rt.sheds)
+			if err != nil {
+				return
+			}
+			// Populate the shared store — only for canonical-form requests,
+			// so a formatting variant can never poison the canonical loop's
+			// verdict slot.
+			for k, i := range g.indices {
+				if k < len(resp.Results) && canon[i] && resp.Results[k].Error == "" {
+					rt.store.Put(rt.storeKey(keys[i]), resultToVerdict(&resp.Results[k]))
+				}
+			}
+		}(mapped)
+	}
+	wg.Wait()
+	if len(results) > 0 && int(shed.Load()) == len(results) {
+		shedResponse(w)
+		return
+	}
+	writeJSON(w, suggestResponse{Results: results})
+}
+
+// handleReload runs the rolling reload: one replica at a time is drained
+// (the ring stops routing to it, in-flight forwards finish), told to
+// POST /reload, health-gated on /readyz reporting the bumped generation,
+// and readmitted — the fleet never has more than one replica out of
+// rotation, and no in-flight request is dropped. Afterwards the verdict
+// store rolls to a new generation: verdicts from the old bundles cannot
+// replay against the new ones.
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	rt.reloadMu.Lock()
+	defer rt.reloadMu.Unlock()
+	type outcome struct {
+		Replica    string `json:"replica"`
+		Status     string `json:"status"`
+		Generation uint64 `json:"generation,omitempty"`
+		Error      string `json:"error,omitempty"`
+	}
+	outcomes := make([]outcome, 0, len(rt.order))
+	failed := 0
+	for _, name := range rt.order {
+		rep := rt.reps[name]
+		if rep.getState() == stateEjected {
+			outcomes = append(outcomes, outcome{Replica: name, Status: "skipped (ejected)"})
+			failed++
+			continue
+		}
+		oldGen := rep.generation.Load()
+		rep.setState(stateDraining)
+		err := rt.rollOne(r.Context(), rep, oldGen)
+		rep.setState(stateHealthy) // readmit even on failure: it still serves the old bundle
+		if err != nil {
+			outcomes = append(outcomes, outcome{Replica: name, Status: "failed", Error: err.Error()})
+			failed++
+			continue
+		}
+		outcomes = append(outcomes, outcome{Replica: name, Status: "reloaded", Generation: rep.generation.Load()})
+	}
+	rt.storeGen.Add(1)
+	rt.reloads.Add(1)
+	status := "reloaded"
+	code := http.StatusOK
+	if failed > 0 {
+		status = "partial"
+		if failed == len(rt.order) {
+			status = "failed"
+			code = http.StatusInternalServerError
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": status, "replicas": outcomes, "store_generation": rt.storeGen.Load(),
+	})
+}
+
+// rollOne drains, reloads, and health-gates one replica.
+func (rt *Router) rollOne(ctx context.Context, rep *replica, oldGen uint64) error {
+	deadline := time.Now().Add(rt.cfg.DrainTimeout)
+	for rep.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("drain timeout with %d in flight", rep.inflight.Load())
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, rep.name+"/reload", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("reload: %s", resp.Status)
+	}
+	// Health gate: readmit only after the replica reports ready on the NEW
+	// generation.
+	deadline = time.Now().Add(rt.cfg.DrainTimeout)
+	for {
+		if err := rep.probeStatz(ctx, rt.client); err == nil &&
+			rep.ready.Load() && rep.generation.Load() > oldGen {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not ready on new generation after reload")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "replicas": len(rt.order)})
+}
+
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	healthy := 0
+	for _, rep := range rt.reps {
+		if rep.routable() {
+			healthy++
+		}
+	}
+	body := map[string]any{"ready": healthy > 0, "healthy": healthy, "replicas": len(rt.order)}
+	if healthy == 0 {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(body)
+		return
+	}
+	writeJSON(w, body)
+}
+
+// tierStatz is the router's /statz body.
+type tierStatz struct {
+	Backend     string         `json:"backend"`
+	ModelID     string         `json:"model_id,omitempty"`
+	Forwards    uint64         `json:"forwards"`
+	ForwardErrs uint64         `json:"forward_errors"`
+	Sheds       uint64         `json:"sheds"`
+	RateLimited uint64         `json:"rate_limited"`
+	StoreHits   uint64         `json:"store_hits"`
+	StoreMisses uint64         `json:"store_misses"`
+	StoreLen    int            `json:"store_len"`
+	StoreGen    uint64         `json:"store_generation"`
+	Ejects      uint64         `json:"ejects"`
+	Readmits    uint64         `json:"readmits"`
+	Reloads     uint64         `json:"reloads"`
+	Replicas    []replicaStatd `json:"replicas"`
+}
+
+// replicaStatd is one replica's row in the router's /statz.
+type replicaStatd struct {
+	Name       string `json:"name"`
+	State      string `json:"state"`
+	InFlight   int64  `json:"in_flight"`
+	QueueDepth int64  `json:"queue_depth"`
+	Generation uint64 `json:"generation"`
+	Backend    string `json:"backend,omitempty"`
+}
+
+func (rt *Router) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	st := tierStatz{
+		Backend: rt.backendLabel(), ModelID: rt.cfg.ModelID,
+		Forwards: rt.forwards.Load(), ForwardErrs: rt.forwardErrs.Load(),
+		Sheds: rt.sheds.Load(), RateLimited: rt.rateLimited.Load(),
+		StoreHits: rt.storeHits.Load(), StoreMisses: rt.storeMisses.Load(),
+		StoreLen: rt.store.Len(), StoreGen: rt.storeGen.Load(),
+		Ejects: rt.ejects.Load(), Readmits: rt.readmits.Load(),
+		Reloads: rt.reloads.Load(),
+	}
+	for _, name := range rt.order {
+		rep := rt.reps[name]
+		st.Replicas = append(st.Replicas, replicaStatd{
+			Name: name, State: rep.getState().String(),
+			InFlight: rep.inflight.Load(), QueueDepth: rep.queueDepth.Load(),
+			Generation: rep.generation.Load(), Backend: *rep.backend.Load(),
+		})
+	}
+	writeJSON(w, st)
+}
+
+// shedResponse is the router's saturation reply.
+func shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusTooManyRequests, "no replica can accept the request, retry later")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,571 @@
+package tier
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pragformer/internal/advisor"
+	"pragformer/internal/scan"
+)
+
+// fakeReplica is a scripted cmd/serve stand-in: deterministic verdicts,
+// countable forwards, a reload that bumps the generation, and fault
+// injection for the ejection tests.
+type fakeReplica struct {
+	t *testing.T
+
+	gen        atomic.Uint64
+	reloading  atomic.Bool
+	failing    atomic.Bool // respond 500 to everything
+	predicts   atomic.Int64
+	suggests   atomic.Int64
+	violations atomic.Int64 // traffic observed mid-reload
+
+	srv *httptest.Server
+}
+
+// fakeVerdict is the deterministic verdict the fake fleet returns; tests
+// compare against the same function.
+func fakeVerdict(code string) suggestResult {
+	return suggestResult{
+		Parallelize: true,
+		Probability: 0.75,
+		Directive:   "#pragma omp parallel for",
+		Tier:        "corroborated",
+		Notes:       []string{"fake:" + scan.HashSnippet(code)[:8]},
+	}
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	f := &fakeReplica{t: t}
+	f.gen.Store(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail(w) {
+			return
+		}
+		if f.reloading.Load() {
+			f.violations.Add(1)
+		}
+		f.predicts.Add(1)
+		var req predictRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		n := len(req.Codes) + len(req.IDs)
+		results := make([]predictResult, n)
+		for i := range results {
+			results[i] = predictResult{Probability: 0.9, Parallelize: true}
+		}
+		_ = json.NewEncoder(w).Encode(predictResponse{Results: results})
+	})
+	mux.HandleFunc("POST /suggest", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail(w) {
+			return
+		}
+		if f.reloading.Load() {
+			f.violations.Add(1)
+		}
+		f.suggests.Add(1)
+		var req suggestRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		codes := req.Codes
+		if req.Code != "" {
+			codes = append(codes, req.Code)
+		}
+		results := make([]suggestResult, len(codes))
+		for i, c := range codes {
+			results[i] = fakeVerdict(c)
+		}
+		_ = json.NewEncoder(w).Encode(suggestResponse{Results: results})
+	})
+	mux.HandleFunc("POST /reload", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail(w) {
+			return
+		}
+		f.reloading.Store(true)
+		time.Sleep(20 * time.Millisecond)
+		f.gen.Add(1)
+		f.reloading.Store(false)
+		_ = json.NewEncoder(w).Encode(map[string]any{"status": "reloaded"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail(w) {
+			return
+		}
+		if f.reloading.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": true})
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		if f.fail(w) {
+			return
+		}
+		var st replicaStatz
+		st.Backend = "fake"
+		st.Generation = f.gen.Load()
+		st.Reloading = f.reloading.Load()
+		_ = json.NewEncoder(w).Encode(st)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) fail(w http.ResponseWriter) bool {
+	if f.failing.Load() {
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "injected failure"})
+		return true
+	}
+	return false
+}
+
+// newTestRouter builds a router over the fakes with test-friendly pacing.
+func newTestRouter(t *testing.T, cfg Config, fakes ...*fakeReplica) *Router {
+	for _, f := range fakes {
+		cfg.Replicas = append(cfg.Replicas, f.srv.URL)
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 10 * time.Millisecond
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(buf))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func testCodes(n int) []string {
+	codes := make([]string, n)
+	for i := range codes {
+		codes[i] = fmt.Sprintf("for (i = 0; i < %d; i++)\n\ta[i] = i;\n", i+2)
+	}
+	return codes
+}
+
+func TestRouterPredictFansOut(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{}, a, b)
+	h := rt.Handler()
+
+	codes := testCodes(32)
+	rec := postJSON(t, h, "/predict", predictRequest{Codes: codes, IDs: [][]int{{1, 2, 3}}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict: %d %s", rec.Code, rec.Body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != len(codes)+1 {
+		t.Fatalf("got %d results, want %d", len(resp.Results), len(codes)+1)
+	}
+	for i, r := range resp.Results {
+		if r.Error != "" || !r.Parallelize {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	// With 32 distinct loops both replicas should have seen traffic.
+	if a.predicts.Load() == 0 || b.predicts.Load() == 0 {
+		t.Fatalf("fan-out skipped a replica: a=%d b=%d", a.predicts.Load(), b.predicts.Load())
+	}
+}
+
+func TestRouterRoutingIsStickyByContent(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{}, a, b)
+
+	// The same loop under different formatting must route to the same
+	// replica: the key is the canonical print's hash.
+	k1 := routeKey("for (i = 0; i < n; i++) a[i] = i;")
+	k2 := routeKey("for (i=0;i<n;i++)   a[i]=i;")
+	if k1 != k2 {
+		t.Fatalf("formatting changed the routing key: %s vs %s", k1, k2)
+	}
+	if rt.pick(k1).name != rt.pick(k2).name {
+		t.Fatal("same canonical loop routed to different replicas")
+	}
+}
+
+func TestRouterShedsAtHardCap(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{MaxInFlight: 4}, a, b)
+
+	// Saturate the bounded-load accounting: every replica at the hard cap.
+	for _, rep := range rt.reps {
+		rep.inflight.Store(4)
+	}
+	rec := postJSON(t, rt.Handler(), "/predict", predictRequest{Code: "for (i = 0; i < n; i++) a[i] = i;"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturated predict: %d %s, want 429", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if rt.sheds.Load() == 0 {
+		t.Fatal("shed counter not bumped")
+	}
+	// Load released: traffic flows again.
+	for _, rep := range rt.reps {
+		rep.inflight.Store(0)
+	}
+	rec = postJSON(t, rt.Handler(), "/predict", predictRequest{Code: "for (i = 0; i < n; i++) a[i] = i;"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release predict: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestRouterSpillsBeforeShedding(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{MaxInFlight: 4}, a, b)
+
+	key := routeKey("for (i = 0; i < n; i++) a[i] = i;")
+	owner := rt.ring.owner(key)
+	// Saturate only the owner: the key must spill to the other replica,
+	// not shed.
+	rt.reps[owner].inflight.Store(4)
+	picked := rt.pick(key)
+	if picked == nil {
+		t.Fatal("pick shed with a free replica available")
+	}
+	if picked.name == owner {
+		t.Fatal("pick chose the saturated owner")
+	}
+}
+
+func TestRouterClientRateLimit(t *testing.T) {
+	a := newFakeReplica(t)
+	rt := newTestRouter(t, Config{RatePerSec: 0.001, Burst: 2}, a)
+	h := rt.Handler()
+
+	body := predictRequest{Code: "for (i = 0; i < n; i++) a[i] = i;"}
+	for i := 0; i < 2; i++ {
+		if rec := postJSON(t, h, "/predict", body); rec.Code != http.StatusOK {
+			t.Fatalf("request %d within burst: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	rec := postJSON(t, h, "/predict", body)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-burst request: %d, want 429", rec.Code)
+	}
+	if rt.rateLimited.Load() != 1 {
+		t.Fatalf("rateLimited = %d, want 1", rt.rateLimited.Load())
+	}
+	// A different client identity has its own bucket.
+	buf, _ := json.Marshal(body)
+	req := httptest.NewRequest(http.MethodPost, "/predict", bytes.NewReader(buf))
+	req.Header.Set("X-Client-ID", "other")
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fresh client: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestRouterEjectsAndReadmits(t *testing.T) {
+	a := newFakeReplica(t)
+	rt := newTestRouter(t, Config{FailThreshold: 3}, a)
+	h := rt.Handler()
+
+	a.failing.Store(true)
+	// Forward failures (500s) count toward ejection; the prober's failing
+	// statz probes count too. Either way the replica must leave rotation.
+	for i := 0; i < 3; i++ {
+		postJSON(t, h, "/predict", predictRequest{Code: "for (i = 0; i < n; i++) a[i] = i;"})
+	}
+	waitFor(t, "ejection", func() bool { return rt.reps[a.srv.URL].getState() == stateEjected })
+	if rt.ejects.Load() == 0 {
+		t.Fatal("eject counter not bumped")
+	}
+
+	// With the whole fleet ejected the router sheds and reports not ready.
+	rec := postJSON(t, h, "/predict", predictRequest{Code: "for (i = 0; i < n; i++) a[i] = i;"})
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("predict with fleet ejected: %d, want 429", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with fleet ejected: %d, want 503", rr.Code)
+	}
+
+	// Recovery: the prober's backoff re-probe readmits it.
+	a.failing.Store(false)
+	waitFor(t, "readmission", func() bool { return rt.reps[a.srv.URL].getState() == stateHealthy })
+	if rt.readmits.Load() == 0 {
+		t.Fatal("readmit counter not bumped")
+	}
+	rec = postJSON(t, h, "/predict", predictRequest{Code: "for (i = 0; i < n; i++) a[i] = i;"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-readmit predict: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestRouterSuggestReadThrough(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{Backend: "fake", ModelID: "m1"}, a, b)
+	h := rt.Handler()
+
+	// A canonical-form snippet: round-trip through the parser first.
+	canon, hash, ok := canonical("for (i = 0; i < n; i++) a[i] = i;")
+	if !ok {
+		t.Fatal("snippet did not canonicalize")
+	}
+
+	rec := postJSON(t, h, "/suggest", suggestRequest{Code: canon})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("suggest: %d %s", rec.Code, rec.Body)
+	}
+	cold := a.suggests.Load() + b.suggests.Load()
+	if cold == 0 {
+		t.Fatal("cold suggest did not forward")
+	}
+	if _, hit := rt.store.Get(rt.storeKey(hash)); !hit {
+		t.Fatal("canonical verdict not stored")
+	}
+
+	// Warm: the store answers, no new forward anywhere in the fleet.
+	rec2 := postJSON(t, h, "/suggest", suggestRequest{Code: canon})
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("warm suggest: %d %s", rec2.Code, rec2.Body)
+	}
+	if got := a.suggests.Load() + b.suggests.Load(); got != cold {
+		t.Fatalf("warm suggest forwarded (%d -> %d)", cold, got)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Fatalf("warm result differs from cold:\n%s\n%s", rec.Body, rec2.Body)
+	}
+	if rt.storeHits.Load() == 0 {
+		t.Fatal("store hit not counted")
+	}
+
+	// A formatting variant of the same loop is served from the canonical
+	// verdict too (scan dedupe contract) — still no forward.
+	variant := "for (i=0;i<n;i++)    a[i] = i;"
+	rec3 := postJSON(t, h, "/suggest", suggestRequest{Code: variant})
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("variant suggest: %d %s", rec3.Code, rec3.Body)
+	}
+	if got := a.suggests.Load() + b.suggests.Load(); got != cold {
+		t.Fatalf("variant suggest forwarded (%d -> %d)", cold, got)
+	}
+}
+
+func TestRouterSuggestNonCanonicalNotStored(t *testing.T) {
+	a := newFakeReplica(t)
+	rt := newTestRouter(t, Config{Backend: "fake"}, a)
+
+	// Non-canonical formatting: forwarded, answered, but must NOT populate
+	// the canonical verdict slot.
+	variant := "for (i=0;i<n;i++)   b[i] = 2*i;"
+	_, hash, ok := canonical(variant)
+	if !ok {
+		t.Fatal("variant did not canonicalize")
+	}
+	rec := postJSON(t, rt.Handler(), "/suggest", suggestRequest{Code: variant})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("suggest: %d %s", rec.Code, rec.Body)
+	}
+	if _, hit := rt.store.Get(rt.storeKey(hash)); hit {
+		t.Fatal("non-canonical request populated the canonical verdict slot")
+	}
+}
+
+func TestRouterRollingReload(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{Backend: "fake"}, a, b)
+	h := rt.Handler()
+
+	// Continuous traffic while the fleet rolls: no request may fail.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	codes := testCodes(8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := postJSON(t, h, "/predict", predictRequest{Code: codes[(w+i)%len(codes)]})
+				if rec.Code != http.StatusOK {
+					failures.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	genBefore := rt.storeGen.Load()
+	rec := postJSON(t, h, "/reload", nil)
+	close(stop)
+	wg.Wait()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: %d %s", rec.Code, rec.Body)
+	}
+	var resp struct {
+		Status   string `json:"status"`
+		Replicas []struct {
+			Replica    string `json:"replica"`
+			Status     string `json:"status"`
+			Generation uint64 `json:"generation"`
+		} `json:"replicas"`
+		StoreGeneration uint64 `json:"store_generation"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "reloaded" {
+		t.Fatalf("reload status %q: %s", resp.Status, rec.Body)
+	}
+	for _, r := range resp.Replicas {
+		if r.Status != "reloaded" || r.Generation != 2 {
+			t.Fatalf("replica outcome: %+v", r)
+		}
+	}
+	if resp.StoreGeneration != genBefore+1 {
+		t.Fatalf("store generation %d, want %d", resp.StoreGeneration, genBefore+1)
+	}
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed during the rolling reload", n)
+	}
+	if v := a.violations.Load() + b.violations.Load(); v != 0 {
+		t.Fatalf("%d forwards reached a replica mid-reload", v)
+	}
+	// Both replicas are back in rotation.
+	for _, rep := range rt.reps {
+		if !rep.routable() {
+			t.Fatalf("replica %s not readmitted after reload", rep.name)
+		}
+	}
+}
+
+func TestRouterReloadRotatesStoreGeneration(t *testing.T) {
+	a := newFakeReplica(t)
+	rt := newTestRouter(t, Config{Backend: "fake"}, a)
+	h := rt.Handler()
+
+	canon, _, _ := canonical("for (i = 0; i < n; i++) a[i] = i;")
+	postJSON(t, h, "/suggest", suggestRequest{Code: canon})
+	cold := a.suggests.Load()
+
+	// After a rolling reload the old verdicts must not replay: the next
+	// identical suggest forwards again.
+	if rec := postJSON(t, h, "/reload", nil); rec.Code != http.StatusOK {
+		t.Fatalf("reload: %d %s", rec.Code, rec.Body)
+	}
+	postJSON(t, h, "/suggest", suggestRequest{Code: canon})
+	if got := a.suggests.Load(); got != cold+1 {
+		t.Fatalf("post-reload suggest did not re-forward (%d -> %d)", cold, got)
+	}
+}
+
+func TestRouterScanReadThroughParity(t *testing.T) {
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	rt := newTestRouter(t, Config{Backend: "fake", ModelID: "m1"}, a, b)
+	h := rt.Handler()
+
+	src := `void f(int *a, int *b, int n) {
+	for (int i = 0; i < n; i++)
+		a[i] = i;
+	for (int j = 0; j < n; j++)
+		b[j] = 2 * j;
+}
+`
+	body := scanRequest{Files: []scanFile{{Path: "x.c", Source: src}}, Stable: true}
+	rec := postJSON(t, h, "/scan", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("scan: %d %s", rec.Code, rec.Body)
+	}
+	cold := a.suggests.Load() + b.suggests.Load()
+	if cold == 0 {
+		t.Fatal("cold scan did not forward")
+	}
+
+	// Parity oracle: the same sources through scan.Files directly with the
+	// same verdict function must render byte-identical stable JSON.
+	direct, err := scan.Files(context.Background(), []scan.Source{{Path: "x.c", Data: []byte(src)}},
+		scan.Config{Workers: 2, Backend: "fake"}, oracleSuggester{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Stable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), want) {
+		t.Fatalf("tier scan diverges from direct scan:\n tier: %s\n direct: %s", rec.Body, want)
+	}
+
+	// Warm pass: the shared store answers every loop; zero new forwards
+	// fleet-wide, byte-identical report.
+	rec2 := postJSON(t, h, "/scan", body)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("warm scan: %d %s", rec2.Code, rec2.Body)
+	}
+	if got := a.suggests.Load() + b.suggests.Load(); got != cold {
+		t.Fatalf("warm scan forwarded (%d -> %d)", cold, got)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), rec2.Body.Bytes()) {
+		t.Fatal("warm scan report differs from cold")
+	}
+}
+
+// oracleSuggester drives scan.Files directly with the fake fleet's
+// verdict function (via the same VerdictSuggester entry point the tier
+// uses).
+type oracleSuggester struct{}
+
+func (oracleSuggester) SuggestBatch([]string) ([]advisor.BatchItem, error) {
+	panic("oracle: SuggestBatch should not be called")
+}
+
+func (oracleSuggester) SuggestVerdicts(codes []string) ([]scan.Verdict, error) {
+	out := make([]scan.Verdict, len(codes))
+	for i, c := range codes {
+		r := fakeVerdict(c)
+		out[i] = scan.Verdict{Suggestion: resultToVerdict(&r)}
+	}
+	return out, nil
+}
