@@ -21,9 +21,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"time"
 
 	"pragformer/internal/advisor"
 	"pragformer/internal/core"
+	"pragformer/internal/obs"
 	"pragformer/internal/scan"
 	"pragformer/internal/tokenize"
 )
@@ -48,6 +50,7 @@ func cmdScan(args []string) {
 		seed       = fs.Int64("seed", 1, "demo training seed")
 		demoTotal  = fs.Int("train-total", 1000, "demo mode: generated corpus size")
 		demoEpochs = fs.Int("train-epochs", 5, "demo mode: training epochs per classifier")
+		verbose    = fs.Bool("v", false, "print a per-stage timing summary (walk/parse/dedupe/infer/corroborate) to stderr")
 	)
 	_ = fs.Parse(args)
 	if *format != "json" && *format != "sarif" {
@@ -72,6 +75,17 @@ func cmdScan(args []string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	// -v traces the whole run: the pipeline records walk/parse/dedupe
+	// spans through the context, and the advisor reports its
+	// infer/corroborate splits through the stage hook. Tracing never
+	// touches the report, so goldens are -v-invariant.
+	var tr *obs.Trace
+	if *verbose {
+		tr = obs.NewTrace("")
+		ctx = obs.WithTrace(ctx, tr)
+		models.OnStage = func(stage string, d time.Duration) { tr.Observe(stage, d) }
+	}
+
 	cfg := scan.Config{
 		Workers:          *workers,
 		BatchSize:        *batch,
@@ -88,6 +102,15 @@ func cmdScan(args []string) {
 	c := rep.Counters
 	fmt.Fprintf(os.Stderr, "scanned %d files (%d skipped): %d loops, %d unique, %d cached, %d inferred, %d disagreements on %s\n",
 		c.Files, c.Skipped, c.Loops, c.Unique, c.CacheHits, c.Inferred, c.Disagreements, cfg.Backend)
+	if tr != nil {
+		fmt.Fprintf(os.Stderr, "stage timings (trace %s):\n", tr.ID)
+		for _, st := range tr.Summary() {
+			fmt.Fprintf(os.Stderr, "  %-12s %5d× %12s\n", st.Name, st.Count, st.Total.Round(time.Microsecond))
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "  (%d spans dropped past the %d-span cap)\n", d, 256)
+		}
+	}
 
 	if *stable {
 		rep = rep.Stable()

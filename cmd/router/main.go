@@ -32,8 +32,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -58,6 +60,8 @@ func main() {
 		backend  = flag.String("backend", "", "verdict-store namespace backend (empty adopts the fleet's reported backend)")
 		modelID  = flag.String("model-id", "", "verdict-store namespace model id (set when replicas serve pinned artifacts)")
 		workers  = flag.Int("scan-workers", 4, "default parse workers for /scan")
+		trace    = flag.Bool("trace", false, "trace every request (spans in responses + one structured log line each); without it only requests carrying X-PF-Trace are traced")
+		pprofOn  = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
 	)
 	flag.Parse()
 
@@ -67,12 +71,17 @@ func main() {
 		os.Exit(1)
 	}
 
+	var logger *slog.Logger
+	if *trace {
+		logger = slog.Default()
+	}
 	rt, err := tier.New(tier.Config{
 		Replicas: names, VNodes: *vnodes, LoadFactor: *loadFac,
 		MaxInFlight: *maxInfl, FailThreshold: *failThr,
 		ProbeInterval: *probeInt, DrainTimeout: *drainTO,
 		RatePerSec: *rate, Burst: *burst,
 		Backend: *backend, ModelID: *modelID, ScanWorkers: *workers,
+		Trace: *trace, Logger: logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "router:", err)
@@ -80,7 +89,11 @@ func main() {
 	}
 	defer rt.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	handler := rt.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("routing on %s over %d replicas (vnodes %d, load factor %.2f, max in-flight %d)\n",
@@ -112,6 +125,19 @@ loop:
 			break loop
 		}
 	}
+}
+
+// withPprof overlays the net/http/pprof handlers on the router's API —
+// only when -pprof was given, so profiling is never exposed by accident.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
 }
 
 // splitReplicas parses the -replicas list, trimming blanks and trailing

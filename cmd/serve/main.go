@@ -36,7 +36,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +70,8 @@ func main() {
 		total     = flag.Int("train-total", 1000, "demo mode: generated corpus size")
 		epochs    = flag.Int("train-epochs", 5, "demo mode: training epochs per classifier")
 		workers   = flag.Int("train-workers", 1, "demo mode: data-parallel training workers")
+		trace     = flag.Bool("trace", false, "trace every request (spans in responses + one structured log line each); without it only requests carrying X-PF-Trace are traced")
+		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof profiling endpoints (off by default)")
 	)
 	flag.Parse()
 
@@ -95,10 +99,15 @@ func main() {
 		}
 	}
 
+	var logger *slog.Logger
+	if *trace {
+		logger = slog.Default()
+	}
 	engine, err := serve.New(models, serve.Config{
 		MaxBatch: *maxBatch, MaxWait: *maxWait, Replicas: *replicas,
 		CacheSize: *cacheSize, QueueDepth: *queueLen, Shed: *shed,
 		Seed: *seed, Source: source, Backend: *backend,
+		Trace: *trace, Logger: logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -106,7 +115,11 @@ func main() {
 	}
 	defer engine.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: engine.Handler()}
+	handler := engine.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("serving on %s (backend %s, max-batch %d, max-wait %s, replicas %d, cache %d)\n",
@@ -149,6 +162,19 @@ loop:
 	fmt.Printf("served %d predicts (%.1f avg batch, %d cache hits), %d suggests (%.1f avg batch, %d cache hits)\n",
 		st.Predict.Requests, st.Predict.AvgBatch(), st.Predict.CacheHits,
 		st.Suggest.Requests, st.Suggest.AvgBatch(), st.Suggest.CacheHits)
+}
+
+// withPprof overlays the net/http/pprof handlers on an API handler — only
+// when -pprof was given, so profiling is never exposed by accident.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
 }
 
 // buildModels loads classifier files, or trains demo models when no

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"pragformer/internal/cast"
 	"pragformer/internal/core"
@@ -61,6 +62,14 @@ type Models struct {
 	// attributions (default 120). Changing it changes attribution values, so
 	// every entry point over one tree must use the same setting.
 	LimeSamples int
+
+	// OnStage, when set, receives the coarse per-batch stage timings after
+	// every suggest call: "infer" (the batched classifier forwards) and
+	// "corroborate" (dependence analysis, S2S compiles, LIME attribution).
+	// Timing never influences verdicts — outputs stay byte-identical with
+	// or without a hook. The staged call variants take an explicit hook
+	// that overrides this field per call.
+	OnStage func(stage string, d time.Duration)
 
 	comparOnce sync.Once
 }
@@ -119,6 +128,7 @@ func (m *Models) WithBackend(name string) (*Models, error) {
 		Vocab: m.Vocab, MaxLen: m.MaxLen,
 		ComPar: m.ComPar, NoCorroborate: m.NoCorroborate,
 		NoExplain: m.NoExplain, LimeSamples: m.LimeSamples,
+		OnStage: m.OnStage,
 	}
 	var err error
 	if out.Directive, err = convert(m.Directive); err != nil {
@@ -320,19 +330,48 @@ func (m *Models) Suggest(code string) (*Suggestion, error) {
 // the whole batch, so the per-call model overhead is amortized across
 // snippets; results are identical to calling Suggest per snippet.
 func (m *Models) SuggestBatch(codes []string) ([]BatchItem, error) {
+	return m.SuggestBatchStaged(codes, m.OnStage)
+}
+
+// SuggestBatchStaged is SuggestBatch with a per-call stage-timing hook
+// (overriding Models.OnStage; nil disables). The serving engine threads
+// its per-batch hook through here so infer/corroborate splits land in the
+// request trace without sharing mutable Models state across batches.
+func (m *Models) SuggestBatchStaged(codes []string, onStage func(string, time.Duration)) ([]BatchItem, error) {
 	snippets := make([]Snippet, len(codes))
 	for i, code := range codes {
 		snippets[i] = Snippet{Code: code}
 	}
-	return m.SuggestSnippets(snippets)
+	return m.suggestSnippets(snippets, onStage)
 }
 
 // SuggestSnippets is SuggestBatch over snippets that may carry their parsed
 // loop. Verdicts are identical either way — a threaded loop only skips the
 // re-parse inside the dependence analysis.
 func (m *Models) SuggestSnippets(snippets []Snippet) ([]BatchItem, error) {
+	return m.suggestSnippets(snippets, m.OnStage)
+}
+
+// SuggestSnippetsStaged is SuggestSnippets with a per-call stage-timing
+// hook (overriding Models.OnStage; nil disables).
+func (m *Models) SuggestSnippetsStaged(snippets []Snippet, onStage func(string, time.Duration)) ([]BatchItem, error) {
+	return m.suggestSnippets(snippets, onStage)
+}
+
+func (m *Models) suggestSnippets(snippets []Snippet, onStage func(string, time.Duration)) ([]BatchItem, error) {
 	if m.Directive == nil || m.Vocab == nil {
 		return nil, fmt.Errorf("advisor: directive model and vocabulary are required")
+	}
+	// Stage accounting: "infer" sums the batched classifier forwards,
+	// "corroborate" the per-item dependence/S2S/LIME work. Both are emitted
+	// exactly once per call (possibly zero) so span presence is
+	// deterministic.
+	var dInfer, dCorroborate time.Duration
+	if onStage != nil {
+		defer func() {
+			onStage("infer", dInfer)
+			onStage("corroborate", dCorroborate)
+		}()
 	}
 	maxLen := m.EffectiveMaxLen()
 	items := make([]BatchItem, len(snippets))
@@ -359,7 +398,9 @@ func (m *Models) SuggestSnippets(snippets []Snippet) ([]BatchItem, error) {
 
 	// One batched forward for the directive verdicts, then one per clause
 	// classifier over the positive subset only.
+	t0 := time.Now()
 	probs := m.Directive.PredictBatch(idsBatch)
+	dInfer += time.Since(t0)
 	var (
 		posIDs  [][]int
 		posAt   []int // items index of each positive
@@ -377,7 +418,9 @@ func (m *Models) SuggestSnippets(snippets []Snippet) ([]BatchItem, error) {
 			// Negative verdicts still carry the dependence evidence: a
 			// refuted loop's race witnesses are a property of the code, not
 			// of the model's answer, and the scan report surfaces them.
+			tc := time.Now()
 			s.Corroboration.attach(analyzeSnippet(snippets[i]))
+			dCorroborate += time.Since(tc)
 		}
 	}
 	if len(posIDs) == 0 {
@@ -385,15 +428,19 @@ func (m *Models) SuggestSnippets(snippets []Snippet) ([]BatchItem, error) {
 	}
 	wantPrivate := make([]bool, len(posIDs))
 	wantReduction := make([]bool, len(posIDs))
+	t0 = time.Now()
 	if m.Private != nil {
 		wantPrivate = m.Private.PredictLabelBatch(posIDs)
 	}
 	if m.Reduction != nil {
 		wantReduction = m.Reduction.PredictLabelBatch(posIDs)
 	}
+	dInfer += time.Since(t0)
+	t0 = time.Now()
 	for k, i := range posAt {
 		m.finish(items[i].Suggestion, snippets[i], posToks[k], wantPrivate[k], wantReduction[k])
 	}
+	dCorroborate += time.Since(t0)
 	return items, nil
 }
 

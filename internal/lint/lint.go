@@ -1,5 +1,5 @@
 // Package lint holds pragformer's project-specific static checks, run in CI
-// as a `go vet -vettool` (cmd/pflint). Two checks, both purely syntactic so
+// as a `go vet -vettool` (cmd/pflint). Three checks, all purely syntactic so
 // the tool needs no type information or export data:
 //
 //   - poolbalance: a function that takes buffers from the tensor pool
@@ -13,6 +13,12 @@
 //     cache diffs depend on it. Calls to time.Now or the math/rand global
 //     functions inside them break that promise silently. Explicitly seeded
 //     generators (rand.New(rand.NewSource(...))) stay allowed.
+//
+//   - obsimport: the compute-kernel packages (nn, quant, tensor, dep) must
+//     not import internal/obs. Telemetry belongs in the serving and scan
+//     layers; a counter inside a kernel inner loop is a perf hazard and
+//     couples the numeric core to the runtime's metric registry. Timings
+//     for these layers are recorded by their callers.
 package lint
 
 import (
@@ -35,6 +41,15 @@ var deterministicPkgs = map[string]bool{
 	"nn": true, "quant": true, "lime": true, "dep": true,
 }
 
+// obsFreePkgs lists the package names that must stay free of telemetry:
+// the numeric kernels and the dependence engine. Their callers time them.
+var obsFreePkgs = map[string]bool{
+	"nn": true, "quant": true, "tensor": true, "dep": true,
+}
+
+// obsImportPath is the telemetry package kernels must not depend on.
+const obsImportPath = "pragformer/internal/obs"
+
 // poolFamilies maps each pool Get entry point to its family; a family's
 // buffers come back via Put<family>.
 var poolFamilies = map[string]string{
@@ -51,6 +66,9 @@ func CheckFile(fset *token.FileSet, file *ast.File, pkgName string) []Finding {
 	out = append(out, checkPoolBalance(fset, file)...)
 	if deterministicPkgs[pkgName] {
 		out = append(out, checkDeterminism(fset, file)...)
+	}
+	if obsFreePkgs[pkgName] {
+		out = append(out, checkObsImport(fset, file)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Line != out[j].Pos.Line {
@@ -152,6 +170,20 @@ func checkDeterminism(fset *token.FileSet, file *ast.File) []Finding {
 		}
 		return true
 	})
+	return out
+}
+
+// checkObsImport flags any import of internal/obs — under any alias,
+// including blank and dot imports (even a blank import drags the registry
+// into the kernel's dependency graph).
+func checkObsImport(fset *token.FileSet, file *ast.File) []Finding {
+	var out []Finding
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) == obsImportPath {
+			out = append(out, Finding{Pos: fset.Position(imp.Pos()),
+				Msg: "kernel package imports internal/obs (telemetry belongs in the serving/scan layers; callers time the kernels)"})
+		}
+	}
 	return out
 }
 

@@ -129,6 +129,34 @@ func jitter() float64 { return mr.Float64() }`)
 	}
 }
 
+func TestObsImportFlaggedInKernelPkg(t *testing.T) {
+	fs := check(t, `package nn
+import "pragformer/internal/obs"
+var reg = obs.NewRegistry()`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "internal/obs") {
+		t.Fatalf("findings = %+v, want the obs import violation", fs)
+	}
+}
+
+func TestObsImportFlaggedUnderAlias(t *testing.T) {
+	// Aliased and blank imports still drag the registry into the kernel.
+	fs := check(t, `package tensor
+import _ "pragformer/internal/obs"`)
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "internal/obs") {
+		t.Fatalf("findings = %+v, want the blank obs import violation", fs)
+	}
+}
+
+func TestObsImportAllowedOutsideKernels(t *testing.T) {
+	// The serving layer is exactly where telemetry belongs.
+	fs := check(t, `package serve
+import "pragformer/internal/obs"
+var reg = obs.NewRegistry()`)
+	if len(fs) != 0 {
+		t.Fatalf("findings = %+v, want none outside the kernel set", fs)
+	}
+}
+
 func TestDeterminismShadowedIdentIgnored(t *testing.T) {
 	fs := check(t, `package nn
 type clock struct{}

@@ -26,11 +26,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pragformer/internal/advisor"
 	"pragformer/internal/cast"
 	"pragformer/internal/cparse"
 	"pragformer/internal/dep"
+	"pragformer/internal/obs"
 )
 
 // Config tunes a scan. Zero values take the documented defaults.
@@ -342,6 +344,10 @@ func run(
 	if sg == nil {
 		return nil, fmt.Errorf("scan: a suggester is required")
 	}
+	// Stage tracing rides the context (nil when untraced — every recording
+	// call below is then a no-op, and the untraced path stays byte- and
+	// behavior-identical; timing never reaches the report or the store).
+	tr := obs.TraceFrom(ctx)
 	// Resolve the verdict store: an injected tier-wide store, or the
 	// per-scan file cache (empty CachePath = in-memory only, discarded).
 	store := cfg.Store
@@ -354,6 +360,9 @@ func run(
 		fileStore = fs
 		store = fs
 	}
+	if tr != nil {
+		store = tracedStore{inner: store, tr: tr}
+	}
 
 	srcs := make(chan Source, cfg.Workers)
 	outs := make(chan fileOut, cfg.Workers)
@@ -365,7 +374,9 @@ func run(
 	go func() {
 		defer produceWG.Done()
 		defer close(srcs)
+		endWalk := tr.Start("walk")
 		produceErr = produce(ctx, srcs)
+		endWalk()
 	}()
 
 	// Parse workers.
@@ -375,8 +386,11 @@ func run(
 		go func() {
 			defer parseWG.Done()
 			for src := range srcs {
+				endParse := tr.Start("parse")
+				fo := parseSource(src, cfg, rel)
+				endParse()
 				select {
-				case outs <- parseSource(src, cfg, rel):
+				case outs <- fo:
 				case <-ctx.Done():
 					return
 				}
@@ -403,7 +417,10 @@ func run(
 				continue // drain without inferring
 			}
 			inferred += len(chunk)
-			if err := suggestChunk(sg, chunk); err != nil {
+			endAdvise := tr.Start("advise")
+			err := suggestChunk(sg, chunk)
+			endAdvise()
+			if err != nil {
 				for _, l := range chunk {
 					l.Error = err.Error()
 				}
@@ -438,6 +455,7 @@ func run(
 		return nil
 	}
 	var collectErr error
+	var dDedupe time.Duration // single aggregate span, emitted after collect
 collect:
 	for {
 		select {
@@ -453,8 +471,15 @@ collect:
 			rep.Counters.Files++
 			for _, ol := range fo.loops {
 				rep.Counters.Loops++
+				var tDedupe time.Time
+				if tr != nil {
+					tDedupe = time.Now()
+				}
 				h := HashSnippet(ol.snippet)
 				l, seen := byHash[h]
+				if tr != nil {
+					dDedupe += time.Since(tDedupe)
+				}
 				if !seen {
 					l = &Loop{Hash: h, Snippet: ol.snippet, ast: ol.loop}
 					byHash[h] = l
@@ -482,6 +507,9 @@ collect:
 	}
 	if collectErr == nil {
 		collectErr = flush()
+	}
+	if tr != nil {
+		tr.Observe("dedupe", dDedupe)
 	}
 	close(chunks)
 	<-infDone
@@ -516,6 +544,26 @@ collect:
 	}
 	return rep, nil
 }
+
+// tracedStore wraps a VerdictStore with store.get/store.put spans. Only
+// installed when the scan's context carries a trace, so the untraced path
+// never pays the clock reads.
+type tracedStore struct {
+	inner VerdictStore
+	tr    *obs.Trace
+}
+
+func (s tracedStore) Get(hash string) (*Suggestion, bool) {
+	defer s.tr.Start("store.get")()
+	return s.inner.Get(hash)
+}
+
+func (s tracedStore) Put(hash string, v *Suggestion) {
+	defer s.tr.Start("store.put")()
+	s.inner.Put(hash, v)
+}
+
+func (s tracedStore) Len() int { return s.inner.Len() }
 
 // Verdict is one snippet's outcome from a VerdictSuggester: either a
 // pre-flattened suggestion or a per-snippet error.

@@ -2,9 +2,12 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pragformer/internal/obs"
 )
 
 // The batcher is the engine's composable coalescing unit: one dispatcher
@@ -14,20 +17,37 @@ import (
 // queue depth, in-flight count, shed counter — into fleet-wide admission
 // control.
 
-// call is one queued request.
+// call is one queued request. ctx and enqueued let the worker shed calls
+// whose deadline expired while they sat in the queue — an expired call's
+// caller has already returned via ctx.Done, so running it would only burn
+// a forward. tr is the request trace (nil when untraced).
 type call[P any, K comparable, R any] struct {
-	payload P
-	key     K
-	res     chan R // buffered(1): the worker never blocks delivering
+	payload  P
+	key      K
+	res      chan R // buffered(1): the worker never blocks delivering
+	ctx      context.Context
+	enqueued time.Time
+	tr       *obs.Trace
 }
 
 // runSet is one immutable generation of per-replica run functions. A hot
 // reload publishes a fresh runSet through the batcher's atomic pointer;
 // workers snapshot the set once per batch, so an in-flight batch finishes
 // on the model it started with while the next batch picks up the swap.
+// A run returns its results plus coarse stage timings (the advisor's
+// infer/corroborate split) that the worker folds into each call's trace.
 type runSet[P any, R any] struct {
 	gen  uint64
-	runs []func([]P) []R
+	runs []func([]P) ([]R, []obs.Stage)
+}
+
+// batcherMetrics are the telemetry series one batcher records into. Any
+// field may be nil (the engine wires them; direct construction in tests
+// may not) — nil fields are skipped.
+type batcherMetrics struct {
+	queueWait *obs.Histogram // pf_batch_queue_wait_seconds
+	compute   *obs.Histogram // pf_batch_compute_seconds
+	deadline  *obs.Counter   // pf_deadline_exceeded_total
 }
 
 // batcher coalesces calls of one kind and fans batches across workers.
@@ -41,13 +61,15 @@ type batcher[P any, K comparable, R any] struct {
 	shed     bool
 	done     chan struct{}
 	wg       *sync.WaitGroup
+	m        batcherMetrics
 
-	requests  atomic.Uint64
-	cacheHits atomic.Uint64
-	batches   atomic.Uint64
-	items     atomic.Uint64
-	sheds     atomic.Uint64
-	inflight  atomic.Int64
+	requests         atomic.Uint64
+	cacheHits        atomic.Uint64
+	batches          atomic.Uint64
+	items            atomic.Uint64
+	sheds            atomic.Uint64
+	deadlineExceeded atomic.Uint64
+	inflight         atomic.Int64
 }
 
 // newBatcher starts one dispatcher plus one worker per run function; all
@@ -56,7 +78,8 @@ type batcher[P any, K comparable, R any] struct {
 // ErrSaturated instead of blocking the caller.
 func newBatcher[P any, K comparable, R any](
 	maxBatch int, maxWait time.Duration, cacheSize, queueDepth int, shed bool,
-	runs []func([]P) []R, done chan struct{}, wg *sync.WaitGroup,
+	runs []func([]P) ([]R, []obs.Stage), bm batcherMetrics,
+	done chan struct{}, wg *sync.WaitGroup,
 ) *batcher[P, K, R] {
 	if queueDepth <= 0 {
 		queueDepth = maxBatch * len(runs)
@@ -70,6 +93,7 @@ func newBatcher[P any, K comparable, R any](
 		shed:     shed,
 		done:     done,
 		wg:       wg,
+		m:        bm,
 	}
 	b.cur.Store(&runSet[P, R]{runs: runs}) // generation 0, matching the cache
 	wg.Add(1 + len(runs))
@@ -83,7 +107,7 @@ func newBatcher[P any, K comparable, R any](
 // setRuns atomically swaps in a new generation of run functions and rolls
 // the cache. The slice length must equal the worker count fixed at
 // construction; callers serialize swaps (Engine.reloadMu).
-func (b *batcher[P, K, R]) setRuns(runs []func([]P) []R) {
+func (b *batcher[P, K, R]) setRuns(runs []func([]P) ([]R, []obs.Stage)) {
 	next := &runSet[P, R]{gen: b.cur.Load().gen + 1, runs: runs}
 	b.cur.Store(next)
 	b.cache.reset(next.gen)
@@ -127,20 +151,54 @@ func (b *batcher[P, K, R]) dispatch() {
 // delivers per-call results. The runSet is snapshotted once per batch:
 // results are cached under the snapshot's generation, so a batch that
 // raced a reload cannot write stale results into the fresh cache.
+//
+// Calls whose context died in the queue are dropped before the forward —
+// their callers already returned, so computing for them is pure waste; a
+// deadline expiry is counted separately from other cancellations.
 func (b *batcher[P, K, R]) worker(r int) {
 	defer b.wg.Done()
 	for {
 		select {
 		case batch := <-b.work:
+			live := batch[:0]
+			for _, c := range batch {
+				if err := c.ctx.Err(); err != nil {
+					if errors.Is(err, context.DeadlineExceeded) {
+						b.deadlineExceeded.Add(1)
+						if b.m.deadline != nil {
+							b.m.deadline.Inc()
+						}
+					}
+					continue
+				}
+				qw := time.Since(c.enqueued)
+				if b.m.queueWait != nil {
+					b.m.queueWait.Observe(qw.Seconds())
+				}
+				c.tr.Add("queue-wait", c.enqueued, qw)
+				live = append(live, c)
+			}
+			if len(live) == 0 {
+				continue
+			}
 			rs := b.cur.Load()
-			payloads := make([]P, len(batch))
-			for i, c := range batch {
+			payloads := make([]P, len(live))
+			for i, c := range live {
 				payloads[i] = c.payload
 			}
-			results := rs.runs[r](payloads)
+			t0 := time.Now()
+			results, stages := rs.runs[r](payloads)
+			dc := time.Since(t0)
+			if b.m.compute != nil {
+				b.m.compute.Observe(dc.Seconds())
+			}
 			b.batches.Add(1)
-			b.items.Add(uint64(len(batch)))
-			for i, c := range batch {
+			b.items.Add(uint64(len(live)))
+			for i, c := range live {
+				c.tr.Add("batch-compute", t0, dc)
+				for _, st := range stages {
+					c.tr.Add(st.Name, t0, st.Dur)
+				}
 				b.cache.put(c.key, results[i], rs.gen)
 				c.res <- results[i]
 			}
@@ -154,17 +212,30 @@ func (b *batcher[P, K, R]) worker(r int) {
 // cancellation, or engine close. In shed mode a full queue returns
 // ErrSaturated immediately — the engine's admission-control contract:
 // callers (the HTTP layer, the tier router) translate it into 429 +
-// Retry-After instead of letting latency collapse under overload.
+// Retry-After instead of letting latency collapse under overload. A
+// context already past its deadline is shed before touching the queue.
 func (b *batcher[P, K, R]) do(ctx context.Context, payload P, key K) (R, error) {
 	var zero R
 	b.requests.Add(1)
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			b.deadlineExceeded.Add(1)
+			if b.m.deadline != nil {
+				b.m.deadline.Inc()
+			}
+		}
+		return zero, err
+	}
 	if r, ok := b.cache.get(key); ok {
 		b.cacheHits.Add(1)
 		return r, nil
 	}
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
-	c := &call[P, K, R]{payload: payload, key: key, res: make(chan R, 1)}
+	c := &call[P, K, R]{
+		payload: payload, key: key, res: make(chan R, 1),
+		ctx: ctx, enqueued: time.Now(), tr: obs.TraceFrom(ctx),
+	}
 	if b.shed {
 		select {
 		case b.queue <- c:
@@ -203,12 +274,13 @@ func (b *batcher[P, K, R]) do(ctx context.Context, payload P, key K) (R, error) 
 
 func (b *batcher[P, K, R]) stats() PathStats {
 	return PathStats{
-		Requests:   b.requests.Load(),
-		CacheHits:  b.cacheHits.Load(),
-		Batches:    b.batches.Load(),
-		Items:      b.items.Load(),
-		Sheds:      b.sheds.Load(),
-		QueueDepth: len(b.queue),
-		InFlight:   int(b.inflight.Load()),
+		Requests:         b.requests.Load(),
+		CacheHits:        b.cacheHits.Load(),
+		Batches:          b.batches.Load(),
+		Items:            b.items.Load(),
+		Sheds:            b.sheds.Load(),
+		DeadlineExceeded: b.deadlineExceeded.Load(),
+		QueueDepth:       len(b.queue),
+		InFlight:         int(b.inflight.Load()),
 	}
 }

@@ -25,12 +25,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pragformer/internal/advisor"
 	"pragformer/internal/core"
+	"pragformer/internal/obs"
 	"pragformer/internal/tokenize"
 )
 
@@ -82,6 +84,16 @@ type Config struct {
 	// only the final swap is atomic. Nil disables source-driven reloads;
 	// Reload with an explicit bundle always works.
 	Source func() (*advisor.Models, error)
+	// Metrics is the telemetry registry the engine records into (request
+	// histograms, batcher counters, stage timings) and that GET /metrics
+	// exposes. Nil gets a private registry, so embedded engines and tests
+	// never cross-wire series.
+	Metrics *obs.Registry
+	// Trace makes the HTTP layer trace every request, not just those
+	// carrying the X-PF-Trace header.
+	Trace bool
+	// Logger, when set, receives one structured line per traced request.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -109,6 +121,10 @@ type PathStats struct {
 	Batches   uint64 // coalesced batches executed
 	Items     uint64 // requests carried by those batches
 	Sheds     uint64 // requests refused with ErrSaturated (shed mode)
+	// DeadlineExceeded counts requests dropped because their client
+	// deadline expired before the forward ran — at admission or while
+	// waiting in the batch queue.
+	DeadlineExceeded uint64
 	// QueueDepth is the number of requests waiting in the batcher queue
 	// right now; InFlight counts admitted requests not yet answered
 	// (queued or inside a running batch).
@@ -166,6 +182,7 @@ type suggestOut struct {
 type Engine struct {
 	models  atomic.Pointer[advisor.Models]
 	cfg     Config
+	reg     *obs.Registry
 	predict *batcher[[]int, string, float64]
 	suggest *batcher[string, string, suggestOut]
 
@@ -195,17 +212,56 @@ func New(models *advisor.Models, cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
-	e := &Engine{cfg: cfg, done: make(chan struct{})}
+	e := &Engine{cfg: cfg, reg: cfg.Metrics, done: make(chan struct{})}
+	if e.reg == nil {
+		e.reg = obs.NewRegistry()
+	}
 	e.models.Store(models)
 
 	predictRuns, suggestRuns := e.buildRuns(models)
 	e.predict = newBatcher[[]int, string, float64](
 		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.QueueDepth, cfg.Shed,
-		predictRuns, e.done, &e.wg)
+		predictRuns, e.batcherMetrics("predict"), e.done, &e.wg)
 	e.suggest = newBatcher[string, string, suggestOut](
 		cfg.MaxBatch, cfg.MaxWait, cfg.CacheSize, cfg.QueueDepth, cfg.Shed,
-		suggestRuns, e.done, &e.wg)
+		suggestRuns, e.batcherMetrics("suggest"), e.done, &e.wg)
+	regBatcher(e.reg, "predict", e.predict)
+	regBatcher(e.reg, "suggest", e.suggest)
+	e.reg.CounterFunc("pf_reloads_total", "Completed hot model swaps.", nil, e.reloads.Load)
+	e.reg.GaugeFunc("pf_model_generation", "Model generation currently serving.", nil,
+		func() float64 { return float64(e.predict.cur.Load().gen) })
 	return e, nil
+}
+
+// Metrics exposes the engine's telemetry registry (the one GET /metrics
+// renders) so embedding binaries can add their own series.
+func (e *Engine) Metrics() *obs.Registry { return e.reg }
+
+// batcherMetrics builds one path's recorded-into telemetry series.
+func (e *Engine) batcherMetrics(path string) batcherMetrics {
+	l := obs.Labels{"path": path}
+	return batcherMetrics{
+		queueWait: e.reg.Histogram("pf_batch_queue_wait_seconds",
+			"Time a request waited in the batch queue before its forward, in seconds.", l, nil),
+		compute: e.reg.Histogram("pf_batch_compute_seconds",
+			"Batched forward compute time, in seconds.", l, nil),
+		deadline: e.reg.Counter("pf_deadline_exceeded_total",
+			"Requests shed because the client deadline had already expired.", l),
+	}
+}
+
+// regBatcher registers one batcher's counters and admission gauges.
+func regBatcher[P any, K comparable, R any](reg *obs.Registry, path string, b *batcher[P, K, R]) {
+	l := obs.Labels{"path": path}
+	reg.CounterFunc("pf_batcher_requests_total", "Requests accepted by the batcher.", l, b.requests.Load)
+	reg.CounterFunc("pf_cache_hits_total", "Requests answered from the LRU without queueing.", l, b.cacheHits.Load)
+	reg.CounterFunc("pf_batches_total", "Coalesced batches executed.", l, b.batches.Load)
+	reg.CounterFunc("pf_batch_items_total", "Requests carried by executed batches.", l, b.items.Load)
+	reg.CounterFunc("pf_sheds_total", "Requests refused at admission (queue saturated).", l, b.sheds.Load)
+	reg.GaugeFunc("pf_queue_depth", "Requests waiting in the batch queue right now.", l,
+		func() float64 { return float64(len(b.queue)) })
+	reg.GaugeFunc("pf_in_flight", "Admitted requests not yet answered.", l,
+		func() float64 { return float64(b.inflight.Load()) })
 }
 
 func validateModels(models *advisor.Models) error {
@@ -218,21 +274,23 @@ func validateModels(models *advisor.Models) error {
 // buildRuns constructs one generation of per-replica run functions over a
 // model bundle — the expensive part of a reload (replica deep copies),
 // done before anything is swapped.
-func (e *Engine) buildRuns(models *advisor.Models) ([]func([][]int) []float64, []func([]string) []suggestOut) {
+func (e *Engine) buildRuns(models *advisor.Models) ([]func([][]int) ([]float64, []obs.Stage), []func([]string) ([]suggestOut, []obs.Stage)) {
 	// Predict replicas: replica 0 serves from the bundle's model, the rest
 	// from deep copies, so Replicas batches can run truly concurrently.
-	predictRuns := make([]func([][]int) []float64, e.cfg.Replicas)
+	predictRuns := make([]func([][]int) ([]float64, []obs.Stage), e.cfg.Replicas)
 	directive := models.Directive
 	vocab := directive.VocabSize()
-	wrap := func(run func([][]int) []float64) func([][]int) []float64 {
-		return func(batch [][]int) []float64 {
+	wrap := func(run func([][]int) []float64) func([][]int) ([]float64, []obs.Stage) {
+		return func(batch [][]int) ([]float64, []obs.Stage) {
 			// Requests are validated against the bundle that was current
 			// when they arrived; a batch drained just after a reload may
 			// carry ids the new vocabulary cannot embed. Clamp them to
 			// [UNK] instead of letting the embedding lookup panic a
 			// worker mid-swap.
 			sanitizeIDs(batch, vocab)
-			return run(batch)
+			t0 := time.Now()
+			out := run(batch)
+			return out, []obs.Stage{{Name: "infer", Dur: time.Since(t0)}}
 		}
 	}
 	predictRuns[0] = wrap(directive.PredictBatch)
@@ -250,22 +308,30 @@ func (e *Engine) buildRuns(models *advisor.Models) ([]func([][]int) []float64, [
 
 	// Suggest workers share the Models: the advisor pipeline is read-only
 	// over its classifiers, so concurrency needs no replicas — the workers
-	// exist to let batches overlap.
-	suggestRun := func(codes []string) []suggestOut {
-		items, err := models.SuggestBatch(codes)
+	// exist to let batches overlap. The per-batch stage hook splits the
+	// advisor's time into infer vs corroborate for the request trace and
+	// the pf_stage_duration_seconds histogram.
+	suggestRun := func(codes []string) ([]suggestOut, []obs.Stage) {
+		var stages []obs.Stage
+		items, err := models.SuggestBatchStaged(codes, func(stage string, d time.Duration) {
+			stages = append(stages, obs.Stage{Name: stage, Dur: d})
+			e.reg.Histogram("pf_stage_duration_seconds",
+				"Advisor pipeline stage time per batch, in seconds.",
+				obs.Labels{"stage": stage}, nil).Observe(d.Seconds())
+		})
 		out := make([]suggestOut, len(codes))
 		if err != nil {
 			for i := range out {
 				out[i] = suggestOut{err: err}
 			}
-			return out
+			return out, stages
 		}
 		for i, it := range items {
 			out[i] = suggestOut{s: it.Suggestion, err: it.Err}
 		}
-		return out
+		return out, stages
 	}
-	suggestRuns := make([]func([]string) []suggestOut, e.cfg.Replicas)
+	suggestRuns := make([]func([]string) ([]suggestOut, []obs.Stage), e.cfg.Replicas)
 	for r := range suggestRuns {
 		suggestRuns[r] = suggestRun
 	}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"pragformer/internal/dep"
+	"pragformer/internal/obs"
 	"pragformer/internal/tokenize"
 )
 
@@ -99,16 +100,21 @@ type healthzResponse struct {
 	Stats      Stats  `json:"stats"`
 }
 
-// Handler returns the engine's HTTP API.
+// Handler returns the engine's HTTP API. The request-serving POST routes
+// run under the obs middleware: duration histograms per path, trace
+// minting/propagation via X-PF-Trace, and X-PF-Deadline-Ms enforcement
+// (an expired budget is shed with 504 before any work).
 func (e *Engine) Handler() http.Handler {
+	mw := obs.NewMiddleware(e.reg, e.cfg.Trace, e.cfg.Logger)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", e.handlePredict)
-	mux.HandleFunc("POST /suggest", e.handleSuggest)
-	mux.HandleFunc("POST /scan", e.handleScan)
+	mux.HandleFunc("POST /predict", mw.Wrap("/predict", e.handlePredict))
+	mux.HandleFunc("POST /suggest", mw.Wrap("/suggest", e.handleSuggest))
+	mux.HandleFunc("POST /scan", mw.Wrap("/scan", e.handleScan))
 	mux.HandleFunc("POST /reload", e.handleReload)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /readyz", e.handleReadyz)
 	mux.HandleFunc("GET /statz", e.handleStatz)
+	mux.Handle("GET /metrics", e.reg.Handler())
 	return mux
 }
 
@@ -188,7 +194,11 @@ func (e *Engine) handlePredict(w http.ResponseWriter, r *http.Request) {
 		shedResponse(w)
 		return
 	}
-	writeJSON(w, map[string]any{"results": results})
+	resp := map[string]any{"results": results}
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		resp["trace"] = tr.Wire()
+	}
+	writeJSON(w, resp)
 }
 
 // shedEntirely reports a request every item of which was refused for
@@ -254,7 +264,11 @@ func (e *Engine) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		shedResponse(w)
 		return
 	}
-	writeJSON(w, map[string]any{"results": results})
+	resp := map[string]any{"results": results}
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		resp["trace"] = tr.Wire()
+	}
+	writeJSON(w, resp)
 }
 
 // handleReload hot-swaps the served models from the configured source.
@@ -317,34 +331,69 @@ type statzResponse struct {
 	Reloads    uint64    `json:"reloads"`
 	Predict    pathStatz `json:"predict"`
 	Suggest    pathStatz `json:"suggest"`
+	// Latency carries the request-duration percentiles per HTTP path —
+	// the same histograms /metrics exposes, folded into the poll the tier
+	// router already makes.
+	Latency map[string]latencyStatz `json:"latency,omitempty"`
 }
 
 type pathStatz struct {
-	Requests   uint64  `json:"requests"`
-	CacheHits  uint64  `json:"cache_hits"`
-	Batches    uint64  `json:"batches"`
-	Items      uint64  `json:"items"`
-	Sheds      uint64  `json:"sheds"`
-	QueueDepth int     `json:"queue_depth"`
-	InFlight   int     `json:"in_flight"`
-	AvgBatch   float64 `json:"avg_batch"`
-	HitRate    float64 `json:"hit_rate"`
+	Requests         uint64  `json:"requests"`
+	CacheHits        uint64  `json:"cache_hits"`
+	Batches          uint64  `json:"batches"`
+	Items            uint64  `json:"items"`
+	Sheds            uint64  `json:"sheds"`
+	DeadlineExceeded uint64  `json:"deadline_exceeded"`
+	QueueDepth       int     `json:"queue_depth"`
+	InFlight         int     `json:"in_flight"`
+	AvgBatch         float64 `json:"avg_batch"`
+	HitRate          float64 `json:"hit_rate"`
+}
+
+// latencyStatz is one path's request-duration summary in milliseconds.
+type latencyStatz struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// latencyStatzFrom summarizes a request-duration histogram; zero when the
+// path has seen no requests.
+func latencyStatzFrom(h *obs.Histogram) latencyStatz {
+	return latencyStatz{
+		Count: h.Count(),
+		P50Ms: h.Quantile(0.50) * 1000,
+		P90Ms: h.Quantile(0.90) * 1000,
+		P99Ms: h.Quantile(0.99) * 1000,
+		MaxMs: h.Max() * 1000,
+	}
 }
 
 func toPathStatz(s PathStats) pathStatz {
 	return pathStatz{
 		Requests: s.Requests, CacheHits: s.CacheHits, Batches: s.Batches,
-		Items: s.Items, Sheds: s.Sheds, QueueDepth: s.QueueDepth,
-		InFlight: s.InFlight, AvgBatch: s.AvgBatch(), HitRate: s.HitRate(),
+		Items: s.Items, Sheds: s.Sheds, DeadlineExceeded: s.DeadlineExceeded,
+		QueueDepth: s.QueueDepth,
+		InFlight:   s.InFlight, AvgBatch: s.AvgBatch(), HitRate: s.HitRate(),
 	}
 }
 
 func (e *Engine) handleStatz(w http.ResponseWriter, _ *http.Request) {
 	st := e.Stats()
+	latency := map[string]latencyStatz{}
+	for _, path := range []string{"/predict", "/suggest", "/scan"} {
+		h := obs.RequestHistogram(e.reg, path)
+		if h.Count() > 0 {
+			latency[path] = latencyStatzFrom(h)
+		}
+	}
 	writeJSON(w, statzResponse{
 		Backend: st.Backend, Generation: st.Generation,
 		Draining: st.Draining, Reloading: st.Reloading, Reloads: st.Reloads,
 		Predict: toPathStatz(st.Predict), Suggest: toPathStatz(st.Suggest),
+		Latency: latency,
 	})
 }
 

@@ -1,0 +1,234 @@
+package tier
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pragformer/internal/obs"
+)
+
+// obsReplica is a fake replica that records the telemetry headers the
+// router forwards and answers with a replica-side trace, so tests can
+// assert the full propagation loop: client → router → replica → merged
+// response.
+type obsReplica struct {
+	srv      *httptest.Server
+	traceID  atomic.Pointer[string]
+	deadline atomic.Pointer[string]
+	predicts atomic.Int64
+	suggests atomic.Int64
+}
+
+func newObsReplica(t *testing.T) *obsReplica {
+	f := &obsReplica{}
+	record := func(r *http.Request) *obs.Wire {
+		tid, dl := r.Header.Get(obs.TraceHeader), r.Header.Get(obs.DeadlineHeader)
+		f.traceID.Store(&tid)
+		f.deadline.Store(&dl)
+		if tid == "" {
+			return nil
+		}
+		return &obs.Wire{ID: tid, Spans: []obs.WireSpan{{Name: "replica-infer", DurUs: 42}}}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /predict", func(w http.ResponseWriter, r *http.Request) {
+		f.predicts.Add(1)
+		wire := record(r)
+		var req predictRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		results := make([]predictResult, len(req.Codes)+len(req.IDs))
+		for i := range results {
+			results[i] = predictResult{Probability: 0.9, Parallelize: true}
+		}
+		_ = json.NewEncoder(w).Encode(predictResponse{Results: results, Trace: wire})
+	})
+	mux.HandleFunc("POST /suggest", func(w http.ResponseWriter, r *http.Request) {
+		f.suggests.Add(1)
+		wire := record(r)
+		var req suggestRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		codes := req.Codes
+		if req.Code != "" {
+			codes = append(codes, req.Code)
+		}
+		results := make([]suggestResult, len(codes))
+		for i, c := range codes {
+			results[i] = fakeVerdict(c)
+		}
+		_ = json.NewEncoder(w).Encode(suggestResponse{Results: results, Trace: wire})
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		var st replicaStatz
+		st.Backend = "fake"
+		st.Generation = 1
+		_ = json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]any{"ready": true})
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *obsReplica) seenTrace() string {
+	if p := f.traceID.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func (f *obsReplica) seenDeadline() string {
+	if p := f.deadline.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+func obsRouter(t *testing.T, f *obsReplica) *Router {
+	return newTestRouter(t, Config{Replicas: []string{f.srv.URL}})
+}
+
+// TestTracePropagatedToReplica drives the acceptance criterion: a traced
+// /suggest routed through the tier carries the trace ID to the replica
+// over the fan-out, and the merged response reports router spans
+// (admit/route/forward) next to the replica's own.
+func TestTracePropagatedToReplica(t *testing.T) {
+	f := newObsReplica(t)
+	rt := obsRouter(t, f)
+
+	body, _ := json.Marshal(suggestRequest{Codes: []string{"for (i = 0; i < n; i++) a[i] = b[i];"}})
+	req := httptest.NewRequest(http.MethodPost, "/suggest", strings.NewReader(string(body)))
+	req.Header.Set(obs.TraceHeader, "deadbeefdeadbeef")
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got := rec.Header().Get(obs.TraceHeader); got != "deadbeefdeadbeef" {
+		t.Fatalf("router trace header echo = %q", got)
+	}
+	if got := f.seenTrace(); got != "deadbeefdeadbeef" {
+		t.Fatalf("replica saw trace %q, want the client's id", got)
+	}
+
+	var resp suggestResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || resp.Trace.ID != "deadbeefdeadbeef" {
+		t.Fatalf("response trace = %+v", resp.Trace)
+	}
+	names := map[string]bool{}
+	for _, s := range resp.Trace.Spans {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"admit", "route", "forward", "replica-infer"} {
+		if !names[want] {
+			t.Errorf("merged trace missing %q span (got %v)", want, names)
+		}
+	}
+}
+
+// TestDeadlinePropagatedToReplica checks the remaining-budget header is
+// re-derived at the router and forwarded: the replica sees a positive
+// budget no larger than the client's.
+func TestDeadlinePropagatedToReplica(t *testing.T) {
+	f := newObsReplica(t)
+	rt := obsRouter(t, f)
+
+	body, _ := json.Marshal(predictRequest{Codes: []string{"for (i = 0; i < n; i++) a[i] = 0;"}})
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(string(body)))
+	req.Header.Set(obs.DeadlineHeader, "5000")
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	dl := f.seenDeadline()
+	if dl == "" {
+		t.Fatal("replica saw no deadline header")
+	}
+	ms, err := strconv.ParseInt(dl, 10, 64)
+	if err != nil || ms <= 0 || ms > 5000 {
+		t.Fatalf("replica deadline header = %q, want 0 < ms <= 5000", dl)
+	}
+}
+
+// TestExpiredDeadlineShedsBeforeForward: a request arriving with an
+// already-spent budget is answered 504 by the router; the replica never
+// sees it.
+func TestExpiredDeadlineShedsBeforeForward(t *testing.T) {
+	f := newObsReplica(t)
+	rt := obsRouter(t, f)
+
+	body, _ := json.Marshal(predictRequest{Codes: []string{"x"}})
+	req := httptest.NewRequest(http.MethodPost, "/predict", strings.NewReader(string(body)))
+	req.Header.Set(obs.DeadlineHeader, "0")
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", rec.Code)
+	}
+	if n := f.predicts.Load(); n != 0 {
+		t.Fatalf("replica received %d forwards for a dead request", n)
+	}
+}
+
+// TestStatzErrorsSurfaced: failed health polls against an unreachable
+// replica are counted and reported per replica in the router's /statz.
+func TestStatzErrorsSurfaced(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // nothing listens here any more
+
+	rt := newTestRouter(t, Config{Replicas: []string{deadURL}, ProbeInterval: 5 * time.Millisecond})
+
+	waitFor(t, "statz errors to accumulate", func() bool {
+		rec := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/statz", nil))
+		var st tierStatz
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			return false
+		}
+		return len(st.Replicas) == 1 && st.Replicas[0].StatzErrors > 0
+	})
+}
+
+// TestRouterMetricsEndpoint: the router's GET /metrics speaks Prometheus
+// text and carries the tier series the CI smoke greps for.
+func TestRouterMetricsEndpoint(t *testing.T) {
+	f := newObsReplica(t)
+	rt := obsRouter(t, f)
+
+	body, _ := json.Marshal(predictRequest{Codes: []string{"for (i = 0; i < n; i++) a[i] = 0;"}})
+	rec := postJSON(t, rt.Handler(), "/predict", json.RawMessage(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict status %d: %s", rec.Code, rec.Body.String())
+	}
+
+	mrec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", mrec.Code)
+	}
+	text := mrec.Body.String()
+	for _, want := range []string{
+		`pf_request_duration_seconds_count{path="/predict"}`,
+		"pf_forwards_total",
+		"pf_store_hits_total",
+		"pf_store_misses_total",
+		"pf_statz_errors_total",
+		"pf_replica_in_flight",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("router metrics missing %q", want)
+		}
+	}
+}

@@ -49,11 +49,19 @@ type replica struct {
 	// fails counts consecutive forward/probe failures toward ejection.
 	fails atomic.Int32
 
+	// statzErrs counts failed /statz polls — before these were surfaced,
+	// a replica could fail every health poll for minutes (DNS, decode
+	// drift) with nothing visible until ejection.
+	statzErrs atomic.Uint64
+
 	// Signals from the last successful /statz poll.
 	generation atomic.Uint64
 	queueDepth atomic.Int64 // predict + suggest queue depth
 	backend    atomic.Pointer[string]
 	ready      atomic.Bool
+	// p99Micros is the worst per-path p99 request latency the replica
+	// reported, in integer microseconds (atomic-friendly).
+	p99Micros atomic.Int64
 }
 
 func newReplica(name string) *replica {
@@ -87,6 +95,9 @@ type replicaStatz struct {
 		InFlight   int    `json:"in_flight"`
 		Sheds      uint64 `json:"sheds"`
 	} `json:"suggest"`
+	Latency map[string]struct {
+		P99Ms float64 `json:"p99_ms"`
+	} `json:"latency"`
 }
 
 // probeStatz polls GET /statz and refreshes the replica's admission
@@ -95,18 +106,22 @@ type replicaStatz struct {
 func (r *replica) probeStatz(ctx context.Context, client *http.Client) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.name+"/statz", nil)
 	if err != nil {
+		r.statzErrs.Add(1)
 		return err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
+		r.statzErrs.Add(1)
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		r.statzErrs.Add(1)
 		return fmt.Errorf("statz: %s", resp.Status)
 	}
 	var st replicaStatz
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		r.statzErrs.Add(1)
 		return err
 	}
 	r.generation.Store(st.Generation)
@@ -114,6 +129,15 @@ func (r *replica) probeStatz(ctx context.Context, client *http.Client) error {
 	b := st.Backend
 	r.backend.Store(&b)
 	r.ready.Store(!st.Draining && !st.Reloading)
+	var worst float64
+	for _, l := range st.Latency {
+		if l.P99Ms > worst {
+			worst = l.P99Ms
+		}
+	}
+	if worst > 0 {
+		r.p99Micros.Store(int64(worst * 1000))
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sync"
@@ -27,6 +28,7 @@ import (
 
 	"pragformer/internal/cast"
 	"pragformer/internal/cparse"
+	"pragformer/internal/obs"
 	"pragformer/internal/s2s"
 	"pragformer/internal/scan"
 )
@@ -69,6 +71,16 @@ type Config struct {
 	// Client is the HTTP client for forwards and probes (nil = a client
 	// with a 30s timeout).
 	Client *http.Client
+	// Metrics is the telemetry registry GET /metrics exposes; nil gets a
+	// private registry so embedded routers and tests never cross-wire
+	// series.
+	Metrics *obs.Registry
+	// Trace makes the router trace every request, not just those carrying
+	// the X-PF-Trace header. Traces propagate to replicas over fan-out
+	// forwards and replica spans are merged into the response.
+	Trace bool
+	// Logger, when set, receives one structured line per traced request.
+	Logger *slog.Logger
 }
 
 func (c *Config) fillDefaults() {
@@ -114,6 +126,11 @@ type Router struct {
 	store   scan.VerdictStore
 	limiter *limiter
 	client  *http.Client
+	reg     *obs.Registry
+	// deadlineExp counts forwards abandoned because the client budget
+	// expired between admission and the forward itself (the middleware
+	// already sheds budgets that arrive expired).
+	deadlineExp *obs.Counter
 
 	backend atomic.Pointer[string] // adopted verdict-namespace backend
 
@@ -151,7 +168,11 @@ func New(cfg Config) (*Router, error) {
 		store:   cfg.Store,
 		limiter: newLimiter(cfg.RatePerSec, cfg.Burst),
 		client:  cfg.Client,
+		reg:     cfg.Metrics,
 		done:    make(chan struct{}),
+	}
+	if rt.reg == nil {
+		rt.reg = obs.NewRegistry()
 	}
 	b := cfg.Backend
 	rt.backend.Store(&b)
@@ -161,9 +182,44 @@ func New(cfg Config) (*Router, error) {
 		}
 		rt.reps[name] = newReplica(name)
 	}
+	rt.registerMetrics()
 	rt.wg.Add(1)
 	go rt.probeLoop()
 	return rt, nil
+}
+
+// Metrics exposes the router's telemetry registry (the one GET /metrics
+// renders).
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
+
+// registerMetrics wires the router counters and per-replica gauges into
+// the registry.
+func (rt *Router) registerMetrics() {
+	reg := rt.reg
+	rt.deadlineExp = reg.Counter("pf_deadline_exceeded_total",
+		"Requests shed because the client deadline had already expired.",
+		obs.Labels{"path": "forward"})
+	reg.CounterFunc("pf_forwards_total", "Forwards attempted to replicas.", nil, rt.forwards.Load)
+	reg.CounterFunc("pf_forward_errors_total", "Forwards that failed at transport or replica level.", nil, rt.forwardErrs.Load)
+	reg.CounterFunc("pf_sheds_total", "Request items shed with no routable replica.", nil, rt.sheds.Load)
+	reg.CounterFunc("pf_rate_limited_total", "Requests refused by the per-client token buckets.", nil, rt.rateLimited.Load)
+	reg.CounterFunc("pf_store_hits_total", "Verdict-store read-through hits.", nil, rt.storeHits.Load)
+	reg.CounterFunc("pf_store_misses_total", "Verdict-store read-through misses.", nil, rt.storeMisses.Load)
+	reg.CounterFunc("pf_ejects_total", "Replicas ejected after consecutive failures.", nil, rt.ejects.Load)
+	reg.CounterFunc("pf_readmits_total", "Ejected replicas readmitted after a healthy re-probe.", nil, rt.readmits.Load)
+	reg.CounterFunc("pf_reloads_total", "Completed rolling reloads.", nil, rt.reloads.Load)
+	reg.GaugeFunc("pf_store_len", "Verdicts currently in the shared store.", nil,
+		func() float64 { return float64(rt.store.Len()) })
+	reg.GaugeFunc("pf_store_generation", "Verdict-store generation (rolled by reloads).", nil,
+		func() float64 { return float64(rt.storeGen.Load()) })
+	for _, name := range rt.order {
+		rep := rt.reps[name]
+		l := obs.Labels{"replica": name}
+		reg.CounterFunc("pf_statz_errors_total",
+			"Failed replica /statz probes (silent health-poll failures).", l, rep.statzErrs.Load)
+		reg.GaugeFunc("pf_replica_in_flight", "Router-side in-flight forwards per replica.", l,
+			func() float64 { return float64(rep.inflight.Load()) })
+	}
 }
 
 // Close stops the background prober.
@@ -173,23 +229,30 @@ func (rt *Router) Close() {
 }
 
 // Handler returns the router's HTTP API — the same surface as one
-// cmd/serve replica, fleet-wide.
+// cmd/serve replica, fleet-wide. The request-serving POST routes run
+// under the obs middleware (duration histograms, X-PF-Trace propagation,
+// X-PF-Deadline-Ms enforcement), then the token-bucket gate.
 func (rt *Router) Handler() http.Handler {
+	mw := obs.NewMiddleware(rt.reg, rt.cfg.Trace, rt.cfg.Logger)
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /predict", rt.admitted(rt.handlePredict))
-	mux.HandleFunc("POST /suggest", rt.admitted(rt.handleSuggest))
-	mux.HandleFunc("POST /scan", rt.admitted(rt.handleScan))
+	mux.HandleFunc("POST /predict", mw.Wrap("/predict", rt.admitted(rt.handlePredict)))
+	mux.HandleFunc("POST /suggest", mw.Wrap("/suggest", rt.admitted(rt.handleSuggest)))
+	mux.HandleFunc("POST /scan", mw.Wrap("/scan", rt.admitted(rt.handleScan)))
 	mux.HandleFunc("POST /reload", rt.handleReload)
 	mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	mux.HandleFunc("GET /statz", rt.handleStatz)
+	mux.Handle("GET /metrics", rt.reg.Handler())
 	return mux
 }
 
 // admitted wraps a handler with the per-client token-bucket gate.
 func (rt *Router) admitted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if !rt.limiter.allow(clientKey(r), time.Now()) {
+		end := obs.TraceFrom(r.Context()).Start("admit")
+		ok := rt.limiter.allow(clientKey(r), time.Now())
+		end()
+		if !ok {
 			rt.rateLimited.Add(1)
 			w.Header().Set("Retry-After", "1")
 			httpError(w, http.StatusTooManyRequests, "client rate limit exceeded")
@@ -241,6 +304,16 @@ func (rt *Router) pick(key string) *replica {
 // A replica-side 429 propagates as serve.ErrSaturated-alike shedding but
 // does NOT count toward ejection — a saturated replica is healthy.
 func (rt *Router) forward(ctx context.Context, rep *replica, path string, body, out any) error {
+	// A budget that expired while the request sat in admission or an
+	// earlier group's shadow is shed here, before marshal and transport.
+	if err := ctx.Err(); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			rt.deadlineExp.Inc()
+		}
+		return err
+	}
+	tr := obs.TraceFrom(ctx)
+	defer tr.Start("forward")()
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return err
@@ -253,6 +326,10 @@ func (rt *Router) forward(ctx context.Context, rep *replica, path string, body, 
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID)
+	}
+	obs.SetDeadlineHeader(ctx, req.Header)
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		// Transport failure: connection refused, timeout — the ejection
@@ -427,6 +504,10 @@ type predictResult struct {
 
 type predictResponse struct {
 	Results []predictResult `json:"results"`
+	// Trace carries the replica-side spans when the forward was traced
+	// (merged router-side) — and, on the router's own response, the merged
+	// fleet-wide trace.
+	Trace *obs.Wire `json:"trace,omitempty"`
 }
 
 type suggestRequest struct {
@@ -436,6 +517,7 @@ type suggestRequest struct {
 
 type suggestResponse struct {
 	Results []suggestResult `json:"results"`
+	Trace   *obs.Wire       `json:"trace,omitempty"`
 }
 
 // group is one replica's slice of a fanned-out request.
@@ -469,11 +551,13 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
 	codes := req.Codes
 	if req.Code != "" {
 		codes = append(codes, req.Code)
 	}
 	// Response order is codes then ids, matching one replica's contract.
+	endRoute := tr.Start("route")
 	keys := make([]string, 0, len(codes)+len(req.IDs))
 	for _, code := range codes {
 		keys = append(keys, routeKey(code))
@@ -481,10 +565,12 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 	for _, ids := range req.IDs {
 		keys = append(keys, idsKey(ids))
 	}
+	groups := rt.groupByKey(keys)
+	endRoute()
 	results := make([]predictResult, len(keys))
 	var wg sync.WaitGroup
 	var shed atomic.Int64
-	for _, g := range rt.groupByKey(keys) {
+	for _, g := range groups {
 		if g.rep == nil {
 			for _, i := range g.indices {
 				results[i].Error = errNoReplica.Error()
@@ -507,6 +593,9 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 			var resp predictResponse
 			err := rt.forward(r.Context(), g.rep, "/predict", sub, &resp)
 			settleGroup(g, results, resp.Results, err, setPredictErr, &shed, &rt.sheds)
+			if err == nil {
+				tr.Merge(resp.Trace)
+			}
 		}(g)
 	}
 	wg.Wait()
@@ -514,7 +603,7 @@ func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 		shedResponse(w)
 		return
 	}
-	writeJSON(w, predictResponse{Results: results})
+	writeJSON(w, predictResponse{Results: results, Trace: tr.Wire()})
 }
 
 // settleGroup copies one replica's results back into request order, or
@@ -549,6 +638,7 @@ func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
+	tr := obs.TraceFrom(r.Context())
 	codes := req.Codes
 	if req.Code != "" {
 		codes = append(codes, req.Code)
@@ -557,6 +647,7 @@ func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	keys := make([]string, len(codes))
 	canon := make([]bool, len(codes)) // request text IS the canonical print
 	served := make([]bool, len(codes))
+	endRoute := tr.Start("route")
 	for i, code := range codes {
 		snip, h, ok := canonical(code)
 		if !ok {
@@ -567,7 +658,10 @@ func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		canon[i] = code == snip
 		// Read-through: a stored verdict for this canonical loop answers
 		// without a forward — the scan dedupe contract, fleet-wide.
-		if s, hit := rt.store.Get(rt.storeKey(h)); hit {
+		endGet := tr.Start("store.get")
+		s, hit := rt.store.Get(rt.storeKey(h))
+		endGet()
+		if hit {
 			rt.storeHits.Add(1)
 			results[i] = verdictToResult(s)
 			served[i] = true
@@ -587,7 +681,9 @@ func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	for k, i := range pending {
 		pendKeys[k] = keys[i]
 	}
-	for _, g := range rt.groupByKey(pendKeys) {
+	groups := rt.groupByKey(pendKeys)
+	endRoute()
+	for _, g := range groups {
 		mapped := &group{rep: g.rep}
 		for _, k := range g.indices {
 			mapped.indices = append(mapped.indices, pending[k])
@@ -613,14 +709,17 @@ func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
+			tr.Merge(resp.Trace)
 			// Populate the shared store — only for canonical-form requests,
 			// so a formatting variant can never poison the canonical loop's
 			// verdict slot.
+			endPut := tr.Start("store.put")
 			for k, i := range g.indices {
 				if k < len(resp.Results) && canon[i] && resp.Results[k].Error == "" {
 					rt.store.Put(rt.storeKey(keys[i]), resultToVerdict(&resp.Results[k]))
 				}
 			}
+			endPut()
 		}(mapped)
 	}
 	wg.Wait()
@@ -628,7 +727,7 @@ func (rt *Router) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		shedResponse(w)
 		return
 	}
-	writeJSON(w, suggestResponse{Results: results})
+	writeJSON(w, suggestResponse{Results: results, Trace: tr.Wire()})
 }
 
 // handleReload runs the rolling reload: one replica at a time is drained
@@ -753,20 +852,33 @@ func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // tierStatz is the router's /statz body.
 type tierStatz struct {
-	Backend     string         `json:"backend"`
-	ModelID     string         `json:"model_id,omitempty"`
-	Forwards    uint64         `json:"forwards"`
-	ForwardErrs uint64         `json:"forward_errors"`
-	Sheds       uint64         `json:"sheds"`
-	RateLimited uint64         `json:"rate_limited"`
-	StoreHits   uint64         `json:"store_hits"`
-	StoreMisses uint64         `json:"store_misses"`
-	StoreLen    int            `json:"store_len"`
-	StoreGen    uint64         `json:"store_generation"`
-	Ejects      uint64         `json:"ejects"`
-	Readmits    uint64         `json:"readmits"`
-	Reloads     uint64         `json:"reloads"`
-	Replicas    []replicaStatd `json:"replicas"`
+	Backend          string         `json:"backend"`
+	ModelID          string         `json:"model_id,omitempty"`
+	Forwards         uint64         `json:"forwards"`
+	ForwardErrs      uint64         `json:"forward_errors"`
+	Sheds            uint64         `json:"sheds"`
+	RateLimited      uint64         `json:"rate_limited"`
+	DeadlineExceeded uint64         `json:"deadline_exceeded"`
+	StoreHits        uint64         `json:"store_hits"`
+	StoreMisses      uint64         `json:"store_misses"`
+	StoreLen         int            `json:"store_len"`
+	StoreGen         uint64         `json:"store_generation"`
+	Ejects           uint64         `json:"ejects"`
+	Readmits         uint64         `json:"readmits"`
+	Reloads          uint64         `json:"reloads"`
+	Replicas         []replicaStatd `json:"replicas"`
+	// Latency carries the router's request-duration percentiles per HTTP
+	// path — the same histograms GET /metrics exposes.
+	Latency map[string]latencyStatz `json:"latency,omitempty"`
+}
+
+// latencyStatz is one path's request-duration summary in milliseconds.
+type latencyStatz struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
 }
 
 // replicaStatd is one replica's row in the router's /statz.
@@ -777,6 +889,12 @@ type replicaStatd struct {
 	QueueDepth int64  `json:"queue_depth"`
 	Generation uint64 `json:"generation"`
 	Backend    string `json:"backend,omitempty"`
+	// StatzErrors counts failed health-poll /statz probes — previously
+	// silent transport or decode failures, surfaced per replica.
+	StatzErrors uint64 `json:"statz_errors"`
+	// P99Ms is the replica's own worst-path p99 request latency as last
+	// reported through its /statz poll; 0 until a poll carries one.
+	P99Ms float64 `json:"p99_ms,omitempty"`
 }
 
 func (rt *Router) handleStatz(w http.ResponseWriter, _ *http.Request) {
@@ -784,10 +902,22 @@ func (rt *Router) handleStatz(w http.ResponseWriter, _ *http.Request) {
 		Backend: rt.backendLabel(), ModelID: rt.cfg.ModelID,
 		Forwards: rt.forwards.Load(), ForwardErrs: rt.forwardErrs.Load(),
 		Sheds: rt.sheds.Load(), RateLimited: rt.rateLimited.Load(),
-		StoreHits: rt.storeHits.Load(), StoreMisses: rt.storeMisses.Load(),
+		DeadlineExceeded: rt.deadlineExp.Value(),
+		StoreHits:        rt.storeHits.Load(), StoreMisses: rt.storeMisses.Load(),
 		StoreLen: rt.store.Len(), StoreGen: rt.storeGen.Load(),
 		Ejects: rt.ejects.Load(), Readmits: rt.readmits.Load(),
 		Reloads: rt.reloads.Load(),
+		Latency: map[string]latencyStatz{},
+	}
+	for _, path := range []string{"/predict", "/suggest", "/scan"} {
+		h := obs.RequestHistogram(rt.reg, path)
+		if h.Count() > 0 {
+			st.Latency[path] = latencyStatz{
+				Count: h.Count(),
+				P50Ms: h.Quantile(0.50) * 1000, P90Ms: h.Quantile(0.90) * 1000,
+				P99Ms: h.Quantile(0.99) * 1000, MaxMs: h.Max() * 1000,
+			}
+		}
 	}
 	for _, name := range rt.order {
 		rep := rt.reps[name]
@@ -795,6 +925,8 @@ func (rt *Router) handleStatz(w http.ResponseWriter, _ *http.Request) {
 			Name: name, State: rep.getState().String(),
 			InFlight: rep.inflight.Load(), QueueDepth: rep.queueDepth.Load(),
 			Generation: rep.generation.Load(), Backend: *rep.backend.Load(),
+			StatzErrors: rep.statzErrs.Load(),
+			P99Ms:       float64(rep.p99Micros.Load()) / 1000,
 		})
 	}
 	writeJSON(w, st)

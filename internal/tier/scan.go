@@ -9,6 +9,7 @@ import (
 
 	"pragformer/internal/advisor"
 	"pragformer/internal/dep"
+	"pragformer/internal/obs"
 	"pragformer/internal/scan"
 )
 
@@ -150,6 +151,7 @@ func (t tierSuggester) SuggestBatch([]string) ([]advisor.BatchItem, error) {
 }
 
 func (t tierSuggester) SuggestVerdicts(codes []string) ([]scan.Verdict, error) {
+	tr := obs.TraceFrom(t.ctx)
 	verdicts := make([]scan.Verdict, len(codes))
 	keys := make([]string, len(codes))
 	for i, code := range codes {
@@ -157,7 +159,10 @@ func (t tierSuggester) SuggestVerdicts(codes []string) ([]scan.Verdict, error) {
 		// routing key AND the store key.
 		keys[i] = scan.HashSnippet(code)
 	}
-	for _, g := range t.rt.groupByKey(keys) {
+	endRoute := tr.Start("route")
+	groups := t.rt.groupByKey(keys)
+	endRoute()
+	for _, g := range groups {
 		if g.rep == nil {
 			t.rt.sheds.Add(uint64(len(g.indices)))
 			for _, i := range g.indices {
@@ -176,6 +181,7 @@ func (t tierSuggester) SuggestVerdicts(codes []string) ([]scan.Verdict, error) {
 			}
 			continue
 		}
+		tr.Merge(resp.Trace)
 		for k, i := range g.indices {
 			if k >= len(resp.Results) {
 				verdicts[i].Err = errors.New("tier: short replica response")
